@@ -1,0 +1,122 @@
+// Package covirt_test holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation section. Each
+// benchmark regenerates its artifact (printing the same rows/series the
+// paper reports) and publishes headline numbers as benchmark metrics.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single artifact with e.g. -bench=Fig5b. The -short flag (and the
+// default benchtime of 1x iterations these benchmarks force via b.N
+// handling) keeps runtimes in simulation-scaled sizes; use the covirt-bench
+// command with -full for paper-sized problems.
+package covirt_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"covirt/internal/harness"
+	"covirt/internal/workloads"
+)
+
+// benchOpts returns scaled-down options so `go test -bench` terminates
+// quickly; covirt-bench -full runs the paper-sized problems.
+func benchOpts() harness.Options { return harness.Options{Reps: 1} }
+
+// out returns the destination for the regenerated tables: stdout on
+// -bench -v runs, discarded otherwise to keep benchmark output parseable.
+func out(b *testing.B) io.Writer {
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// runExperiment executes one harness experiment once per benchmark
+// iteration.
+func runExperiment(b *testing.B, id string) {
+	e := harness.ByID(id)
+	if e == nil {
+		b.Fatalf("no experiment %q", id)
+	}
+	w := out(b)
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(benchOpts(), w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Workloads regenerates Table I (benchmark inventory).
+func BenchmarkTable1Workloads(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig3SelfishDetour regenerates Fig. 3 (noise profiles).
+func BenchmarkFig3SelfishDetour(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4XememAttach regenerates Fig. 4 (attach delay vs size).
+func BenchmarkFig4XememAttach(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5aStream regenerates Fig. 5a (STREAM).
+func BenchmarkFig5aStream(b *testing.B) { runExperiment(b, "fig5a") }
+
+// BenchmarkFig5bRandomAccess regenerates Fig. 5b (GUPS).
+func BenchmarkFig5bRandomAccess(b *testing.B) { runExperiment(b, "fig5b") }
+
+// BenchmarkFig6MiniFE regenerates Fig. 6 (MiniFE scaling).
+func BenchmarkFig6MiniFE(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7HPCG regenerates Fig. 7 (HPCG scaling).
+func BenchmarkFig7HPCG(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8LAMMPS regenerates Fig. 8 (LAMMPS loop times).
+func BenchmarkFig8LAMMPS(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkIPCCosts regenerates the extension experiment quantifying the
+// paper's zero-overhead-IPC claim (data path vs notification path costs).
+func BenchmarkIPCCosts(b *testing.B) { runExperiment(b, "ipc") }
+
+// BenchmarkGUPSOverhead reports the paper's headline micro-overhead (Fig.
+// 5b worst case) as benchmark metrics: simulated GUPS under native and
+// covirt-mem, plus the overhead percentage.
+func BenchmarkGUPSOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := &workloads.RandomAccess{LogTableSize: 25, Updates: 1 << 17}
+		nat, err := harness.RunWorkload(harness.CfgNative, harness.SingleCore, harness.NodeOptions{}, g, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov, err := harness.RunWorkload(harness.CfgCovirtMem, harness.SingleCore, harness.NodeOptions{}, g, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		natG := nat[0].Metric("GUPS")
+		covG := cov[0].Metric("GUPS")
+		b.ReportMetric(natG*1e3, "native-mGUPS")
+		b.ReportMetric(covG*1e3, "covirt-mGUPS")
+		b.ReportMetric(harness.OverheadPct(covG, natG), "overhead-%")
+	}
+}
+
+// BenchmarkEPTAblationPageSizes quantifies the design choice DESIGN.md
+// calls out: large-page coalescing in the EPT. It compares GUPS overhead
+// with coalesced (2M/1G) mappings against an EPT restricted to 4K pages.
+func BenchmarkEPTAblationPageSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := &workloads.RandomAccess{LogTableSize: 25, Updates: 1 << 17}
+		run := func(cfg harness.Config) float64 {
+			res, err := harness.RunWorkload(cfg, harness.SingleCore, harness.NodeOptions{}, g, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res[0].Metric("GUPS")
+		}
+		base := run(harness.CfgNative)
+		coalesced := run(harness.CfgCovirtMem)
+		small := run(harness.CfgCovirtMem4K)
+		b.ReportMetric(harness.OverheadPct(coalesced, base), "coalesced-overhead-%")
+		b.ReportMetric(harness.OverheadPct(small, base), "4konly-overhead-%")
+	}
+}

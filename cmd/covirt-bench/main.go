@@ -1,0 +1,61 @@
+// Command covirt-bench regenerates the paper's evaluation tables and
+// figures on the simulated co-kernel stack.
+//
+// Usage:
+//
+//	covirt-bench [-experiment id] [-reps n] [-full] [-list]
+//
+// With no -experiment flag every experiment runs in paper order. Use
+// -list to see the available ids (table1, fig3, fig4, fig5a, fig5b, fig6,
+// fig7, fig8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"covirt/internal/harness"
+)
+
+func main() {
+	var (
+		expID = flag.String("experiment", "", "experiment id to run (default: all)")
+		reps  = flag.Int("reps", 3, "repetitions per data point (paper used 10)")
+		full  = flag.Bool("full", false, "use the paper's full problem sizes (slow)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := harness.Options{Reps: *reps, Full: *full}
+	run := func(e *harness.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(opt, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "covirt-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *expID != "" {
+		e := harness.ByID(*expID)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "covirt-bench: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for i := range harness.All {
+		run(&harness.All[i])
+	}
+}

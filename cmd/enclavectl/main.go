@@ -1,0 +1,377 @@
+// Command enclavectl is an interactive control shell for the simulated
+// co-kernel node: create, boot, inspect, grow/shrink and destroy enclaves,
+// toggle Covirt protection features, and inject faults — the management
+// workflow a Pisces/Hobbes operator would drive with the real tools.
+//
+//	go run ./cmd/enclavectl
+//
+// Type "help" at the prompt for commands, or pipe a script:
+//
+//	printf 'create lwk 2 0 1024\nboot 1 mem\nstatus 1\nquit\n' | go run ./cmd/enclavectl
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"covirt/internal/covirt"
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+	"covirt/internal/linuxhost"
+	"covirt/internal/pisces"
+)
+
+// shell holds the live simulation the commands operate on.
+type shell struct {
+	machine *hw.Machine
+	host    *linuxhost.Host
+	ctrl    *covirt.Controller
+	kernels map[int]*kitten.Kernel
+}
+
+func newShell() (*shell, error) {
+	machine, err := hw.NewMachine(hw.DefaultSpec())
+	if err != nil {
+		return nil, err
+	}
+	host, err := linuxhost.New(machine)
+	if err != nil {
+		return nil, err
+	}
+	// Offline everything except core 0 of each socket for the host.
+	var cores []int
+	for _, n := range machine.Topo.Nodes {
+		cores = append(cores, n.Cores[1:]...)
+	}
+	if err := host.OfflineCores(cores...); err != nil {
+		return nil, err
+	}
+	for _, n := range machine.Topo.Nodes {
+		if err := host.OfflineMemory(n.ID, 24<<30); err != nil {
+			return nil, err
+		}
+	}
+	ctrl, err := covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesNone)
+	if err != nil {
+		return nil, err
+	}
+	return &shell{machine: machine, host: host, ctrl: ctrl, kernels: make(map[int]*kitten.Kernel)}, nil
+}
+
+// featureSet parses a feature spec like "mem", "mem+ipi", "all", "none".
+func featureSet(s string) (covirt.Features, error) {
+	switch s {
+	case "", "none":
+		return covirt.FeaturesNone, nil
+	case "mem":
+		return covirt.FeaturesMem, nil
+	case "mem+ipi", "ipi":
+		return covirt.FeaturesMemIPIPIV, nil
+	case "mem+ipi-vapic", "ipi-vapic":
+		return covirt.FeaturesMemIPIVAPIC, nil
+	case "all":
+		return covirt.FeaturesAll, nil
+	}
+	return covirt.Features{}, fmt.Errorf("unknown feature set %q (none|mem|mem+ipi|mem+ipi-vapic|all)", s)
+}
+
+const helpText = `commands:
+  create <name> <cores> <node|0,1> <MB>   allocate an enclave
+  boot <id> [none|mem|mem+ipi|all]        boot Kitten under covirt features
+  list                                    list enclaves
+  status <id>                             covirt status (exits, EPT, IPIs)
+  ping <id>                               control-channel liveness check
+  addmem <id> <node> <MB>                 hot-add memory
+  addcpu <id> <node>                      hot-add a core
+  rmcpu <id> <core>                       hot-remove a core
+  run <id>                                run a demo computation task
+  console <id>                            dump the enclave's console
+  inject <id> wild|df|ipi                 inject a fault
+  destroy <id>                            tear an enclave down
+  help                                    this text
+  quit                                    exit`
+
+func (sh *shell) enclave(idStr string) (*pisces.Enclave, error) {
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad enclave id %q", idStr)
+	}
+	enc := sh.host.Pisces.Enclave(id)
+	if enc == nil {
+		return nil, fmt.Errorf("no enclave %d", id)
+	}
+	return enc, nil
+}
+
+func (sh *shell) exec(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Println(helpText)
+
+	case "create":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: create <name> <cores> <node|0,1> <MB>")
+		}
+		ncores, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		var nodes []int
+		for _, ns := range strings.Split(args[2], ",") {
+			n, err := strconv.Atoi(ns)
+			if err != nil {
+				return err
+			}
+			nodes = append(nodes, n)
+		}
+		mb, err := strconv.Atoi(args[3])
+		if err != nil {
+			return err
+		}
+		enc, err := sh.host.Pisces.CreateEnclave(pisces.EnclaveSpec{
+			Name: args[0], NumCores: ncores, Nodes: nodes, MemBytes: uint64(mb) << 20,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("enclave %d created: cores %v, %s\n", enc.ID, enc.Cores, fmtExtents(enc.Mem()))
+
+	case "boot":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: boot <id> [features]")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		feat := covirt.FeaturesNone
+		if len(args) > 1 {
+			if feat, err = featureSet(args[1]); err != nil {
+				return err
+			}
+		}
+		if _, err := sh.host.Pisces.Ioctl(covirt.IoctlSetFeatures, covirt.SetFeaturesArgs{EnclaveID: enc.ID, Features: feat}); err != nil {
+			return err
+		}
+		k := kitten.New(kitten.Config{})
+		if err := sh.host.Pisces.Boot(enc, k); err != nil {
+			return err
+		}
+		sh.kernels[enc.ID] = k
+		fmt.Printf("enclave %d booted under covirt %q\n", enc.ID, feat)
+
+	case "list":
+		encs := sh.host.Pisces.Enclaves()
+		sort.Slice(encs, func(i, j int) bool { return encs[i].ID < encs[j].ID })
+		for _, e := range encs {
+			fmt.Printf("%3d  %-12s %-8s cores=%v mem=%s covirt=%q\n",
+				e.ID, e.Name, e.State(), e.Cores, fmtExtents(e.Mem()), sh.ctrl.FeaturesFor(e.ID))
+		}
+		if len(encs) == 0 {
+			fmt.Println("(no enclaves)")
+		}
+
+	case "status":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: status <id>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		stAny, err := sh.host.Pisces.Ioctl(covirt.IoctlStatus, enc.ID)
+		if err != nil {
+			return err
+		}
+		st := stAny.(*covirt.Status)
+		fmt.Printf("features: %q\nEPT: %d bytes in %d mappings (4K=%d 2M=%d 1G=%d)\n",
+			st.Features, st.EPT.Bytes, st.EPT.Pages(), st.EPT.Mapped4K, st.EPT.Mapped2M, st.EPT.Mapped1G)
+		fmt.Printf("exits: %v (cycles %d)\ndropped IPIs: %d, map/unmap/flush: %d/%d/%d\n",
+			st.Exits, st.ExitCycles, st.DroppedIPIs, st.MapOps, st.UnmapOps, st.FlushCmds)
+
+	case "ping":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: ping <id>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		if err := sh.host.Pisces.Ping(enc); err != nil {
+			return err
+		}
+		fmt.Println("pong")
+
+	case "addmem":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: addmem <id> <node> <MB>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		node, _ := strconv.Atoi(args[1])
+		mb, _ := strconv.Atoi(args[2])
+		ext, err := sh.host.Pisces.AddMemory(enc, node, uint64(mb)<<20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("added %v\n", ext)
+
+	case "addcpu":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: addcpu <id> <node>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		node, _ := strconv.Atoi(args[1])
+		core, err := sh.host.Pisces.AddCPU(enc, node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("added core %d\n", core)
+
+	case "rmcpu":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: rmcpu <id> <core>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		core, _ := strconv.Atoi(args[1])
+		if err := sh.host.Pisces.RemoveCPU(enc, core); err != nil {
+			return err
+		}
+		fmt.Printf("removed core %d\n", core)
+
+	case "run":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: run <id>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		k := sh.kernels[enc.ID]
+		if k == nil {
+			return fmt.Errorf("enclave %d not booted by this shell", enc.ID)
+		}
+		task, err := k.Spawn("demo", 0, func(e *kitten.Env) error {
+			buf := e.Alloc(e.CPU.Node, 8<<20)
+			defer e.Free(buf)
+			e.Stream(buf.Start, buf.Size, true)
+			e.Compute(1_000_000)
+			return e.WriteConsole("demo task done\n")
+		})
+		if err != nil {
+			return err
+		}
+		if err := task.Wait(); err != nil {
+			return err
+		}
+		fmt.Println("task completed")
+
+	case "console":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: console <id>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Print(sh.host.Console(enc.ID))
+
+	case "inject":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: inject <id> wild|df|ipi")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		k := sh.kernels[enc.ID]
+		if k == nil {
+			return fmt.Errorf("enclave %d not booted by this shell", enc.ID)
+		}
+		var fn func(e *kitten.Env) error
+		switch args[1] {
+		case "wild":
+			fn = func(e *kitten.Env) error { return e.RawWrite64(0x40, 0xBAD) }
+		case "df":
+			fn = func(e *kitten.Env) error { return e.CPU.RaiseDoubleFault("injected") }
+		case "ipi":
+			fn = func(e *kitten.Env) error { return e.SendIPIRaw(0, 0x99) }
+		default:
+			return fmt.Errorf("unknown fault %q", args[1])
+		}
+		task, err := k.Spawn("inject", 0, fn)
+		if err != nil {
+			return err
+		}
+		werr := task.Wait()
+		fmt.Printf("fault result: %v\nenclave: %v, node crashed: %v\n", werr, enc.State(), sh.machine.Crashed())
+
+	case "destroy":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: destroy <id>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		if err := sh.host.Pisces.Destroy(enc); err != nil {
+			return err
+		}
+		delete(sh.kernels, enc.ID)
+		fmt.Printf("enclave %d destroyed, resources reclaimed\n", enc.ID)
+
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	return nil
+}
+
+// fmtExtents renders a memory assignment compactly.
+func fmtExtents(exts []hw.Extent) string {
+	var parts []string
+	for _, e := range exts {
+		parts = append(parts, fmt.Sprintf("%dMB@n%d", e.Size>>20, e.Node))
+	}
+	return strings.Join(parts, "+")
+}
+
+func main() {
+	sh, err := newShell()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enclavectl:", err)
+		os.Exit(1)
+	}
+	fmt.Println("enclavectl — simulated Pisces/Covirt node (type 'help')")
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("covirt> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Composition: a Hobbes-style composite application spanning two enclaves.
+// A simulation kernel in one enclave produces timesteps into an XEMEM
+// shared segment; an analytics component in a second enclave consumes them.
+// Cross-enclave notification uses a Hobbes-granted IPI vector, and the
+// whole thing runs under Covirt's full protection feature set — including
+// the IPI whitelist that the granted vector passes through.
+//
+//	go run ./examples/composition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"covirt/internal/covirt"
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+	"covirt/internal/linuxhost"
+	"covirt/internal/pisces"
+)
+
+const (
+	segName     = "sim.output"
+	notifyVec   = 0x77
+	timesteps   = 8
+	valuesPerTS = 512
+)
+
+func main() {
+	machine, err := hw.NewMachine(hw.DefaultSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	host, err := linuxhost.New(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One core + 1 GiB on each NUMA node for the two components.
+	if err := host.OfflineCores(1, 7); err != nil {
+		log.Fatal(err)
+	}
+	for node := 0; node < 2; node++ {
+		if err := host.OfflineMemory(node, 1<<30); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctrl, err := covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	boot := func(name string, node int) (*pisces.Enclave, *kitten.Kernel) {
+		enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
+			Name: name, NumCores: 1, Nodes: []int{node}, MemBytes: 512 << 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k := kitten.New(kitten.Config{})
+		if err := host.Pisces.Boot(enc, k); err != nil {
+			log.Fatal(err)
+		}
+		return enc, k
+	}
+	simEnc, simK := boot("sim", 0)
+	anaEnc, anaK := boot("analytics", 1)
+	fmt.Printf("booted %s (core %v) and %s (core %v), features %q\n",
+		simEnc.Name, simEnc.Cores, anaEnc.Name, anaEnc.Cores, ctrl.FeaturesFor(simEnc.ID))
+
+	// Hobbes grants the simulation the right to signal the analytics core.
+	if err := host.Master.GrantIPI(simEnc, anaEnc.Cores[0], notifyVec); err != nil {
+		log.Fatal(err)
+	}
+
+	// The segment layout: slot 0 is the producer's progress counter, data
+	// follows. The IPI is only a wakeup hint — IPIs of the same vector
+	// coalesce in the IRR, exactly as on real hardware, so progress state
+	// must live in the shared memory itself.
+	const hdrSlots = 1
+
+	// Analytics waits for the doorbell, then drains every timestep the
+	// counter says is ready.
+	anaK.OnIPI(notifyVec, func(e *kitten.Env) {}) // wakeup only
+	anaTask, _ := anaK.Spawn("analyze", 0, func(e *kitten.Env) error {
+		// The producer may not have exported the segment yet: poll the
+		// name service until it appears.
+		var segid uint64
+		var err error
+		for {
+			segid, err = e.XemGet(segName)
+			if err == nil {
+				break
+			}
+			e.Compute(20_000)
+		}
+		exts, err := e.XemAttach(segid)
+		if err != nil {
+			return err
+		}
+		base := exts[0].Start
+		data := base + hdrSlots*8
+		var sums []uint64
+		for ts := 0; ts < timesteps; {
+			for e.Read64(base) <= uint64(ts) {
+				if err := e.CPU.Idle(nil); err != nil {
+					return err
+				}
+			}
+			var sum uint64
+			for i := 0; i < valuesPerTS; i++ {
+				sum += e.Read64(data + uint64(ts*valuesPerTS+i)*8)
+			}
+			sums = append(sums, sum)
+			ts++
+		}
+		fmt.Printf("analytics reduced %d timesteps: first=%d last=%d\n",
+			len(sums), sums[0], sums[len(sums)-1])
+		return e.XemDetach(segid)
+	})
+
+	// Simulation produces timesteps, publishes progress, rings the bell.
+	simTask, _ := simK.Spawn("simulate", 0, func(e *kitten.Env) error {
+		seg := e.Alloc(0, uint64((hdrSlots+timesteps*valuesPerTS)*8))
+		if _, err := e.XemMake(segName, seg); err != nil {
+			return err
+		}
+		data := seg.Start + hdrSlots*8
+		for ts := 0; ts < timesteps; ts++ {
+			for i := 0; i < valuesPerTS; i++ {
+				e.Write64(data+uint64(ts*valuesPerTS+i)*8, uint64(ts*i))
+			}
+			e.Compute(50_000) // the "physics"
+			e.Write64(seg.Start, uint64(ts+1))
+			if err := e.SendIPIRaw(anaEnc.Cores[0], notifyVec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	if err := simTask.Wait(); err != nil {
+		log.Fatalf("sim: %v", err)
+	}
+	if err := anaTask.Wait(); err != nil {
+		log.Fatalf("analytics: %v", err)
+	}
+
+	// The analytics enclave's EPT saw the segment come and go.
+	st := ctrl.StatusFor(anaEnc.ID)
+	fmt.Printf("analytics covirt status: mapOps=%d unmapOps=%d flushCmds=%d dropped IPIs=%d\n",
+		st.MapOps, st.UnmapOps, st.FlushCmds, st.DroppedIPIs)
+
+	// An ungranted IPI from the simulation to a host core is filtered.
+	errant, _ := simK.Spawn("errant", 0, func(e *kitten.Env) error {
+		return e.SendIPIRaw(0, notifyVec) // host core: not whitelisted
+	})
+	if err := errant.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("errant IPI to host core dropped by whitelist: dropped=%d\n",
+		ctrl.StatusFor(simEnc.ID).DroppedIPIs)
+
+	_ = host.Pisces.Destroy(simEnc)
+	_ = host.Pisces.Destroy(anaEnc)
+	fmt.Println("composition complete; both enclaves shut down cleanly")
+}

@@ -1,0 +1,156 @@
+// Elastic: a co-kernel compute service that grows on demand. The enclave
+// reads its job description from the host filesystem via system-call
+// forwarding, the operator hot-adds cores and memory while it runs — every
+// grant flowing through the Hobbes event bus into EPT updates and a fresh
+// per-core Covirt hypervisor — and the results land back in a host file.
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"covirt/internal/covirt"
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+	"covirt/internal/linuxhost"
+	"covirt/internal/pisces"
+	"covirt/internal/workloads"
+)
+
+func main() {
+	machine, err := hw.NewMachine(hw.DefaultSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	host, err := linuxhost.New(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Plenty of spare capacity for elasticity.
+	if err := host.OfflineCores(1, 2, 3, 4); err != nil {
+		log.Fatal(err)
+	}
+	if err := host.OfflineMemory(0, 8<<30); err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesMemIPIPIV)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The operator stages the job description on the host.
+	host.WriteFile("/jobs/cg.conf", []byte("grid=32\niters=12\n"))
+
+	enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
+		Name: "elastic", NumCores: 1, Nodes: []int{0}, MemBytes: 2 << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel := kitten.New(kitten.Config{})
+	if err := host.Pisces.Boot(enc, kernel); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service booted: 1 core, %q\n", ctrl.FeaturesFor(enc.ID))
+
+	// Phase 1: the service reads its configuration (forwarded file I/O).
+	var grid, iters int
+	cfgTask, _ := kernel.Spawn("read-config", 0, func(e *kitten.Env) error {
+		f, err := e.Open("/jobs/cg.conf", pisces.OpenRead)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, 256)
+		n, err := f.Read(buf)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(buf[:n])), "\n") {
+			k, v, ok := strings.Cut(line, "=")
+			if !ok {
+				continue
+			}
+			if k == "grid" {
+				grid, _ = strconv.Atoi(v)
+			}
+			if k == "iters" {
+				iters, _ = strconv.Atoi(v)
+			}
+		}
+		return nil
+	})
+	if err := cfgTask.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job: %d^3 grid, %d CG iterations\n", grid, iters)
+
+	// Phase 2: run once on the single core.
+	hpcg := &workloads.HPCG{NX: grid, NY: grid, NZ: grid, Iters: iters}
+	r1, err := hpcg.Run(kernel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1-core solve: %.4fs (residual %.2g)\n",
+		workloads.Seconds(r1.Cycles), r1.Metric("residual"))
+
+	// Phase 3: the operator grows the service: three more cores and more
+	// memory, hot-added while the enclave stays up and protected.
+	for i := 0; i < 3; i++ {
+		core, err := host.Pisces.AddCPU(enc, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hot-added core %d (hypervisor launched, whitelist extended)\n", core)
+	}
+	if ext, err := host.Pisces.AddMemory(enc, 0, 1<<30); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("hot-added %d MiB at %#x (EPT mapped before the kernel saw it)\n",
+			ext.Size>>20, ext.Start)
+	}
+
+	// Phase 4: the same job on four cores.
+	r4, err := (&workloads.HPCG{NX: grid, NY: grid, NZ: grid, Iters: iters}).Run(kernel, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4-core solve: %.4fs (residual %.2g) — %.2fx speedup\n",
+		workloads.Seconds(r4.Cycles), r4.Metric("residual"),
+		float64(r1.Cycles)/float64(r4.Cycles))
+
+	// Phase 5: publish results to the host filesystem.
+	report := fmt.Sprintf("grid=%d iters=%d t1=%.4fs t4=%.4fs speedup=%.2f\n",
+		grid, iters, workloads.Seconds(r1.Cycles), workloads.Seconds(r4.Cycles),
+		float64(r1.Cycles)/float64(r4.Cycles))
+	pub, _ := kernel.Spawn("publish", 0, func(e *kitten.Env) error {
+		f, err := e.Open("/jobs/cg.result", pisces.OpenWrite)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.Write([]byte(report))
+		return err
+	})
+	if err := pub.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	if out, ok := host.ReadFile("/jobs/cg.result"); ok {
+		fmt.Printf("host collected result file: %s", out)
+	}
+	st := ctrl.StatusFor(enc.ID)
+	fmt.Printf("covirt state: EPT %d MiB in %d mappings, %d exits\n",
+		st.EPT.Bytes>>20, st.EPT.Pages(), func() uint64 {
+			var n uint64
+			for _, v := range st.Exits {
+				n += v
+			}
+			return n
+		}())
+	_ = host.Pisces.Destroy(enc)
+	fmt.Println("service shut down; resources reclaimed")
+}

@@ -1,0 +1,54 @@
+package covirt
+
+import (
+	"fmt"
+
+	"covirt/internal/hw"
+)
+
+// BootParamsMagic identifies a Covirt boot-parameter block.
+const BootParamsMagic = 0x434F564952540001 // "COVIRT\0\1"
+
+// BootParams is the specialized boot-parameter structure the Covirt
+// hypervisor receives instead of the raw Pisces block: the VM configuration
+// handle, the command-queue location, and a pointer to the *unmodified*
+// Pisces boot parameters, which the hypervisor passes to the co-kernel in a
+// register at VM launch.
+type BootParams struct {
+	NumCPUs        uint64
+	CmdQueueBase   uint64 // base of the per-CPU command queue array
+	CmdQueueStride uint64
+	PiscesParams   uint64 // address of the untouched Pisces boot parameters
+}
+
+// encodeBootParams writes bp at addr (host/native access).
+func encodeBootParams(mem *hw.PhysMem, addr uint64, bp *BootParams) error {
+	vals := []uint64{BootParamsMagic, bp.NumCPUs, bp.CmdQueueBase, bp.CmdQueueStride, bp.PiscesParams}
+	for i, v := range vals {
+		if err := mem.Write64(addr+uint64(i)*8, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeBootParams reads a block written by encodeBootParams.
+func decodeBootParams(mem *hw.PhysMem, addr uint64) (*BootParams, error) {
+	var vals [5]uint64
+	for i := range vals {
+		v, err := mem.Read64(addr + uint64(i)*8)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	if vals[0] != BootParamsMagic {
+		return nil, fmt.Errorf("covirt: bad boot-param magic %#x at %#x", vals[0], addr)
+	}
+	return &BootParams{
+		NumCPUs:        vals[1],
+		CmdQueueBase:   vals[2],
+		CmdQueueStride: vals[3],
+		PiscesParams:   vals[4],
+	}, nil
+}

@@ -1,0 +1,158 @@
+package covirt
+
+import (
+	"fmt"
+	"sync"
+
+	"covirt/internal/hw"
+)
+
+// Hypervisor command types carried on the command queue.
+const (
+	// CmdFlushAll invalidates the CPU's entire TLB (INVEPT global).
+	CmdFlushAll uint64 = iota + 1
+	// CmdFlushRange invalidates translations overlapping [arg0, arg0+arg1).
+	CmdFlushRange
+	// CmdPing is a no-op synchronization point.
+	CmdPing
+	// CmdReloadVMCS re-serializes the virtualization context to the CPU
+	// (after controller edits to non-cached VMCS fields it is a no-op in
+	// this simulation beyond its cost).
+	CmdReloadVMCS
+)
+
+// Command queue shared-memory geometry. Each enclave CPU has one queue in
+// the Covirt boot-parameter area; commands are fixed-size records.
+const (
+	cmdqSlots    = 8
+	cmdqSlotSize = 32 // type, arg0, arg1, seq
+	cmdqHdrSize  = 24 // head, tail, completed
+	// CmdQueueStride is the per-CPU footprint of one command queue.
+	CmdQueueStride = 0x200
+)
+
+// cmdQueue is the controller->hypervisor channel for one enclave CPU. The
+// queue contents live in shared physical memory (written natively by the
+// controller, read natively by the root-mode hypervisor); the Go-side
+// condition variable stands in for the hardware's NMI wait loop.
+type cmdQueue struct {
+	mem  *hw.PhysMem
+	base uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	seq  uint64
+}
+
+// newCmdQueue initializes a queue at base.
+func newCmdQueue(mem *hw.PhysMem, base uint64) (*cmdQueue, error) {
+	q := &cmdQueue{mem: mem, base: base}
+	q.cond = sync.NewCond(&q.mu)
+	for off := uint64(0); off < cmdqHdrSize; off += 8 {
+		if err := mem.Write64(base+off, 0); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// push enqueues a command, returning its sequence number. It fails if the
+// queue is full (the controller never has more than a few outstanding).
+func (q *cmdQueue) push(typ, arg0, arg1 uint64) (uint64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	head, err := q.mem.Read64(q.base)
+	if err != nil {
+		return 0, err
+	}
+	tail, err := q.mem.Read64(q.base + 8)
+	if err != nil {
+		return 0, err
+	}
+	if head-tail >= cmdqSlots {
+		return 0, fmt.Errorf("covirt: command queue full")
+	}
+	q.seq++
+	slot := q.base + cmdqHdrSize + (head%cmdqSlots)*cmdqSlotSize
+	for i, v := range []uint64{typ, arg0, arg1, q.seq} {
+		if err := q.mem.Write64(slot+uint64(i)*8, v); err != nil {
+			return 0, err
+		}
+	}
+	if err := q.mem.Write64(q.base, head+1); err != nil {
+		return 0, err
+	}
+	return q.seq, nil
+}
+
+// completed returns the last completed sequence number.
+func (q *cmdQueue) completed() uint64 {
+	v, err := q.mem.Read64(q.base + 16)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// waitCompleted blocks until the hypervisor reports seq complete or done
+// closes (enclave death).
+func (q *cmdQueue) waitCompleted(seq uint64, done <-chan struct{}) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.completed() < seq {
+		select {
+		case <-done:
+			return fmt.Errorf("covirt: enclave died before command %d completed", seq)
+		default:
+		}
+		// Wait with a wakeup guarantee: the hypervisor broadcasts after
+		// each command, and enclave teardown broadcasts too.
+		q.cond.Wait()
+	}
+	return nil
+}
+
+// wake unblocks waiters (used on completion and teardown).
+func (q *cmdQueue) wake() { q.cond.Broadcast() }
+
+// drain processes all pending commands on cpu (the hypervisor's NMI
+// handler body). It returns cycles spent.
+func (q *cmdQueue) drain(cpu *hw.CPU) uint64 {
+	cs := cpu.Costs()
+	var spent uint64
+	for {
+		head, err := q.mem.Read64(q.base)
+		if err != nil {
+			return spent
+		}
+		tail, err := q.mem.Read64(q.base + 8)
+		if err != nil || tail >= head {
+			return spent
+		}
+		slot := q.base + cmdqHdrSize + (tail%cmdqSlots)*cmdqSlotSize
+		var rec [4]uint64
+		for i := range rec {
+			rec[i], _ = q.mem.Read64(slot + uint64(i)*8)
+		}
+		spent += 80 // fetch/decode of one fixed-size command
+		switch rec[0] {
+		case CmdFlushAll:
+			cpu.TLB.FlushAll()
+			spent += cs.TLBFlushAll
+		case CmdFlushRange:
+			cpu.TLB.FlushRange(rec[1], rec[2])
+			spent += cs.TLBFlushPage
+		case CmdReloadVMCS:
+			spent += cs.VMEntry / 2
+		case CmdPing:
+			// Synchronization only.
+		}
+		// Publish completion under the lock so a controller thread between
+		// its completed() check and cond.Wait cannot miss the wakeup.
+		q.mu.Lock()
+		_ = q.mem.Write64(q.base+8, tail+1)
+		_ = q.mem.Write64(q.base+16, rec[3])
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}

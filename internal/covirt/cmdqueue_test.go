@@ -1,0 +1,232 @@
+package covirt
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"covirt/internal/hw"
+)
+
+func queueFixture(t *testing.T) (*hw.Machine, *cmdQueue, *hw.CPU) {
+	t.Helper()
+	spec := hw.DefaultSpec()
+	spec.MemPerNode = 1 << 30
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K)
+	q, err := newCmdQueue(m.Mem, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, q, m.CPU(0)
+}
+
+func TestCmdQueuePushDrain(t *testing.T) {
+	_, q, cpu := queueFixture(t)
+	seq1, err := q.push(CmdPing, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := q.push(CmdFlushRange, 0x1000, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 != seq1+1 {
+		t.Errorf("seqs = %d, %d", seq1, seq2)
+	}
+	if q.completed() != 0 {
+		t.Error("completed before drain")
+	}
+	// Warm a TLB entry in the to-be-flushed range.
+	cpu.TLB.Insert(0x1800, hw.PageSize4K)
+	spent := q.drain(cpu)
+	if spent == 0 {
+		t.Error("drain charged nothing")
+	}
+	if q.completed() != seq2 {
+		t.Errorf("completed = %d, want %d", q.completed(), seq2)
+	}
+	if cpu.TLB.Lookup(0x1800) {
+		t.Error("flush command did not flush")
+	}
+	// Draining an empty queue is free.
+	if q.drain(cpu) != 0 {
+		t.Error("empty drain charged cycles")
+	}
+}
+
+func TestCmdQueueFlushAll(t *testing.T) {
+	_, q, cpu := queueFixture(t)
+	cpu.TLB.Insert(0x1000, hw.PageSize4K)
+	cpu.TLB.Insert(hw.PageSize1G, hw.PageSize2M)
+	if _, err := q.push(CmdFlushAll, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	q.drain(cpu)
+	if cpu.TLB.Len() != 0 {
+		t.Error("entries survived CmdFlushAll")
+	}
+}
+
+func TestCmdQueueFullRejected(t *testing.T) {
+	_, q, _ := queueFixture(t)
+	for i := 0; i < cmdqSlots; i++ {
+		if _, err := q.push(CmdPing, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.push(CmdPing, 0, 0); err == nil {
+		t.Error("push into full queue accepted")
+	}
+}
+
+func TestCmdQueueWaitCompleted(t *testing.T) {
+	_, q, cpu := queueFixture(t)
+	seq, err := q.push(CmdPing, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := q.waitCompleted(seq, done); err != nil {
+			t.Errorf("waitCompleted: %v", err)
+		}
+	}()
+	q.drain(cpu)
+	wg.Wait()
+	// Waiting for an already-completed sequence returns immediately.
+	if err := q.waitCompleted(seq, done); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdQueueWaitAbortsOnDeath(t *testing.T) {
+	_, q, _ := queueFixture(t)
+	seq, _ := q.push(CmdPing, 0, 0)
+	done := make(chan struct{})
+	close(done) // the enclave is already dead
+	errc := make(chan error, 1)
+	go func() { errc <- q.waitCompleted(seq, done) }()
+	// Teardown wakes all waiters.
+	q.wake()
+	if err := <-errc; err == nil {
+		t.Error("wait on dead enclave returned nil")
+	}
+}
+
+// Property: any sequence of flush-range commands leaves exactly the pages
+// outside all flushed ranges in the TLB.
+func TestCmdQueueFlushProperty(t *testing.T) {
+	f := func(pages [6]uint8, flushes [3]uint8) bool {
+		spec := hw.DefaultSpec()
+		spec.MemPerNode = 1 << 30
+		m, err := hw.NewMachine(spec)
+		if err != nil {
+			return false
+		}
+		q, err := newCmdQueue(m.Mem, hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K))
+		if err != nil {
+			return false
+		}
+		cpu := m.CPU(0)
+		for _, p := range pages {
+			cpu.TLB.Insert(uint64(p)*hw.PageSize4K, hw.PageSize4K)
+		}
+		flushed := map[uint64]bool{}
+		for _, f := range flushes {
+			start := uint64(f%32) * hw.PageSize4K
+			if _, err := q.push(CmdFlushRange, start, 2*hw.PageSize4K); err != nil {
+				return false
+			}
+			flushed[start] = true
+			flushed[start+hw.PageSize4K] = true
+		}
+		q.drain(cpu)
+		for _, p := range pages {
+			base := uint64(p) * hw.PageSize4K
+			want := !flushed[base]
+			if cpu.TLB.Lookup(base) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeaturesString(t *testing.T) {
+	cases := []struct {
+		f    Features
+		want string
+	}{
+		{FeaturesNone, "none"},
+		{FeaturesMem, "mem+abort"},
+		{FeaturesMemIPIVAPIC, "mem+ipi(vapic)+abort"},
+		{FeaturesMemIPIPIV, "mem+ipi(piv)+abort"},
+		{FeaturesAll, "mem+ipi(piv)+msr+io+abort"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("%+v -> %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestIPIFilterSemantics(t *testing.T) {
+	f := NewIPIFilter([]int{3, 4})
+	// Own cores: any vector.
+	if !f.Permitted(3, 0x10) || !f.Permitted(4, 0xFE) {
+		t.Error("own-core IPI denied")
+	}
+	// Foreign core: denied until granted.
+	if f.Permitted(7, 0x10) {
+		t.Error("foreign IPI permitted without grant")
+	}
+	f.Grant(7, 0x10)
+	if !f.Permitted(7, 0x10) {
+		t.Error("granted IPI denied")
+	}
+	if f.Permitted(7, 0x11) {
+		t.Error("grant leaked across vectors")
+	}
+	f.Revoke(7, 0x10)
+	if f.Permitted(7, 0x10) {
+		t.Error("revoked IPI permitted")
+	}
+	if f.Dropped.Load() != 3 {
+		t.Errorf("dropped = %d, want 3", f.Dropped.Load())
+	}
+	if f.Checked.Load() != 6 {
+		t.Errorf("checked = %d, want 6", f.Checked.Load())
+	}
+}
+
+func TestCovirtBootParamsRoundTrip(t *testing.T) {
+	spec := hw.DefaultSpec()
+	spec.MemPerNode = 1 << 30
+	m, _ := hw.NewMachine(spec)
+	addr := hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K)
+	in := &BootParams{NumCPUs: 4, CmdQueueBase: 0x6000, CmdQueueStride: CmdQueueStride, PiscesParams: 0x1000}
+	if err := encodeBootParams(m.Mem, addr, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeBootParams(m.Mem, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+	_ = m.Mem.Write64(addr, 0xBAD)
+	if _, err := decodeBootParams(m.Mem, addr); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

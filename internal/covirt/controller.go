@@ -1,0 +1,573 @@
+package covirt
+
+import (
+	"fmt"
+	"sync"
+
+	"covirt/internal/hobbes"
+	"covirt/internal/hw"
+	"covirt/internal/pisces"
+	"covirt/internal/trace"
+	"covirt/internal/vmx"
+)
+
+// Management-plane cycle costs charged onto synchronous paths (the
+// controller runs on host cores; guests blocked on an operation wait for
+// this work, so it surfaces in latencies like the XEMEM attach delay).
+const (
+	costPerEPTLeaf   = 25  // writing one EPT leaf entry
+	costPerUnmapLeaf = 30  // clearing entries, possibly splitting
+	costCmdIssue     = 250 // queue write + NMI doorbell
+)
+
+// Ioctl numbers the controller registers with the Pisces framework's
+// control ABI (the paper's "new set of ioctl commands").
+const (
+	IoctlSetFeatures uint32 = 0xC0560001 // arg: SetFeaturesArgs (pre-boot)
+	IoctlStatus      uint32 = 0xC0560002 // arg: enclave id (int) -> *Status
+	IoctlGrantIO     uint32 = 0xC0560003 // arg: GrantIOArgs
+)
+
+// SetFeaturesArgs selects an enclave's protection features (before boot).
+type SetFeaturesArgs struct {
+	EnclaveID int
+	Features  Features
+}
+
+// GrantIOArgs permits an enclave to access an I/O port.
+type GrantIOArgs struct {
+	EnclaveID int
+	Port      uint16
+}
+
+// Status reports an enclave's Covirt runtime state.
+type Status struct {
+	EnclaveID   int
+	Features    Features
+	EPT         vmx.EPTStats
+	Exits       map[string]uint64
+	ExitCycles  uint64
+	DroppedIPIs uint64
+	MapOps      uint64
+	UnmapOps    uint64
+	FlushCmds   uint64
+}
+
+// enclaveState is the controller's view of one protected enclave: the
+// hardware-level virtualization data structures it edits directly.
+type enclaveState struct {
+	enc  *pisces.Enclave
+	feat Features
+
+	ept    *vmx.EPT
+	msrBM  *vmx.MSRBitmap
+	ioBM   *vmx.IOBitmap
+	filter *IPIFilter
+	ports  map[uint16]bool
+
+	vmcs   map[int]*vmx.VMCS
+	hvs    map[int]*Hypervisor
+	queues map[int]*cmdQueue
+
+	// nextSlot indexes the per-CPU command-queue array for hot-added
+	// cores (the reserved area holds pisces.MaxBootCores slots).
+	nextSlot int
+
+	mapOps    uint64
+	unmapOps  uint64
+	flushCmds uint64
+}
+
+// Controller is the Covirt controller module: it integrates with the
+// Hobbes master control process and the Pisces framework, monitoring
+// resource-management operations and translating them into hypervisor
+// configuration changes.
+type Controller struct {
+	mach   *hw.Machine
+	fw     *pisces.Framework
+	master *hobbes.Master
+
+	mu       sync.Mutex
+	defaults Features
+	pending  map[int]Features // pre-boot per-enclave overrides
+	states   map[int]*enclaveState
+
+	// tracer is the optional flight recorder shared with all hypervisor
+	// instances (nil-safe; see EnableTracing).
+	tracer *trace.Buffer
+}
+
+// EnableTracing attaches a flight recorder capturing every VM exit and
+// controller action; returns the buffer for inspection. Must be called
+// before enclaves boot to capture their hypervisors' events.
+func (c *Controller) EnableTracing(capacity int) *trace.Buffer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tracer == nil {
+		c.tracer = trace.New(capacity)
+	}
+	return c.tracer
+}
+
+// Trace returns the flight recorder, or nil if tracing is disabled.
+func (c *Controller) Trace() *trace.Buffer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
+}
+
+// Attach loads the Covirt controller: it hooks the framework's boot path,
+// subscribes to the Hobbes event bus, and registers its ioctl extensions.
+// defaults are the protection features used for enclaves without an
+// explicit IoctlSetFeatures/SetFeatures call.
+func Attach(mach *hw.Machine, fw *pisces.Framework, master *hobbes.Master, defaults Features) (*Controller, error) {
+	c := &Controller{
+		mach:     mach,
+		fw:       fw,
+		master:   master,
+		defaults: defaults,
+		pending:  make(map[int]Features),
+		states:   make(map[int]*enclaveState),
+	}
+	fw.SetInterposer(c)
+	master.Bus.Subscribe(c.onEvent)
+	for cmd, h := range map[uint32]func(any) (any, error){
+		IoctlSetFeatures: c.ioctlSetFeatures,
+		IoctlStatus:      c.ioctlStatus,
+		IoctlGrantIO:     c.ioctlGrantIO,
+	} {
+		if err := fw.RegisterIoctl(cmd, h); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// SetFeatures overrides the protection features for an enclave; it must be
+// called before the enclave boots.
+func (c *Controller) SetFeatures(encID int, f Features) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, booted := c.states[encID]; booted {
+		return fmt.Errorf("covirt: enclave %d already booted", encID)
+	}
+	c.pending[encID] = f
+	return nil
+}
+
+func (c *Controller) ioctlSetFeatures(arg any) (any, error) {
+	a, ok := arg.(SetFeaturesArgs)
+	if !ok {
+		return nil, fmt.Errorf("covirt: IoctlSetFeatures wants SetFeaturesArgs")
+	}
+	return nil, c.SetFeatures(a.EnclaveID, a.Features)
+}
+
+func (c *Controller) ioctlStatus(arg any) (any, error) {
+	id, ok := arg.(int)
+	if !ok {
+		return nil, fmt.Errorf("covirt: IoctlStatus wants an enclave id")
+	}
+	st := c.StatusFor(id)
+	if st == nil {
+		return nil, fmt.Errorf("covirt: enclave %d not under covirt", id)
+	}
+	return st, nil
+}
+
+func (c *Controller) ioctlGrantIO(arg any) (any, error) {
+	a, ok := arg.(GrantIOArgs)
+	if !ok {
+		return nil, fmt.Errorf("covirt: IoctlGrantIO wants GrantIOArgs")
+	}
+	c.mu.Lock()
+	st := c.states[a.EnclaveID]
+	c.mu.Unlock()
+	if st == nil {
+		return nil, fmt.Errorf("covirt: enclave %d not under covirt", a.EnclaveID)
+	}
+	st.ports[a.Port] = true
+	return nil, nil
+}
+
+// StatusFor returns runtime statistics for an enclave, or nil.
+func (c *Controller) StatusFor(encID int) *Status {
+	c.mu.Lock()
+	st := c.states[encID]
+	c.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	out := &Status{
+		EnclaveID:   encID,
+		Features:    st.feat,
+		DroppedIPIs: st.filter.Dropped.Load(),
+		MapOps:      st.mapOps,
+		UnmapOps:    st.unmapOps,
+		FlushCmds:   st.flushCmds,
+		Exits:       make(map[string]uint64),
+	}
+	if st.ept != nil {
+		out.EPT = st.ept.Stats()
+	}
+	for _, h := range st.hvs {
+		for k, v := range h.Stats().Snapshot() {
+			out.Exits[k] += v
+		}
+		_, cyc := h.Stats().Total()
+		out.ExitCycles += cyc
+	}
+	return out
+}
+
+// Hypervisor returns the per-core hypervisor managing machine core cpuID of
+// enclave encID (tests and tooling).
+func (c *Controller) Hypervisor(encID, cpuID int) *Hypervisor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.states[encID]; st != nil {
+		return st.hvs[cpuID]
+	}
+	return nil
+}
+
+// FeaturesFor returns the active (or pending) features for an enclave.
+func (c *Controller) FeaturesFor(encID int) Features {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.states[encID]; st != nil {
+		return st.feat
+	}
+	if f, ok := c.pending[encID]; ok {
+		return f
+	}
+	return c.defaults
+}
+
+// onEvent is the Hobbes bus subscription: every resource-management event
+// becomes a direct edit of the affected enclave's virtualization context.
+func (c *Controller) onEvent(ev *hobbes.Event) error {
+	switch ev.Kind {
+	case hobbes.EvEnclaveBootPre:
+		return c.buildState(ev.Enclave)
+	case hobbes.EvMemAddPre, hobbes.EvXememAttachPre:
+		return c.mapExtents(ev)
+	case hobbes.EvMemRemovePost, hobbes.EvXememDetachPost:
+		return c.unmapAndFlush(ev)
+	case hobbes.EvCPUAddPre:
+		return c.addCPU(ev)
+	case hobbes.EvCPURemovePost:
+		return c.removeCPU(ev)
+	case hobbes.EvIPIGrant:
+		if st := c.stateFor(ev.Enclave); st != nil {
+			st.filter.Grant(ev.DestCore, ev.Vector)
+		}
+	case hobbes.EvIPIRevoke:
+		if st := c.stateFor(ev.Enclave); st != nil {
+			st.filter.Revoke(ev.DestCore, ev.Vector)
+		}
+	case hobbes.EvEnclaveCrashed, hobbes.EvEnclaveDestroyed:
+		c.teardown(ev.Enclave)
+	}
+	return nil
+}
+
+// stateFor looks up the controller state of an enclave.
+func (c *Controller) stateFor(enc *pisces.Enclave) *enclaveState {
+	if enc == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.states[enc.ID]
+}
+
+// buildState constructs the full virtualization configuration for an
+// enclave before any of its cores boot: EPT identity map of its assignment,
+// intercept bitmaps, IPI whitelist, per-core VMCS, and per-core command
+// queues — all written by the controller so the hypervisor can simply load
+// and launch.
+func (c *Controller) buildState(enc *pisces.Enclave) error {
+	c.mu.Lock()
+	feat, ok := c.pending[enc.ID]
+	if !ok {
+		feat = c.defaults
+	}
+	delete(c.pending, enc.ID)
+	c.mu.Unlock()
+
+	st := &enclaveState{
+		enc:    enc,
+		feat:   feat,
+		filter: NewIPIFilter(enc.Cores),
+		ports:  make(map[uint16]bool),
+		vmcs:   make(map[int]*vmx.VMCS),
+		hvs:    make(map[int]*Hypervisor),
+		queues: make(map[int]*cmdQueue),
+	}
+	if feat.Memory {
+		st.ept = vmx.NewEPT()
+		if feat.EPTMaxPage > 0 {
+			st.ept.SetMaxPageSize(feat.EPTMaxPage)
+		}
+		for _, ext := range enc.Mem() {
+			if err := st.ept.MapRange(ext.Start, ext.Size, vmx.PermAll); err != nil {
+				return fmt.Errorf("covirt: initial EPT map %v: %w", ext, err)
+			}
+		}
+	}
+	if feat.MSR {
+		st.msrBM = vmx.NewMSRBitmap()
+		st.msrBM.InterceptAllWrites()
+	}
+	if feat.IO {
+		st.ioBM = vmx.NewIOBitmap()
+		st.ioBM.InterceptAll()
+	}
+
+	for _, coreID := range enc.Cores {
+		if err := c.buildCPU(st, enc, coreID); err != nil {
+			return err
+		}
+	}
+
+	// Publish the Covirt boot-parameter block and point the Pisces boot
+	// parameters at it, leaving everything else untouched.
+	base := enc.Base()
+	cbp := &BootParams{
+		NumCPUs:        uint64(len(enc.Cores)),
+		CmdQueueBase:   base + pisces.OffCovirtCmdQ,
+		CmdQueueStride: CmdQueueStride,
+		PiscesParams:   base + pisces.OffBootParams,
+	}
+	if err := encodeBootParams(c.mach.Mem, base+pisces.OffCovirtParams, cbp); err != nil {
+		return err
+	}
+	hostIO := pisces.NativeMemIO{Mem: c.mach.Mem}
+	pbp, err := pisces.DecodeBootParams(hostIO, base+pisces.OffBootParams)
+	if err != nil {
+		return err
+	}
+	pbp.CovirtParams = base + pisces.OffCovirtParams
+	if err := pisces.EncodeBootParams(hostIO, base+pisces.OffBootParams, pbp); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	c.states[enc.ID] = st
+	c.mu.Unlock()
+	return nil
+}
+
+// buildCPU constructs the per-core virtualization context — command queue
+// slot, VMCS with feature-derived controls, pre-set guest state — for one
+// enclave core. Used for every boot core and for hot-added cores.
+func (c *Controller) buildCPU(st *enclaveState, enc *pisces.Enclave, coreID int) error {
+	if st.nextSlot >= pisces.MaxBootCores {
+		return fmt.Errorf("covirt: enclave %d exhausted its %d command-queue slots", enc.ID, pisces.MaxBootCores)
+	}
+	base := enc.Base()
+	q, err := newCmdQueue(c.mach.Mem, base+pisces.OffCovirtCmdQ+uint64(st.nextSlot)*CmdQueueStride)
+	if err != nil {
+		return err
+	}
+	st.nextSlot++
+	st.queues[coreID] = q
+
+	vmcs := vmx.NewVMCS(coreID)
+	vmcs.Controls = vmx.Controls{
+		EnableEPT:        st.feat.Memory,
+		VirtualAPIC:      st.feat.IPI,
+		PostedInterrupts: st.feat.IPI && st.feat.IPIMode == IPIPostedInterrupt,
+		InterceptDF:      st.feat.Abort,
+	}
+	vmcs.EPT = st.ept
+	vmcs.MSRBitmap = st.msrBM
+	vmcs.IOBitmap = st.ioBM
+	if vmcs.Controls.PostedInterrupts {
+		vmcs.PID = &vmx.PostedIntDescriptor{}
+		vmcs.NotificationVector = 0xF9
+	}
+	// Guest state mirrors what the Pisces trampoline would have set:
+	// launch directly into the co-kernel entry in 64-bit mode with the
+	// boot-parameter pointer in RSI.
+	vmcs.Guest = vmx.GuestState{
+		RIP: enc.Mem()[0].Start + pisces.ReservedBytes, // kernel entry
+		RSP: enc.Mem()[0].End(),
+		CR3: enc.Mem()[0].Start + pisces.ReservedBytes - hw.PageSize4K,
+		RSI: base + pisces.OffBootParams,
+	}
+	st.vmcs[coreID] = vmcs
+	return nil
+}
+
+// addCPU handles a hot-added core: build its virtualization context before
+// the enclave is told about it (the framework then calls InterposeBoot on
+// the new core), and extend the IPI whitelist.
+func (c *Controller) addCPU(ev *hobbes.Event) error {
+	st := c.stateFor(ev.Enclave)
+	if st == nil {
+		return nil
+	}
+	if err := c.buildCPU(st, ev.Enclave, ev.Core); err != nil {
+		return err
+	}
+	st.filter.AddOwnCore(ev.Core)
+	c.Trace().Record(-1, 0, "ctl:cpu-add", "enclave %d core %d", ev.Enclave.ID, ev.Core)
+	return nil
+}
+
+// removeCPU tears down a hot-removed core's context after the co-kernel
+// has released it.
+func (c *Controller) removeCPU(ev *hobbes.Event) error {
+	st := c.stateFor(ev.Enclave)
+	if st == nil {
+		return nil
+	}
+	st.filter.RemoveOwnCore(ev.Core)
+	if q := st.queues[ev.Core]; q != nil {
+		q.wake()
+	}
+	delete(st.queues, ev.Core)
+	delete(st.vmcs, ev.Core)
+	delete(st.hvs, ev.Core)
+	if cpu := c.mach.CPU(ev.Core); cpu != nil {
+		cpu.Virt = nil
+	}
+	c.Trace().Record(-1, 0, "ctl:cpu-remove", "enclave %d core %d", ev.Enclave.ID, ev.Core)
+	return nil
+}
+
+// InterposeBoot implements pisces.BootInterposer: instead of booting the
+// co-kernel directly, each core first enters the Covirt hypervisor, which
+// validates its pre-built configuration and launches the guest.
+func (c *Controller) InterposeBoot(enc *pisces.Enclave, cpu *hw.CPU, bpAddr uint64) error {
+	st := c.stateFor(enc)
+	if st == nil {
+		return fmt.Errorf("covirt: no state for enclave %d (boot-pre event missed?)", enc.ID)
+	}
+	vmcs := st.vmcs[cpu.ID]
+	if vmcs == nil {
+		return fmt.Errorf("covirt: no VMCS for core %d", cpu.ID)
+	}
+	// The hypervisor reads its own boot parameters (validating the chain
+	// the controller wrote) before launching.
+	cbp, err := decodeBootParams(c.mach.Mem, enc.Base()+pisces.OffCovirtParams)
+	if err != nil {
+		return err
+	}
+	if cbp.PiscesParams != bpAddr {
+		return fmt.Errorf("covirt: boot-parameter chain mismatch: %#x != %#x", cbp.PiscesParams, bpAddr)
+	}
+	c.mu.Lock()
+	tracer := c.tracer
+	c.mu.Unlock()
+	h := &Hypervisor{
+		cpu:    cpu,
+		enc:    enc,
+		feat:   st.feat,
+		flt:    st.filter,
+		queue:  st.queues[cpu.ID],
+		ports:  st.ports,
+		tracer: tracer,
+		onFault: func(h *Hypervisor, reason string) {
+			c.fw.ReportCrash(enc, "covirt: "+reason)
+		},
+	}
+	h.vcpu = vmx.Launch(cpu, vmcs, h)
+	st.hvs[cpu.ID] = h
+	// World switch into the guest.
+	cpu.TSC += cpu.Costs().VMEntry
+	return nil
+}
+
+// mapExtents handles map-before-notify events: the extents become
+// EPT-accessible before the enclave learns of them. No hypervisor
+// synchronization is needed — nothing about an *absent* translation can be
+// cached in a TLB.
+func (c *Controller) mapExtents(ev *hobbes.Event) error {
+	st := c.stateFor(ev.Enclave)
+	if st == nil || st.ept == nil {
+		return nil
+	}
+	for _, ext := range ev.Extents {
+		before := st.ept.Stats().Pages()
+		if err := st.ept.MapRange(ext.Start, ext.Size, vmx.PermAll); err != nil {
+			return fmt.Errorf("covirt: EPT map %v: %w", ext, err)
+		}
+		st.mapOps++
+		ev.Cost += (st.ept.Stats().Pages() - before) * costPerEPTLeaf
+		c.Trace().Record(-1, 0, "ctl:map", "enclave %d %v (%s)", ev.Enclave.ID, ext, ev.Kind)
+	}
+	return nil
+}
+
+// unmapAndFlush handles unmap-after-release events: the extents leave the
+// EPT, then every enclave CPU is told (command queue + NMI) to flush its
+// TLB, and the operation completes only after all CPUs have done so.
+func (c *Controller) unmapAndFlush(ev *hobbes.Event) error {
+	st := c.stateFor(ev.Enclave)
+	if st == nil || st.ept == nil {
+		return nil
+	}
+	for _, ext := range ev.Extents {
+		if err := st.ept.UnmapRange(ext.Start, ext.Size); err != nil {
+			return fmt.Errorf("covirt: EPT unmap %v: %w", ext, err)
+		}
+		st.unmapOps++
+		ev.Cost += (ext.Size / hw.PageSize2M) * costPerUnmapLeaf
+		c.Trace().Record(-1, 0, "ctl:unmap", "enclave %d %v (%s)", ev.Enclave.ID, ext, ev.Kind)
+	}
+	// Synchronize: stale translations may be cached on any enclave core.
+	type pendingWait struct {
+		q   *cmdQueue
+		seq uint64
+	}
+	var waits []pendingWait
+	for coreID, q := range st.queues {
+		var firstErr error
+		var lastSeq uint64
+		for _, ext := range ev.Extents {
+			seq, err := q.push(CmdFlushRange, ext.Start, ext.Size)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			lastSeq = seq
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		c.mach.CPU(coreID).APIC.RaiseNMI()
+		st.flushCmds++
+		ev.Cost += costCmdIssue
+		waits = append(waits, pendingWait{q, lastSeq})
+	}
+	for _, w := range waits {
+		if err := w.q.waitCompleted(w.seq, ev.Enclave.Done()); err != nil {
+			// The enclave died mid-flush; nothing left to synchronize.
+			return nil
+		}
+	}
+	return nil
+}
+
+// teardown drops controller state for a dead enclave and releases any
+// waiters stuck on its command queues.
+func (c *Controller) teardown(enc *pisces.Enclave) {
+	if enc == nil {
+		return
+	}
+	c.mu.Lock()
+	st := c.states[enc.ID]
+	delete(c.states, enc.ID)
+	delete(c.pending, enc.ID)
+	c.mu.Unlock()
+	if st != nil {
+		for _, q := range st.queues {
+			q.wake()
+		}
+	}
+}
+
+var _ pisces.BootInterposer = (*Controller)(nil)

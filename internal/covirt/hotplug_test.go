@@ -1,0 +1,157 @@
+package covirt
+
+import (
+	"testing"
+
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+)
+
+func TestCPUHotAddRunsProtectedWork(t *testing.T) {
+	r := newRig(t, FeaturesMemIPIPIV)
+	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
+	if k.NumCores() != 1 {
+		t.Fatalf("cores = %d", k.NumCores())
+	}
+
+	core, err := r.h.Pisces.AddCPU(enc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumCores() != 2 {
+		t.Fatalf("cores after add = %d", k.NumCores())
+	}
+	if len(enc.Cores) != 2 || enc.Cores[1] != core {
+		t.Fatalf("enclave cores = %v", enc.Cores)
+	}
+	// The hot-added core runs in VMX non-root mode with a live hypervisor.
+	cpu := r.h.M.CPU(core)
+	if cpu.Virt == nil {
+		t.Fatal("hot-added core not virtualized")
+	}
+	if r.ctrl.Hypervisor(enc.ID, core) == nil {
+		t.Fatal("no hypervisor for hot-added core")
+	}
+
+	// Protected work runs on the new core...
+	task, _ := k.Spawn("work", 1, func(e *kitten.Env) error {
+		buf := e.Alloc(0, 2<<20)
+		e.Write64(buf.Start, 11)
+		if e.Read64(buf.Start) != 11 {
+			t.Error("bad read on hot-added core")
+		}
+		return nil
+	})
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// ... and wild accesses from it are contained.
+	bad, _ := k.Spawn("wild", 1, func(e *kitten.Env) error {
+		return e.RawWrite64(0x60, 1)
+	})
+	if err := bad.Wait(); !hw.IsFault(err, hw.FaultEnclaveKilled) {
+		t.Fatalf("wild write on hot-added core: %v", err)
+	}
+	if r.h.M.Crashed() {
+		t.Fatal("node crashed")
+	}
+}
+
+func TestCPUHotAddJoinsFlushProtocol(t *testing.T) {
+	r := newRig(t, FeaturesMem)
+	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
+	if _, err := r.h.Pisces.AddCPU(enc, 0); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := r.h.Pisces.AddMemory(enc, 0, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the hot-added core's TLB inside the extent.
+	warm, _ := k.Spawn("warm", 1, func(e *kitten.Env) error {
+		e.Access(ext.Start+4096, false, hw.AccessHot)
+		return nil
+	})
+	if err := warm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.h.Pisces.RemoveMemory(enc, ext); err != nil {
+		t.Fatal(err)
+	}
+	// RemoveMemory waited for BOTH cores' flush acknowledgements.
+	if st := r.ctrl.StatusFor(enc.ID); st.FlushCmds != 2 {
+		t.Errorf("flush cmds = %d, want 2", st.FlushCmds)
+	}
+	if k.CPU(1).TLB.Lookup(ext.Start + 4096) {
+		t.Error("hot-added core kept a stale translation")
+	}
+}
+
+func TestCPUHotRemove(t *testing.T) {
+	r := newRig(t, FeaturesMem)
+	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
+	core, err := r.h.Pisces.AddCPU(enc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.h.Pisces.RemoveCPU(enc, core); err != nil {
+		t.Fatal(err)
+	}
+	if k.NumCores() != 1 {
+		t.Errorf("cores after remove = %d", k.NumCores())
+	}
+	if len(enc.Cores) != 1 {
+		t.Errorf("enclave cores = %v", enc.Cores)
+	}
+	if r.ctrl.Hypervisor(enc.ID, core) != nil {
+		t.Error("hypervisor survived hot-remove")
+	}
+	if r.h.M.CPU(core).Virt != nil {
+		t.Error("VirtLayer survived hot-remove")
+	}
+	// The core is reusable by another enclave.
+	enc2, k2 := r.boot(t, "second", 1, []int{0}, 128<<20)
+	if enc2.Cores[0] != core {
+		t.Skipf("ledger handed out a different core (%d)", enc2.Cores[0])
+	}
+	ok, _ := k2.Spawn("reuse", 0, func(e *kitten.Env) error { e.Compute(10); return nil })
+	if err := ok.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUHotRemoveRefusals(t *testing.T) {
+	r := newRig(t, FeaturesMem)
+	enc, _ := r.boot(t, "lwk", 2, []int{0}, 128<<20)
+	// The boot core can never be removed.
+	if err := r.h.Pisces.RemoveCPU(enc, enc.Cores[0]); err == nil {
+		t.Error("boot core removal accepted")
+	}
+	// A core not in the enclave cannot be removed.
+	if err := r.h.Pisces.RemoveCPU(enc, 11); err == nil {
+		t.Error("foreign core removal accepted")
+	}
+	// A busy core is refused by the co-kernel.
+	victim := enc.Cores[1]
+	stop := make(chan struct{})
+	k := enc.Kernel().(*kitten.Kernel)
+	busy, _ := k.Spawn("busy", 1, func(e *kitten.Env) error {
+		for {
+			select {
+			case <-stop:
+				return nil
+			default:
+			}
+			if err := e.CPU.Compute(500); err != nil {
+				return err
+			}
+		}
+	})
+	if err := r.h.Pisces.RemoveCPU(enc, victim); err == nil {
+		t.Error("busy core removal accepted")
+	}
+	close(stop)
+	if err := busy.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

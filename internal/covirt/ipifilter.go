@@ -1,0 +1,83 @@
+package covirt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ipiKey identifies one (destination core, vector) pair.
+type ipiKey struct {
+	dest   int
+	vector uint8
+}
+
+// IPIFilter is the per-enclave IPI whitelist consulted by the hypervisor
+// on every trapped ICR write. Enclave-internal IPIs are always permitted
+// (any vector to the enclave's own cores); cross-enclave notification
+// vectors must be granted through the Hobbes master control process.
+//
+// The filter is shared state between the controller (which edits it) and
+// the hypervisor instances (which read it at exit time). Because it is
+// consulted on every trapped send and never cached by the guest CPU,
+// grants and revocations take effect without hypervisor synchronization —
+// one of the "many cases" where the controller updates state directly.
+type IPIFilter struct {
+	mu       sync.RWMutex
+	ownCores map[int]bool
+	grants   map[ipiKey]bool
+
+	// Dropped counts filtered (errant) IPIs.
+	Dropped atomic.Uint64
+	// Checked counts whitelist consultations.
+	Checked atomic.Uint64
+}
+
+// NewIPIFilter builds a filter whitelisting the enclave's own cores.
+func NewIPIFilter(ownCores []int) *IPIFilter {
+	f := &IPIFilter{ownCores: make(map[int]bool), grants: make(map[ipiKey]bool)}
+	for _, c := range ownCores {
+		f.ownCores[c] = true
+	}
+	return f
+}
+
+// AddOwnCore whitelists a hot-added enclave core for all vectors.
+func (f *IPIFilter) AddOwnCore(core int) {
+	f.mu.Lock()
+	f.ownCores[core] = true
+	f.mu.Unlock()
+}
+
+// RemoveOwnCore drops a hot-removed core from the whitelist.
+func (f *IPIFilter) RemoveOwnCore(core int) {
+	f.mu.Lock()
+	delete(f.ownCores, core)
+	f.mu.Unlock()
+}
+
+// Grant permits sending vector to machine core dest.
+func (f *IPIFilter) Grant(dest int, vector uint8) {
+	f.mu.Lock()
+	f.grants[ipiKey{dest, vector}] = true
+	f.mu.Unlock()
+}
+
+// Revoke withdraws a grant.
+func (f *IPIFilter) Revoke(dest int, vector uint8) {
+	f.mu.Lock()
+	delete(f.grants, ipiKey{dest, vector})
+	f.mu.Unlock()
+}
+
+// Permitted reports whether an IPI to (dest, vector) may be delivered,
+// updating the filter counters.
+func (f *IPIFilter) Permitted(dest int, vector uint8) bool {
+	f.Checked.Add(1)
+	f.mu.RLock()
+	ok := f.ownCores[dest] || f.grants[ipiKey{dest, vector}]
+	f.mu.RUnlock()
+	if !ok {
+		f.Dropped.Add(1)
+	}
+	return ok
+}

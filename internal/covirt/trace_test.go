@@ -1,0 +1,50 @@
+package covirt
+
+import (
+	"strings"
+	"testing"
+
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+)
+
+func TestFlightRecorderCapturesDiagnosis(t *testing.T) {
+	r := newRig(t, FeaturesMem)
+	buf := r.ctrl.EnableTracing(512)
+	if r.ctrl.EnableTracing(512) != buf {
+		t.Fatal("second EnableTracing returned a different buffer")
+	}
+	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
+
+	// Dynamic reconfiguration leaves controller breadcrumbs.
+	ext, err := r.h.Pisces.AddMemory(enc, 0, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.h.Pisces.RemoveMemory(enc, ext); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Filter("ctl:map")) == 0 || len(buf.Filter("ctl:unmap")) == 0 {
+		t.Errorf("controller events missing:\n%s", buf.Dump())
+	}
+	if len(buf.Filter("exit:EXCEPTION_NMI")) == 0 {
+		t.Error("NMI doorbell exits not traced")
+	}
+
+	// The injected bug's first bad access is pinpointed in the trace —
+	// the debugging capability §V describes.
+	victim, _ := r.h.HostAlloc(0, 2<<20)
+	task, _ := k.Spawn("bug", 0, func(e *kitten.Env) error {
+		return e.RawWrite64(victim.Start, 1)
+	})
+	if err := task.Wait(); !hw.IsFault(err, hw.FaultEnclaveKilled) {
+		t.Fatalf("err = %v", err)
+	}
+	viol := buf.Filter("exit:EPT_VIOLATION")
+	if len(viol) != 1 {
+		t.Fatalf("violations traced = %d", len(viol))
+	}
+	if !strings.Contains(viol[0].Msg, "write=true") {
+		t.Errorf("violation detail = %q", viol[0].Msg)
+	}
+}

@@ -1,0 +1,110 @@
+// Package harness assembles full simulated nodes (host OS + Pisces +
+// Hobbes + optional Covirt) in the paper's evaluation configurations, runs
+// the benchmark suite across them, and regenerates every table and figure
+// of the evaluation section.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"covirt/internal/covirt"
+	"covirt/internal/hw"
+)
+
+// Config is one protection configuration from the evaluation's legends.
+type Config struct {
+	Name     string
+	Covirt   bool
+	Features covirt.Features
+}
+
+// The standard evaluation configurations. "native" boots the enclave bare;
+// the rest interpose the Covirt hypervisor with increasing feature sets.
+var (
+	CfgNative      = Config{Name: "native"}
+	CfgCovirtNone  = Config{Name: "covirt-none", Covirt: true, Features: covirt.FeaturesNone}
+	CfgCovirtMem   = Config{Name: "covirt-mem", Covirt: true, Features: covirt.FeaturesMem}
+	CfgCovirtVAPIC = Config{Name: "covirt-mem+ipi-vapic", Covirt: true, Features: covirt.FeaturesMemIPIVAPIC}
+	CfgCovirtPIV   = Config{Name: "covirt-mem+ipi-piv", Covirt: true, Features: covirt.FeaturesMemIPIPIV}
+	CfgCovirtAll   = Config{Name: "covirt-all", Covirt: true, Features: covirt.FeaturesAll}
+	// CfgCovirtMem4K is the large-page ablation: memory protection with
+	// EPT coalescing disabled (4 KiB leaves only).
+	CfgCovirtMem4K = Config{Name: "covirt-mem-4konly", Covirt: true,
+		Features: covirt.Features{Memory: true, Abort: true, EPTMaxPage: hw.PageSize4K}}
+)
+
+// StandardConfigs is the per-figure comparison set.
+var StandardConfigs = []Config{CfgNative, CfgCovirtNone, CfgCovirtMem, CfgCovirtVAPIC, CfgCovirtPIV}
+
+// Layout is a CPU-core/NUMA-zone hardware layout from Figs. 6-7.
+type Layout struct {
+	Name  string
+	Cores int
+	Nodes []int
+}
+
+// The four evaluated layouts: single core, 4 cores across 2 NUMA domains,
+// 4 cores in one domain, 8 cores across 2 domains.
+var Layouts = []Layout{
+	{Name: "1c/1n", Cores: 1, Nodes: []int{0}},
+	{Name: "4c/2n", Cores: 4, Nodes: []int{0, 1}},
+	{Name: "4c/1n", Cores: 4, Nodes: []int{0}},
+	{Name: "8c/2n", Cores: 8, Nodes: []int{0, 1}},
+}
+
+// SingleCore is the microbenchmark layout (paper: "run on a single-core
+// hardware configuration").
+var SingleCore = Layouts[0]
+
+// EightCore is the LAMMPS layout ("8 core enclave split across 2 NUMA
+// domains").
+var EightCore = Layouts[3]
+
+// Stats summarizes repeated measurements.
+type Stats struct {
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+// Summarize computes summary statistics.
+func Summarize(xs []float64) Stats {
+	s := Stats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	return s
+}
+
+// OverheadPct returns the percentage overhead of x relative to base (for
+// lower-is-better metrics).
+func OverheadPct(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (x/base - 1) * 100
+}
+
+// String formats stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.Std)
+}

@@ -1,0 +1,352 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+	"covirt/internal/workloads"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Reps is the number of repetitions per data point (the paper ran 10;
+	// the default here is 3 for turnaround).
+	Reps int
+	// Full selects the paper's full problem sizes instead of the scaled
+	// simulation defaults.
+	Full bool
+}
+
+func (o Options) reps() int {
+	if o.Reps <= 0 {
+		return 3
+	}
+	return o.Reps
+}
+
+// Experiment regenerates one table or figure from the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt Options, w io.Writer) error
+}
+
+// All lists every experiment in paper order.
+var All = []Experiment{
+	{"table1", "Table I: benchmark versions and parameters", RunTable1},
+	{"fig3", "Fig. 3: Selfish-Detour noise profile", RunFig3},
+	{"fig4", "Fig. 4: XEMEM attach delay vs region size", RunFig4},
+	{"fig5a", "Fig. 5a: STREAM bandwidth", RunFig5a},
+	{"fig5b", "Fig. 5b: RandomAccess (GUPS)", RunFig5b},
+	{"fig6", "Fig. 6: MiniFE scaling over CPU-core/NUMA-zone layouts", RunFig6},
+	{"fig7", "Fig. 7: HPCG scaling over CPU-core/NUMA-zone layouts", RunFig7},
+	{"fig8", "Fig. 8: LAMMPS loop times", RunFig8},
+}
+
+// ByID finds an experiment.
+func ByID(id string) *Experiment {
+	for i := range All {
+		if All[i].ID == id {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+// workload constructors honouring the Full/scaled switch.
+
+func mkStream(opt Options) *workloads.Stream {
+	if opt.Full {
+		return &workloads.Stream{N: 10_000_000, Iters: 10}
+	}
+	return &workloads.Stream{N: 1 << 20, Iters: 3}
+}
+
+func mkGUPS(opt Options) *workloads.RandomAccess {
+	if opt.Full {
+		return &workloads.RandomAccess{LogTableSize: 25, Updates: 1 << 22}
+	}
+	return &workloads.RandomAccess{LogTableSize: 25, Updates: 1 << 18}
+}
+
+func mkMiniFE(opt Options) *workloads.MiniFE {
+	if opt.Full {
+		return &workloads.MiniFE{NX: 250, NY: 250, NZ: 250, Iters: 50}
+	}
+	return &workloads.MiniFE{NX: 40, NY: 40, NZ: 40, Iters: 20}
+}
+
+func mkHPCG(opt Options) *workloads.HPCG {
+	if opt.Full {
+		return &workloads.HPCG{NX: 104, NY: 104, NZ: 104, Iters: 50}
+	}
+	return &workloads.HPCG{NX: 40, NY: 40, NZ: 40, Iters: 15}
+}
+
+func mkLammps(opt Options, p workloads.LammpsProblem) *workloads.Lammps {
+	if opt.Full {
+		return &workloads.Lammps{Problem: p, AtomsPerRank: 4000, Steps: 100}
+	}
+	return &workloads.Lammps{Problem: p, AtomsPerRank: 1000, Steps: 25}
+}
+
+// RunTable1 prints the benchmark inventory (Table I), mapped to this
+// reproduction's workload implementations and parameters.
+func RunTable1(opt Options, w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tPaper version\tPaper parameters\tReproduction (scaled defaults)")
+	fmt.Fprintln(tw, "Selfish Detour\t1.0.7\tnone\tworkloads.Selfish, 4e8-cycle detection loop")
+	s := mkStream(opt)
+	fmt.Fprintf(tw, "STREAM\t5.10\tnone\tworkloads.Stream, N=%d, %d iters\n", s.N, s.Iters)
+	g := mkGUPS(opt)
+	fmt.Fprintf(tw, "RandomAccess_OMP\t10/28/04\t25\tworkloads.RandomAccess, 2^%d words, %d updates\n", g.LogTableSize, g.Updates)
+	h := mkHPCG(opt)
+	fmt.Fprintf(tw, "HPCG\trev 3.1\t104 104 104 330\tworkloads.HPCG, %dx%dx%d, %d CG iters\n", h.NX, h.NY, h.NZ, h.Iters)
+	m := mkMiniFE(opt)
+	fmt.Fprintf(tw, "MiniFE\t2.0\tnx/ny/nz 250\tworkloads.MiniFE, %dx%dx%d, %d CG iters\n", m.NX, m.NY, m.NZ, m.Iters)
+	l := mkLammps(opt, workloads.LJ)
+	fmt.Fprintf(tw, "LAMMPS\t3 Mar 2020\tdefault run scripts\tworkloads.Lammps lj/eam/chain/chute, %d atoms/rank, %d steps\n", l.AtomsPerRank, l.Steps)
+	return tw.Flush()
+}
+
+// RunFig3 reproduces the Selfish-Detour noise comparison: the detection
+// loop runs under each configuration; matching profiles across
+// configurations is the paper's result ("hardware level virtualization
+// does not inherently increase system noise").
+func RunFig3(opt Options, w io.Writer) error {
+	dur := uint64(4e8)
+	if opt.Full {
+		dur = 4e9
+	}
+	configs := append(append([]Config{}, StandardConfigs...), CfgCovirtAll)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tdetours\tmax detour (us)\tlost time (%)\tseries (ms: us)")
+	for _, cfg := range configs {
+		sw := &workloads.Selfish{DurationCycles: dur}
+		results, err := RunWorkload(cfg, SingleCore, NodeOptions{}, sw, 1)
+		if err != nil {
+			return err
+		}
+		r := results[0]
+		// The figure's scatter: detour magnitude (us) at time offset (ms).
+		series := ""
+		for i, d := range sw.Detours {
+			if i == 8 {
+				series += " ..."
+				break
+			}
+			series += fmt.Sprintf(" %.0f:%.1f",
+				float64(d.AtCycle)/workloads.CyclesPerSecond*1e3,
+				float64(d.Magnitude)/workloads.CyclesPerSecond*1e6)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.2f\t%.4f\t%s\n",
+			cfg.Name,
+			r.Metric("detours"),
+			r.Metric("max_detour_cycles")/workloads.CyclesPerSecond*1e6,
+			r.Metric("lost_fraction")*100,
+			series)
+	}
+	return tw.Flush()
+}
+
+// RunFig4 reproduces the XEMEM attach-delay measurement: a consumer
+// enclave attaches host-exported segments of growing size, sampling the
+// TSC around each attach, with Covirt enabled and disabled.
+func RunFig4(opt Options, w io.Writer) error {
+	sizesMB := []uint64{1, 4, 16, 64, 256, 1024}
+	configs := []Config{CfgNative, CfgCovirtMem}
+	table := make(map[string]map[uint64]Stats)
+
+	for _, cfg := range configs {
+		table[cfg.Name] = make(map[uint64]Stats)
+		for _, mb := range sizesMB {
+			size := mb << 20
+			var samples []float64
+			for rep := 0; rep < opt.reps(); rep++ {
+				n, err := NewNode(cfg, SingleCore, NodeOptions{})
+				if err != nil {
+					return err
+				}
+				// Host exports a segment of its own memory.
+				seg, err := n.Host.HostAlloc(0, size)
+				if err != nil {
+					n.Close()
+					return err
+				}
+				name := fmt.Sprintf("fig4.%d.%d", mb, rep)
+				if _, err := n.Host.Master.Reg.Make(hashName(name), 0, []hw.Extent{seg}); err != nil {
+					n.Close()
+					return err
+				}
+				var delay uint64
+				task, err := n.K.Spawn("attach", 0, func(e *kitten.Env) error {
+					segid, err := e.XemGet(name)
+					if err != nil {
+						return err
+					}
+					t0 := e.CPU.TSC
+					if _, err := e.XemAttach(segid); err != nil {
+						return err
+					}
+					delay = e.CPU.TSC - t0
+					return e.XemDetach(segid)
+				})
+				if err == nil {
+					err = task.Wait()
+				}
+				n.Close()
+				if err != nil {
+					return err
+				}
+				samples = append(samples, float64(delay)/workloads.CyclesPerSecond*1e6)
+			}
+			table[cfg.Name][mb] = Summarize(samples)
+		}
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "region size (MB)")
+	for _, cfg := range configs {
+		fmt.Fprintf(tw, "\t%s attach (us)", cfg.Name)
+	}
+	fmt.Fprintln(tw, "\tcovirt overhead (%)")
+	for _, mb := range sizesMB {
+		fmt.Fprintf(tw, "%d", mb)
+		for _, cfg := range configs {
+			fmt.Fprintf(tw, "\t%.1f", table[cfg.Name][mb].Mean)
+		}
+		fmt.Fprintf(tw, "\t%+.2f\n", OverheadPct(table[CfgNative.Name][mb].Mean, table[CfgCovirtMem.Name][mb].Mean))
+	}
+	return tw.Flush()
+}
+
+// hashName mirrors the co-kernel side's FNV-1a name hashing.
+func hashName(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// RunFig5a reproduces the STREAM comparison across configurations.
+func RunFig5a(opt Options, w io.Writer) error {
+	kernels := []string{"copy_GBs", "scale_GBs", "add_GBs", "triad_GBs"}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tcopy (GB/s)\tscale (GB/s)\tadd (GB/s)\ttriad (GB/s)\ttriad overhead (%)")
+	var baseTriad float64
+	for _, cfg := range StandardConfigs {
+		stats := make(map[string][]float64)
+		results, err := RunWorkload(cfg, SingleCore, NodeOptions{}, mkStream(opt), opt.reps())
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			for _, kn := range kernels {
+				stats[kn] = append(stats[kn], r.Metric(kn))
+			}
+		}
+		triad := Summarize(stats["triad_GBs"]).Mean
+		if cfg.Name == CfgNative.Name {
+			baseTriad = triad
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%+.2f\n",
+			cfg.Name,
+			Summarize(stats["copy_GBs"]).Mean,
+			Summarize(stats["scale_GBs"]).Mean,
+			Summarize(stats["add_GBs"]).Mean,
+			triad,
+			OverheadPct(triad, baseTriad))
+	}
+	return tw.Flush()
+}
+
+// RunFig5b reproduces the RandomAccess (GUPS) comparison.
+func RunFig5b(opt Options, w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tGUPS\toverhead (%)")
+	var base float64
+	for _, cfg := range StandardConfigs {
+		results, err := RunWorkload(cfg, SingleCore, NodeOptions{}, mkGUPS(opt), opt.reps())
+		if err != nil {
+			return err
+		}
+		var vals []float64
+		for _, r := range results {
+			vals = append(vals, r.Metric("GUPS"))
+		}
+		gups := Summarize(vals).Mean
+		if cfg.Name == CfgNative.Name {
+			base = gups
+		}
+		fmt.Fprintf(tw, "%s\t%.5f\t%+.2f\n", cfg.Name, gups, OverheadPct(gups, base))
+	}
+	return tw.Flush()
+}
+
+// runScaling shares the Fig. 6/7 structure: one workload over all hardware
+// layouts and configurations, reporting solve time and overhead vs native.
+func runScaling(opt Options, w io.Writer, mk func(Options) workloads.Runner) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "layout\tconfig\ttime (s)\toverhead vs native (%)")
+	for _, layout := range Layouts {
+		var base float64
+		for _, cfg := range StandardConfigs {
+			results, err := RunWorkload(cfg, layout, NodeOptions{}, mk(opt), opt.reps())
+			if err != nil {
+				return err
+			}
+			var secs []float64
+			for _, r := range results {
+				secs = append(secs, workloads.Seconds(r.Cycles))
+			}
+			mean := Summarize(secs).Mean
+			if cfg.Name == CfgNative.Name {
+				base = mean
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.4f\t%+.2f\n", layout.Name, cfg.Name, mean, OverheadPct(base, mean))
+		}
+	}
+	return tw.Flush()
+}
+
+// RunFig6 reproduces the MiniFE scaling comparison.
+func RunFig6(opt Options, w io.Writer) error {
+	return runScaling(opt, w, func(o Options) workloads.Runner { return mkMiniFE(o) })
+}
+
+// RunFig7 reproduces the HPCG scaling comparison.
+func RunFig7(opt Options, w io.Writer) error {
+	return runScaling(opt, w, func(o Options) workloads.Runner { return mkHPCG(o) })
+}
+
+// RunFig8 reproduces the LAMMPS loop-time comparison (8 cores across 2
+// NUMA domains, the four stock problems).
+func RunFig8(opt Options, w io.Writer) error {
+	problems := []workloads.LammpsProblem{workloads.LJ, workloads.EAM, workloads.Chain, workloads.Chute}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "problem\tconfig\tloop time (s)\toverhead vs native (%)")
+	for _, p := range problems {
+		var base float64
+		for _, cfg := range StandardConfigs {
+			results, err := RunWorkload(cfg, EightCore, NodeOptions{}, mkLammps(opt, p), opt.reps())
+			if err != nil {
+				return err
+			}
+			var secs []float64
+			for _, r := range results {
+				secs = append(secs, r.Metric("loop_time_s"))
+			}
+			mean := Summarize(secs).Mean
+			if cfg.Name == CfgNative.Name {
+				base = mean
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.4f\t%+.2f\n", p, cfg.Name, mean, OverheadPct(base, mean))
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"covirt/internal/pisces"
+	"covirt/internal/workloads"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %g, want %g", s.Std, want)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty stats = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.Std != 0 {
+		t.Errorf("single stats = %+v", one)
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Error("stats string missing ±")
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	if got := OverheadPct(100, 103); math.Abs(got-3) > 1e-9 {
+		t.Errorf("overhead = %g", got)
+	}
+	if got := OverheadPct(100, 97); math.Abs(got+3) > 1e-9 {
+		t.Errorf("overhead = %g", got)
+	}
+	if OverheadPct(0, 5) != 0 {
+		t.Error("zero base not handled")
+	}
+}
+
+func TestLayoutsMatchPaper(t *testing.T) {
+	want := map[string]struct {
+		cores, nodes int
+	}{
+		"1c/1n": {1, 1}, "4c/2n": {4, 2}, "4c/1n": {4, 1}, "8c/2n": {8, 2},
+	}
+	if len(Layouts) != len(want) {
+		t.Fatalf("layouts = %d", len(Layouts))
+	}
+	for _, l := range Layouts {
+		w, ok := want[l.Name]
+		if !ok {
+			t.Errorf("unexpected layout %q", l.Name)
+			continue
+		}
+		if l.Cores != w.cores || len(l.Nodes) != w.nodes {
+			t.Errorf("layout %q = %d cores %d nodes", l.Name, l.Cores, len(l.Nodes))
+		}
+	}
+}
+
+func TestStandardConfigsNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range append(append([]Config{}, StandardConfigs...), CfgCovirtAll, CfgCovirtMem4K) {
+		if seen[c.Name] {
+			t.Errorf("duplicate config name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Covirt == (c.Name == "native") {
+			t.Errorf("config %q covirt flag inconsistent", c.Name)
+		}
+	}
+}
+
+func TestNewNodeBuildsEveryConfigAndLayout(t *testing.T) {
+	for _, cfg := range []Config{CfgNative, CfgCovirtPIV} {
+		for _, layout := range Layouts {
+			n, err := NewNode(cfg, layout, NodeOptions{EnclaveMem: 1 << 30})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.Name, layout.Name, err)
+			}
+			if n.Enc.State() != pisces.StateRunning {
+				t.Errorf("%s/%s: state %v", cfg.Name, layout.Name, n.Enc.State())
+			}
+			if n.K.NumCores() != layout.Cores {
+				t.Errorf("%s/%s: cores %d", cfg.Name, layout.Name, n.K.NumCores())
+			}
+			if cfg.Covirt && n.Ctrl == nil {
+				t.Error("covirt config without controller")
+			}
+			n.Close()
+		}
+	}
+}
+
+func TestNewNodeRejectsImpossibleLayout(t *testing.T) {
+	_, err := NewNode(CfgNative, Layout{Name: "16c/1n", Cores: 16, Nodes: []int{0}}, NodeOptions{EnclaveMem: 1 << 30})
+	if err == nil {
+		t.Fatal("16 cores on one 6-core socket accepted")
+	}
+}
+
+func TestRunWorkloadRepetitions(t *testing.T) {
+	s := &workloads.Stream{N: 1 << 14, Iters: 1}
+	results, err := RunWorkload(CfgNative, SingleCore, NodeOptions{EnclaveMem: 1 << 30}, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Fresh nodes per repetition: cycle counts are identical.
+	if results[0].Cycles != results[1].Cycles || results[1].Cycles != results[2].Cycles {
+		t.Errorf("non-reproducible: %d %d %d", results[0].Cycles, results[1].Cycles, results[2].Cycles)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	wantIDs := []string{"table1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "ipc"}
+	if len(All) != len(wantIDs) {
+		t.Fatalf("experiments = %d", len(All))
+	}
+	for _, id := range wantIDs {
+		if ByID(id) == nil {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if ByID("fig9") != nil {
+		t.Error("phantom experiment")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable1(Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Selfish Detour", "STREAM", "RandomAccess_OMP", "HPCG", "MiniFE", "LAMMPS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestFig4SmokeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunFig4(Options{Reps: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1024") || !strings.Contains(out, "covirt overhead") {
+		t.Errorf("fig4 output:\n%s", out)
+	}
+	// The covirt column must track native closely (sub-1% overhead).
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] != "region" {
+			if !strings.HasPrefix(fields[3], "+0.") && !strings.HasPrefix(fields[3], "-0.") {
+				t.Errorf("fig4 overhead not ~0: %s", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+
+	"covirt/internal/covirt"
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+	"covirt/internal/linuxhost"
+	"covirt/internal/pisces"
+	"covirt/internal/workloads"
+)
+
+// NodeOptions configures an assembled evaluation node.
+type NodeOptions struct {
+	// EnclaveMem is the enclave's memory (the paper uses 14 GiB split
+	// across the layout's NUMA zones).
+	EnclaveMem uint64
+	// TimerInterval overrides the guest timer period in cycles
+	// (0 = machine default, negative = tickless).
+	TimerInterval int64
+	// MachineSpec overrides the simulated hardware (zero = paper platform).
+	MachineSpec hw.MachineSpec
+}
+
+// Node is one fully assembled evaluation setup: the simulated machine, the
+// host OS stack, an optional Covirt controller, and one booted Kitten
+// enclave in the requested layout.
+type Node struct {
+	Cfg    Config
+	Layout Layout
+
+	M    *hw.Machine
+	Host *linuxhost.Host
+	Ctrl *covirt.Controller
+	Enc  *pisces.Enclave
+	K    *kitten.Kernel
+}
+
+// NewNode builds and boots a node for the given configuration and layout.
+func NewNode(cfg Config, layout Layout, opt NodeOptions) (*Node, error) {
+	spec := opt.MachineSpec
+	if spec.NumNodes == 0 {
+		spec = hw.DefaultSpec()
+	}
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		return nil, err
+	}
+	host, err := linuxhost.New(m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Offline the enclave's resources: cores round-robin from the layout's
+	// nodes (leaving core 0 of node 0 for the host), plus memory.
+	perNode := make(map[int]int)
+	for i := 0; i < layout.Cores; i++ {
+		perNode[layout.Nodes[i%len(layout.Nodes)]]++
+	}
+	for node, want := range perNode {
+		cores := m.Topo.Nodes[node].Cores
+		avail := cores[1:] // keep the first core of each node for the host
+		if want > len(avail) {
+			return nil, fmt.Errorf("harness: layout %s wants %d cores on node %d, machine has %d offline-able", layout.Name, want, node, len(avail))
+		}
+		if err := host.OfflineCores(avail[:want]...); err != nil {
+			return nil, err
+		}
+	}
+	encMem := opt.EnclaveMem
+	if encMem == 0 {
+		encMem = 14 << 30 // the paper's enclave size
+	}
+	per := encMem / uint64(len(layout.Nodes))
+	for _, node := range layout.Nodes {
+		if err := host.OfflineMemory(node, per); err != nil {
+			return nil, err
+		}
+	}
+
+	n := &Node{Cfg: cfg, Layout: layout, M: m, Host: host}
+	if cfg.Covirt {
+		ctrl, err := covirt.Attach(m, host.Pisces, host.Master, cfg.Features)
+		if err != nil {
+			return nil, err
+		}
+		n.Ctrl = ctrl
+	}
+
+	enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
+		Name:     "bench-" + cfg.Name,
+		NumCores: layout.Cores,
+		Nodes:    layout.Nodes,
+		MemBytes: encMem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.Enc = enc
+
+	k := kitten.New(kitten.Config{TimerInterval: opt.TimerInterval})
+	if err := host.Pisces.Boot(enc, k); err != nil {
+		return nil, err
+	}
+	n.K = k
+	return n, nil
+}
+
+// Close tears the enclave down.
+func (n *Node) Close() {
+	if n.Enc != nil {
+		_ = n.Host.Pisces.Destroy(n.Enc)
+	}
+}
+
+// RunWorkload executes w on a fresh node for each of reps repetitions,
+// returning every Result. A fresh node per repetition keeps runs
+// independent, like the paper's 10-trial methodology.
+func RunWorkload(cfg Config, layout Layout, opt NodeOptions, w workloads.Runner, reps int) ([]*workloads.Result, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	out := make([]*workloads.Result, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		n, err := NewNode(cfg, layout, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", cfg.Name, layout.Name, err)
+		}
+		res, err := w.Run(n.K, layout.Cores)
+		n.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", cfg.Name, layout.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+// Package hobbes simulates the Hobbes OS/R master control process: the
+// node-wide coordinator for enclave lifecycle, cross-enclave resource
+// sharing, application composition, and the resource-management event bus
+// that the Covirt controller module hooks into.
+package hobbes
+
+import (
+	"fmt"
+	"sync"
+
+	"covirt/internal/hw"
+	"covirt/internal/pisces"
+	"covirt/internal/xemem"
+)
+
+// EventKind classifies resource-management events on the Hobbes bus.
+type EventKind int
+
+// Event kinds. Pre events fire before the affected enclave can observe the
+// new resource (protection layers map first); Post events fire after the
+// enclave has relinquished a resource (protection layers unmap and flush,
+// then the operation completes).
+const (
+	EvEnclaveCreated EventKind = iota
+	EvEnclaveBootPre
+	EvEnclaveBooted
+	EvEnclaveCrashed
+	EvEnclaveDestroyed
+	EvMemAddPre
+	EvMemRemovePost
+	EvCPUAddPre
+	EvCPURemovePost
+	EvXememAttachPre
+	EvXememDetachPost
+	EvIPIGrant
+	EvIPIRevoke
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	names := []string{
+		"enclave-created", "enclave-boot-pre", "enclave-booted",
+		"enclave-crashed", "enclave-destroyed", "mem-add-pre",
+		"mem-remove-post", "cpu-add-pre", "cpu-remove-post",
+		"xemem-attach-pre", "xemem-detach-post",
+		"ipi-grant", "ipi-revoke",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one resource-management notification.
+type Event struct {
+	Kind     EventKind
+	Enclave  *pisces.Enclave // affected enclave (consumer for XEMEM events)
+	Extents  []hw.Extent
+	SegID    uint64
+	DestCore int   // IPI grant/revoke: machine core id
+	Core     int   // CPU add/remove: machine core id
+	Vector   uint8 // IPI grant/revoke
+	Reason   string
+	// Cost accumulates management-plane cycles spent by handlers; callers
+	// on synchronous paths (longcalls) charge it to the waiting guest.
+	Cost uint64
+}
+
+// Handler processes an event. An error from a Pre handler aborts the
+// triggering operation.
+type Handler func(ev *Event) error
+
+// Bus is the synchronous event bus.
+type Bus struct {
+	mu       sync.Mutex
+	handlers []Handler
+}
+
+// Subscribe appends h; handlers run in subscription order.
+func (b *Bus) Subscribe(h Handler) {
+	b.mu.Lock()
+	b.handlers = append(b.handlers, h)
+	b.mu.Unlock()
+}
+
+// Emit delivers ev to all handlers, stopping at the first error.
+func (b *Bus) Emit(ev *Event) error {
+	b.mu.Lock()
+	hs := append([]Handler(nil), b.handlers...)
+	b.mu.Unlock()
+	for _, h := range hs {
+		if err := h(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Master is the Hobbes master control process.
+type Master struct {
+	FW  *pisces.Framework
+	Reg *xemem.Registry
+	Bus *Bus
+
+	mu       sync.Mutex
+	ipiGrant map[int]map[ipiKey]bool // enclave id -> granted (core,vector)
+}
+
+type ipiKey struct {
+	dest   int
+	vector uint8
+}
+
+// NewMaster builds the master control process over a Pisces framework and
+// bridges the framework's events onto the Hobbes bus.
+func NewMaster(fw *pisces.Framework) *Master {
+	m := &Master{
+		FW:       fw,
+		Reg:      xemem.NewRegistry(),
+		Bus:      &Bus{},
+		ipiGrant: make(map[int]map[ipiKey]bool),
+	}
+	fw.Subscribe(func(ev *pisces.Event) error { return m.onFrameworkEvent(ev) })
+	return m
+}
+
+// onFrameworkEvent adapts Pisces lifecycle events to the Hobbes bus and
+// performs master-control cleanup duties.
+func (m *Master) onFrameworkEvent(ev *pisces.Event) error {
+	kindMap := map[pisces.EventKind]EventKind{
+		pisces.EvCreated:       EvEnclaveCreated,
+		pisces.EvBootPre:       EvEnclaveBootPre,
+		pisces.EvBooted:        EvEnclaveBooted,
+		pisces.EvMemAddPre:     EvMemAddPre,
+		pisces.EvMemRemovePost: EvMemRemovePost,
+		pisces.EvCPUAddPre:     EvCPUAddPre,
+		pisces.EvCPURemovePost: EvCPURemovePost,
+		pisces.EvCrashed:       EvEnclaveCrashed,
+		pisces.EvDestroyed:     EvEnclaveDestroyed,
+	}
+	hev := &Event{Kind: kindMap[ev.Kind], Enclave: ev.Enclave, Core: ev.Core, Reason: ev.Reason}
+	if ev.Extent.Size > 0 {
+		hev.Extents = []hw.Extent{ev.Extent}
+	}
+	if ev.Kind == pisces.EvCrashed || ev.Kind == pisces.EvDestroyed {
+		// Reclaim the dead enclave's shared-memory footprint and notify
+		// dependents (here: just record state; the Covirt controller
+		// subscribes and unmaps consumers' protection contexts).
+		owned, _ := m.Reg.CleanupEnclave(ev.Enclave.ID)
+		for _, seg := range owned {
+			hev.SegID = seg.ID
+		}
+		m.mu.Lock()
+		delete(m.ipiGrant, ev.Enclave.ID)
+		m.mu.Unlock()
+	}
+	return m.Bus.Emit(hev)
+}
+
+// GrantIPI allows enclave enc to send vector to machine core dest —
+// Hobbes' globally-allocatable per-core IPI vector resource.
+func (m *Master) GrantIPI(enc *pisces.Enclave, dest int, vector uint8) error {
+	m.mu.Lock()
+	g := m.ipiGrant[enc.ID]
+	if g == nil {
+		g = make(map[ipiKey]bool)
+		m.ipiGrant[enc.ID] = g
+	}
+	g[ipiKey{dest, vector}] = true
+	m.mu.Unlock()
+	return m.Bus.Emit(&Event{Kind: EvIPIGrant, Enclave: enc, DestCore: dest, Vector: vector})
+}
+
+// RevokeIPI withdraws a grant.
+func (m *Master) RevokeIPI(enc *pisces.Enclave, dest int, vector uint8) error {
+	m.mu.Lock()
+	if g := m.ipiGrant[enc.ID]; g != nil {
+		delete(g, ipiKey{dest, vector})
+	}
+	m.mu.Unlock()
+	return m.Bus.Emit(&Event{Kind: EvIPIRevoke, Enclave: enc, DestCore: dest, Vector: vector})
+}
+
+// IPIGranted reports whether enc may send vector to dest.
+func (m *Master) IPIGranted(encID, dest int, vector uint8) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.ipiGrant[encID]
+	return g != nil && g[ipiKey{dest, vector}]
+}

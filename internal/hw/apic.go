@@ -1,0 +1,178 @@
+package hw
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxVectors is the size of the interrupt vector space.
+const MaxVectors = 256
+
+// pending-event flag bits used for the fast-path poll check.
+const (
+	pendingIntr uint32 = 1 << iota
+	pendingNMI
+)
+
+// APIC simulates a local Advanced Programmable Interrupt Controller: an
+// interrupt request register (IRR) fed by IPIs and device interrupts, an NMI
+// line, and a one-shot-rearming local timer. Incoming interrupts may be
+// raised from any goroutine; delivery happens on the owning CPU's execution
+// context via CPU.poll.
+type APIC struct {
+	cpuID int
+
+	mu     sync.Mutex
+	irr    [MaxVectors / 64]uint64 // pending vectors
+	extIRR [MaxVectors / 64]uint64 // which pending vectors are device-originated
+	nmi    int32                   // pending NMI count
+
+	pending atomic.Uint32 // fast-path event flags
+	notify  chan struct{} // wakes idle waiters
+
+	// Timer state. The owning CPU advances the deadline; ArmTimer and
+	// DisarmTimer may be called from management contexts, so the fields
+	// are atomics.
+	timerArmed    atomic.Bool
+	timerDeadline atomic.Uint64
+	timerInterval atomic.Uint64
+	timerVector   atomic.Uint32
+
+	// Counters (owning CPU's goroutine only, except raises).
+	Delivered uint64 // interrupts delivered to the guest
+	NMICount  uint64 // NMIs handled
+}
+
+// newAPIC returns an APIC for the given CPU id.
+func newAPIC(cpuID int) *APIC {
+	return &APIC{cpuID: cpuID, notify: make(chan struct{}, 1)}
+}
+
+// signal wakes anything blocked in WaitEvent.
+func (a *APIC) signal() {
+	select {
+	case a.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Raise queues vector for delivery. external marks device-originated
+// interrupts (as opposed to IPIs), which matters for posted-interrupt
+// semantics: PIV avoids exits for IPIs but not for external interrupts.
+func (a *APIC) Raise(vector uint8, external bool) {
+	a.mu.Lock()
+	a.irr[vector/64] |= 1 << (vector % 64)
+	if external {
+		a.extIRR[vector/64] |= 1 << (vector % 64)
+	}
+	a.mu.Unlock()
+	a.pending.Or(pendingIntr)
+	a.signal()
+}
+
+// RaiseNMI asserts the NMI line.
+func (a *APIC) RaiseNMI() {
+	atomic.AddInt32(&a.nmi, 1)
+	a.pending.Or(pendingNMI)
+	a.signal()
+}
+
+// takeNMI consumes one pending NMI, reporting whether one was pending.
+func (a *APIC) takeNMI() bool {
+	for {
+		n := atomic.LoadInt32(&a.nmi)
+		if n == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(&a.nmi, n, n-1) {
+			if n == 1 {
+				a.pending.And(^pendingNMI)
+			}
+			return true
+		}
+	}
+}
+
+// takeIntr pops the highest-priority (highest-numbered, as on x86) pending
+// vector. It returns the vector, whether it was external, and whether
+// anything was pending.
+func (a *APIC) takeIntr() (vector uint8, external, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for w := len(a.irr) - 1; w >= 0; w-- {
+		bits := a.irr[w]
+		if bits == 0 {
+			continue
+		}
+		// Highest set bit in this word.
+		b := 63
+		for ; b >= 0; b-- {
+			if bits&(1<<uint(b)) != 0 {
+				break
+			}
+		}
+		v := uint8(w*64 + b)
+		a.irr[w] &^= 1 << uint(b)
+		ext := a.extIRR[w]&(1<<uint(b)) != 0
+		a.extIRR[w] &^= 1 << uint(b)
+		empty := true
+		for _, x := range a.irr {
+			if x != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			a.pending.And(^pendingIntr)
+		}
+		return v, ext, true
+	}
+	return 0, false, false
+}
+
+// HasPending reports whether any interrupt or NMI awaits delivery.
+func (a *APIC) HasPending() bool { return a.pending.Load() != 0 }
+
+// WaitEvent blocks until an event may be pending or done is closed. It is
+// used by idle loops so halted CPUs still notice NMI doorbells.
+func (a *APIC) WaitEvent(done <-chan struct{}) {
+	if a.HasPending() {
+		return
+	}
+	select {
+	case <-a.notify:
+	case <-done:
+	}
+}
+
+// ArmTimer programs the local timer to fire vector every interval cycles,
+// starting from now (the caller's current TSC).
+func (a *APIC) ArmTimer(now, interval uint64, vector uint8) {
+	a.timerInterval.Store(interval)
+	a.timerDeadline.Store(now + interval)
+	a.timerVector.Store(uint32(vector))
+	a.timerArmed.Store(interval > 0)
+}
+
+// DisarmTimer stops the local timer.
+func (a *APIC) DisarmTimer() { a.timerArmed.Store(false) }
+
+// checkTimer raises the timer vector if now has passed the deadline,
+// rearming for the next period. Called from the owning CPU only.
+func (a *APIC) checkTimer(now uint64) {
+	if !a.timerArmed.Load() {
+		return
+	}
+	deadline := a.timerDeadline.Load()
+	if now < deadline {
+		return
+	}
+	// Catch up without raising a storm if the CPU slept through many
+	// periods: one interrupt per poll, deadline advanced past now.
+	interval := a.timerInterval.Load()
+	for deadline <= now {
+		deadline += interval
+	}
+	a.timerDeadline.Store(deadline)
+	a.Raise(uint8(a.timerVector.Load()), true) // the LAPIC timer is an external interrupt source
+}

@@ -1,0 +1,115 @@
+package hw
+
+// Costs holds the cycle cost model used by every simulated CPU. All values
+// are in simulated cycles unless noted. The defaults are loosely calibrated
+// against a Xeon E5-2603 v4 (the paper's evaluation platform, 1.70 GHz) so
+// that the *relative* overheads of virtualization features land in the bands
+// the paper reports; absolute cycle counts are not meaningful beyond that.
+type Costs struct {
+	// Compute is the cost of one abstract ALU/FPU operation.
+	Compute uint64
+
+	// MemHit is the cost of a cache-resident memory access.
+	MemHit uint64
+	// MemDRAM is the cost of a local-node DRAM access (random access miss).
+	MemDRAM uint64
+	// MemLinePerStream is the per-64-byte-line cost of streaming sequential
+	// memory (bandwidth-bound access, prefetchers active).
+	MemLinePerStream uint64
+	// RemoteNumer/RemoteDenom form the NUMA remote-access multiplier
+	// (RemoteNumer/RemoteDenom applied to DRAM and stream costs).
+	RemoteNumer uint64
+	RemoteDenom uint64
+
+	// WalkPerLevel is the cost of one page-table level access during a
+	// native (non-nested) TLB miss walk (page-walk traffic largely hits
+	// the cache hierarchy).
+	WalkPerLevel uint64
+	// EPTWalkPerLevel is the *additional* per-EPT-level cost of a nested
+	// walk. The architectural worst case is (g+1)*(e+1)-1 accesses, but
+	// paging-structure caches absorb all but roughly the e leaf-ward EPT
+	// accesses, so the model charges e * EPTWalkPerLevel on top of the
+	// guest walk.
+	EPTWalkPerLevel uint64
+	// VMXWalkSurcharge is charged per TLB-miss walk whenever the CPU runs
+	// in VMX non-root mode, independent of EPT: it models the residual
+	// costs of virtualized execution (VPID-tagged TLB pressure, VMCS
+	// shadow-state traffic). This produces the small, feature-independent
+	// baseline penalty the paper observes on HPCG.
+	VMXWalkSurcharge uint64
+
+	// VMExit and VMEntry are the world-switch costs of leaving and
+	// re-entering guest (VMX non-root) execution.
+	VMExit  uint64
+	VMEntry uint64
+
+	// IPISend is the cost of an ICR write delivering an IPI.
+	IPISend uint64
+	// IntrDeliver is the hardware delivery cost of an interrupt at the
+	// receiving CPU (vector fetch, IDT dispatch).
+	IntrDeliver uint64
+	// GuestIRQ is the cost of the guest's interrupt handler body.
+	GuestIRQ uint64
+	// NMIHandler is the cost of the hypervisor NMI handler body, excluding
+	// any command processing it performs.
+	NMIHandler uint64
+	// PostedProcess is the cost of hardware posted-interrupt processing
+	// (PIR scan + injection) when PIV delivers an interrupt without an exit.
+	PostedProcess uint64
+
+	// TLBFlushAll and TLBFlushPage are costs of TLB invalidations.
+	TLBFlushAll  uint64
+	TLBFlushPage uint64
+
+	// MSRAccess and IOAccess are the native costs of RDMSR/WRMSR and
+	// port I/O instructions.
+	MSRAccess uint64
+	IOAccess  uint64
+
+	// TimerIntervalCycles is the local APIC timer period programmed by the
+	// guest kernel. Lightweight kernels minimize tick rate; the default
+	// models a 10 Hz housekeeping tick at 1.7 GHz.
+	TimerIntervalCycles uint64
+}
+
+// DefaultCosts returns the calibrated default cost model. See DESIGN.md §4
+// and EXPERIMENTS.md for calibration notes.
+func DefaultCosts() Costs {
+	return Costs{
+		Compute:          1,
+		MemHit:           4,
+		MemDRAM:          180,
+		MemLinePerStream: 9,
+		RemoteNumer:      17,
+		RemoteDenom:      10,
+
+		WalkPerLevel:     12,
+		EPTWalkPerLevel:  1,
+		VMXWalkSurcharge: 3,
+
+		VMExit:  1400,
+		VMEntry: 900,
+
+		IPISend:       700,
+		IntrDeliver:   300,
+		GuestIRQ:      1200,
+		NMIHandler:    900,
+		PostedProcess: 450,
+
+		TLBFlushAll:  600,
+		TLBFlushPage: 150,
+
+		MSRAccess: 90,
+		IOAccess:  1200,
+
+		TimerIntervalCycles: 170_000_000, // 10 Hz at 1.7 GHz
+	}
+}
+
+// remoteScale applies the NUMA remote-access multiplier to cost c.
+func (cs *Costs) remoteScale(c uint64) uint64 {
+	if cs.RemoteDenom == 0 {
+		return c
+	}
+	return c * cs.RemoteNumer / cs.RemoteDenom
+}

@@ -1,0 +1,29 @@
+// Package hw implements the simulated hardware substrate that the rest of
+// the Covirt reproduction runs on: sparse NUMA physical memory, CPUs with a
+// deterministic cycle (TSC) cost model and a software-simulated TLB, local
+// APICs with IPI and NMI delivery, model-specific registers, and I/O ports.
+//
+// The real Covirt system runs on bare x86 hardware with Intel VMX. A Go
+// runtime cannot execute in VMX root mode, so this package substitutes a
+// discrete-event style simulation: every operation a guest kernel or
+// application performs (compute, memory access, IPI send, MSR/port access)
+// is charged simulated cycles on the issuing CPU, and privileged operations
+// are routed through an optional VirtLayer interception interface which the
+// vmx package implements. Timing is therefore deterministic: a CPU's TSC
+// depends only on the sequence of operations it executed, never on wall
+// clock or goroutine scheduling.
+//
+// Fidelity notes:
+//
+//   - The TLB caches complete translations. A TLB hit bypasses all
+//     translation-time protection checks, exactly as on real hardware; this
+//     is why Covirt must flush TLBs after unmap operations, and the
+//     simulation will happily let a guest read through a stale entry if the
+//     hypervisor forgets to flush.
+//   - Memory accesses resolve to real backing bytes, so a wild write from a
+//     misbehaving co-kernel genuinely corrupts the memory of other
+//     simulated OS instances unless a protection layer intervenes.
+//   - Unbacked physical accesses and unhandled aborts crash the whole
+//     simulated node, mirroring the failure mode the paper sets out to
+//     prevent.
+package hw

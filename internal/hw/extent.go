@@ -1,0 +1,42 @@
+package hw
+
+import "fmt"
+
+// Extent describes a contiguous physical memory range on one NUMA node. It
+// is the unit of resource assignment between the host OS, the Pisces
+// framework, enclaves, and XEMEM segments.
+type Extent struct {
+	Start uint64
+	Size  uint64
+	Node  int
+}
+
+// End returns the first address past the extent.
+func (e Extent) End() uint64 { return e.Start + e.Size }
+
+// Contains reports whether addr lies inside the extent.
+func (e Extent) Contains(addr uint64) bool { return addr >= e.Start && addr < e.End() }
+
+// ContainsRange reports whether [addr, addr+size) lies fully inside e.
+func (e Extent) ContainsRange(addr, size uint64) bool {
+	return addr >= e.Start && addr+size >= addr && addr+size <= e.End()
+}
+
+// Overlaps reports whether e and o share any address.
+func (e Extent) Overlaps(o Extent) bool {
+	return e.Start < o.End() && o.Start < e.End()
+}
+
+// String formats the extent for logs.
+func (e Extent) String() string {
+	return fmt.Sprintf("[%#x,+%#x)@node%d", e.Start, e.Size, e.Node)
+}
+
+// TotalSize sums the sizes of a slice of extents.
+func TotalSize(exts []Extent) uint64 {
+	var t uint64
+	for _, e := range exts {
+		t += e.Size
+	}
+	return t
+}

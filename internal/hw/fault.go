@@ -1,0 +1,74 @@
+package hw
+
+import "fmt"
+
+// FaultKind classifies hardware-level faults raised by the simulation.
+type FaultKind int
+
+const (
+	// FaultBusError is a physical access to unbacked address space.
+	FaultBusError FaultKind = iota
+	// FaultEPTViolation is a nested-page-table permission/translation miss.
+	FaultEPTViolation
+	// FaultGP is a general-protection style violation (MSR, I/O).
+	FaultGP
+	// FaultDoubleFault is an abort-class exception (models #DF).
+	FaultDoubleFault
+	// FaultTripleFault is an unrecoverable abort; on real hardware it
+	// resets the machine.
+	FaultTripleFault
+	// FaultMachineCrashed reports that the whole simulated node is down.
+	FaultMachineCrashed
+	// FaultEnclaveKilled reports that the issuing CPU's enclave was
+	// terminated by a protection layer; execution cannot continue.
+	FaultEnclaveKilled
+)
+
+// String returns the conventional name of the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBusError:
+		return "bus-error"
+	case FaultEPTViolation:
+		return "ept-violation"
+	case FaultGP:
+		return "general-protection"
+	case FaultDoubleFault:
+		return "double-fault"
+	case FaultTripleFault:
+		return "triple-fault"
+	case FaultMachineCrashed:
+		return "machine-crashed"
+	case FaultEnclaveKilled:
+		return "enclave-killed"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is a hardware fault. It implements error so it can propagate out of
+// memory and privileged-operation paths.
+type Fault struct {
+	Kind  FaultKind
+	Addr  uint64 // faulting physical address, when applicable
+	Write bool   // true if the faulting access was a write
+	CPU   int    // CPU that raised the fault, when known
+	Msg   string // optional detail
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	s := fmt.Sprintf("hw: %s at %#x (cpu %d)", f.Kind, f.Addr, f.CPU)
+	if f.Write {
+		s += " [write]"
+	}
+	if f.Msg != "" {
+		s += ": " + f.Msg
+	}
+	return s
+}
+
+// IsFault reports whether err is a *Fault of the given kind.
+func IsFault(err error, kind FaultKind) bool {
+	f, ok := err.(*Fault)
+	return ok && f.Kind == kind
+}

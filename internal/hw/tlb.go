@@ -1,0 +1,232 @@
+package hw
+
+// TLBStats counts translation-cache behaviour for one CPU.
+type TLBStats struct {
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+// tlbNode is one cached translation, linked into its class's LRU list.
+type tlbNode struct {
+	base       uint64 // page-aligned address
+	pageSize   uint64
+	gen        uint64 // translation generation it was filled under
+	prev, next *tlbNode
+}
+
+// tlbClass holds all entries of one page size with O(1) LRU maintenance.
+type tlbClass struct {
+	entries  map[uint64]*tlbNode
+	head     *tlbNode // most recently used
+	tail     *tlbNode // least recently used
+	cap      int
+	pageSize uint64
+}
+
+func newTLBClass(capacity int, pageSize uint64) *tlbClass {
+	return &tlbClass{entries: make(map[uint64]*tlbNode), cap: capacity, pageSize: pageSize}
+}
+
+// unlink removes n from the LRU list.
+func (c *tlbClass) unlink(n *tlbNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// pushFront makes n the MRU entry.
+func (c *tlbClass) pushFront(n *tlbNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// touch refreshes n's recency.
+func (c *tlbClass) touch(n *tlbNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+// TLB simulates a unified translation lookaside buffer with separate
+// capacity classes per page size, true LRU replacement, and a generation
+// stamp so stale entries can be distinguished in tests. A TLB is private
+// to one CPU and must only be accessed from that CPU's execution context;
+// cross-CPU invalidations arrive via the interrupt path (CPU.poll).
+type TLB struct {
+	classes map[uint64]*tlbClass
+	// std caches the three architectural classes for allocation-free
+	// lookups; extra tracks any non-standard page sizes (normally none).
+	std   [3]*tlbClass // 2M, 4K, 1G in probe order
+	extra []*tlbClass
+	gen   uint64
+	stats TLBStats
+}
+
+// Default per-page-size TLB capacities, loosely modelled on Broadwell
+// (64 × 4K, 32 × 2M, 4 × 1G data TLB entries).
+var defaultTLBCaps = map[uint64]int{
+	PageSize4K: 64,
+	PageSize2M: 32,
+	PageSize1G: 4,
+}
+
+// probeOrder is the lookup order (most common mapping sizes first).
+var probeOrder = [...]uint64{PageSize2M, PageSize4K, PageSize1G}
+
+// NewTLB returns an empty TLB with default capacities.
+func NewTLB() *TLB {
+	t := &TLB{classes: make(map[uint64]*tlbClass, len(defaultTLBCaps))}
+	for ps, capn := range defaultTLBCaps {
+		t.classes[ps] = newTLBClass(capn, ps)
+	}
+	t.reindex()
+	return t
+}
+
+// reindex rebuilds the probe caches after class-set changes.
+func (t *TLB) reindex() {
+	for i, ps := range probeOrder {
+		t.std[i] = t.classes[ps]
+	}
+	t.extra = t.extra[:0]
+	for ps, c := range t.classes {
+		if ps != PageSize4K && ps != PageSize2M && ps != PageSize1G {
+			t.extra = append(t.extra, c)
+		}
+	}
+}
+
+// class returns (creating if needed) the class for a page size.
+func (t *TLB) class(pageSize uint64) *tlbClass {
+	c, ok := t.classes[pageSize]
+	if !ok {
+		c = newTLBClass(16, pageSize) // unknown page size: modest default class
+		t.classes[pageSize] = c
+		t.reindex()
+	}
+	return c
+}
+
+// Lookup reports whether addr's translation is cached. On a hit the entry's
+// recency is refreshed.
+func (t *TLB) Lookup(addr uint64) bool {
+	for i, ps := range probeOrder {
+		c := t.std[i]
+		if c == nil || len(c.entries) == 0 {
+			continue
+		}
+		if n, ok := c.entries[addr&^(ps-1)]; ok {
+			c.touch(n)
+			t.stats.Hits++
+			return true
+		}
+	}
+	for _, c := range t.extra {
+		if len(c.entries) == 0 {
+			continue
+		}
+		if n, ok := c.entries[addr&^(c.pageSize-1)]; ok {
+			c.touch(n)
+			t.stats.Hits++
+			return true
+		}
+	}
+	t.stats.Misses++
+	return false
+}
+
+// Insert caches the translation of the page of the given size containing
+// addr, evicting the least recently used same-size entry if the class is
+// full.
+func (t *TLB) Insert(addr, pageSize uint64) {
+	c := t.class(pageSize)
+	base := addr &^ (pageSize - 1)
+	if n, ok := c.entries[base]; ok {
+		c.touch(n)
+		n.gen = t.gen
+		return
+	}
+	if len(c.entries) >= c.cap {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.base)
+	}
+	n := &tlbNode{base: base, pageSize: pageSize, gen: t.gen}
+	c.entries[base] = n
+	c.pushFront(n)
+}
+
+// FlushAll drops every cached translation and bumps the generation counter.
+func (t *TLB) FlushAll() {
+	for ps, c := range t.classes {
+		t.classes[ps] = newTLBClass(c.cap, ps)
+	}
+	t.reindex()
+	t.gen++
+	t.stats.Flushes++
+}
+
+// FlushRange drops all cached translations for pages overlapping
+// [addr, addr+size).
+func (t *TLB) FlushRange(addr, size uint64) {
+	for _, c := range t.classes {
+		for base, n := range c.entries {
+			if base < addr+size && base+n.pageSize > addr {
+				c.unlink(n)
+				delete(c.entries, base)
+			}
+		}
+	}
+	t.stats.Flushes++
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int {
+	total := 0
+	for _, c := range t.classes {
+		total += len(c.entries)
+	}
+	return total
+}
+
+// Count returns the number of cached translations of one page size.
+func (t *TLB) Count(pageSize uint64) int {
+	if c := t.classes[pageSize]; c != nil {
+		return len(c.entries)
+	}
+	return 0
+}
+
+// Capacity returns the entry capacity of one page-size class.
+func (t *TLB) Capacity(pageSize uint64) int {
+	if c := t.classes[pageSize]; c != nil {
+		return c.cap
+	}
+	return 0
+}
+
+// Gen returns the current translation generation (bumped by FlushAll).
+func (t *TLB) Gen() uint64 { return t.gen }
+
+// Stats returns a copy of the TLB counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// ResetStats zeroes the TLB counters.
+func (t *TLB) ResetStats() { t.stats = TLBStats{} }

@@ -1,0 +1,287 @@
+package kitten
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"covirt/internal/hw"
+	"covirt/internal/pisces"
+)
+
+// ErrSegfault is returned when a task touches memory outside Kitten's
+// memory map — the guest-page-table fault the kernel turns into a task
+// kill (the co-kernel itself stays up).
+var ErrSegfault = errors.New("kitten: segmentation fault (outside memory map)")
+
+// guestError wraps an error carried by a guest panic through Env helpers.
+type guestError struct{ err error }
+
+// Env is the guest programming interface handed to tasks: every method
+// charges simulated cycles on the task's CPU and is subject to whatever
+// protection layer is installed beneath the kernel.
+type Env struct {
+	K    *Kernel
+	CPU  *hw.CPU
+	Core int // local core index within the enclave
+	Task *Task
+}
+
+// fail aborts the current task with err (via panic, recovered by the task
+// runner) so workload code can stay straight-line.
+func (e *Env) fail(err error) {
+	panic(guestError{err})
+}
+
+// check aborts the task when err is non-nil.
+func (e *Env) check(err error) {
+	if err != nil {
+		e.fail(err)
+	}
+}
+
+// Compute retires n abstract compute operations.
+func (e *Env) Compute(n uint64) { e.check(e.CPU.Compute(n)) }
+
+// TSC samples the time-stamp counter.
+func (e *Env) TSC() uint64 { return e.CPU.ReadTSC() }
+
+// Access performs one data access at addr, enforcing the kernel memory
+// map (the simulation of Kitten's own page tables).
+func (e *Env) Access(addr uint64, write bool, kind hw.AccessKind) {
+	if !e.K.mm.Contains(addr, 1) {
+		e.fail(fmt.Errorf("%w: %#x", ErrSegfault, addr))
+	}
+	e.check(e.CPU.MemAccess(addr, write, kind))
+}
+
+// Stream performs a sequential streaming access over [addr, addr+length).
+func (e *Env) Stream(addr, length uint64, write bool) {
+	if !e.K.mm.Contains(addr, length) {
+		e.fail(fmt.Errorf("%w: [%#x,+%#x)", ErrSegfault, addr, length))
+	}
+	e.check(e.CPU.MemStream(addr, length, write))
+}
+
+// Read64 reads guest memory through the full protection path.
+func (e *Env) Read64(addr uint64) uint64 {
+	if !e.K.mm.Contains(addr, 8) {
+		e.fail(fmt.Errorf("%w: %#x", ErrSegfault, addr))
+	}
+	v, err := e.CPU.Read64G(addr)
+	e.check(err)
+	return v
+}
+
+// Write64 writes guest memory through the full protection path.
+func (e *Env) Write64(addr, val uint64) {
+	if !e.K.mm.Contains(addr, 8) {
+		e.fail(fmt.Errorf("%w: %#x", ErrSegfault, addr))
+	}
+	e.check(e.CPU.Write64G(addr, val))
+}
+
+// RawAccess bypasses the kernel memory map — simulating a co-kernel whose
+// mapping state is buggy or stale. Only a hardware protection layer
+// (Covirt's EPT) can stop it. With nothing underneath, the access reads or
+// corrupts whatever physical memory is there, or crashes the node.
+func (e *Env) RawAccess(addr uint64, write bool) error {
+	return e.CPU.MemAccess(addr, write, hw.AccessHot)
+}
+
+// RawWrite64 is RawAccess with real data movement: the wild write lands.
+func (e *Env) RawWrite64(addr, val uint64) error {
+	return e.CPU.Write64G(addr, val)
+}
+
+// RawRead64 is the wild-read variant.
+func (e *Env) RawRead64(addr uint64) (uint64, error) {
+	return e.CPU.Read64G(addr)
+}
+
+// SendIPI sends vector to another local core of this enclave.
+func (e *Env) SendIPI(localCore int, vector uint8) {
+	if localCore < 0 || localCore >= len(e.K.cores) {
+		e.fail(fmt.Errorf("kitten: no local core %d", localCore))
+	}
+	e.check(e.CPU.SendIPI(e.K.cores[localCore].cpu.ID, vector))
+}
+
+// SendIPIRaw sends vector to an arbitrary machine core — including cores
+// outside the enclave, which is exactly the errant-IPI bug class Covirt's
+// IPI protection filters.
+func (e *Env) SendIPIRaw(machineCore int, vector uint8) error {
+	return e.CPU.SendIPI(machineCore, vector)
+}
+
+// Alloc carves size bytes of contiguous memory on node from the enclave's
+// assignment.
+func (e *Env) Alloc(node int, size uint64) hw.Extent {
+	ext, err := e.K.AllocMemory(node, size)
+	e.check(err)
+	return ext
+}
+
+// Free returns a region from Alloc.
+func (e *Env) Free(ext hw.Extent) { e.K.FreeMemory(ext) }
+
+// --- Longcall client (system-call forwarding to the host OS) ---
+
+// Syscall forwards a system call to the host over the longcall channel and
+// waits for the result. The host's processing cycles plus the doorbell IPI
+// round trip are charged to the calling CPU as wait time.
+//
+// While waiting, the calling core stays responsive: it idles through the
+// interrupt path, so NMI doorbells (Covirt command-queue synchronization)
+// and control commands are still serviced — the property that lets Covirt
+// update configurations while a process blocks on a shared-memory request.
+func (e *Env) Syscall(nr uint32, args ...uint64) (val0, val1 uint64, err error) {
+	if len(args) > pisces.LcReqCallerCore/8 {
+		return 0, 0, fmt.Errorf("kitten: too many syscall args")
+	}
+	k := e.K
+	// Acquire the longcall channel without parking the core: a parked
+	// core could not take interrupts, and another core's flush could then
+	// never complete.
+	for !k.lcMu.TryLock() {
+		if err := e.CPU.Compute(50); err != nil {
+			return 0, 0, err
+		}
+	}
+	defer k.lcMu.Unlock()
+	k.lcSeq++
+	var m pisces.Msg
+	m.Type = nr
+	m.Seq = k.lcSeq
+	for i, a := range args {
+		put64(m.Payload[:], i*8, a)
+	}
+	put64(m.Payload[:], pisces.LcReqCallerCore, uint64(e.CPU.ID))
+	io := pisces.CPUMemIO{CPU: e.CPU}
+	if err := k.enc.LcReq.Push(io, &m); err != nil {
+		return 0, 0, err
+	}
+	// Doorbell to the host (modelled as an IPI's worth of cycles; the host
+	// service is woken through the ring itself).
+	e.CPU.TSC += e.CPU.Costs().IPISend
+
+	var resp pisces.Msg
+	for {
+		ok, perr := k.enc.LcResp.TryPop(io, &resp)
+		if perr != nil {
+			return 0, 0, perr
+		}
+		if ok {
+			break
+		}
+		if ierr := e.CPU.Idle(k.done); ierr != nil {
+			return 0, 0, ierr
+		}
+	}
+	if resp.Seq != m.Seq {
+		return 0, 0, fmt.Errorf("kitten: longcall seq mismatch: %d != %d", resp.Seq, m.Seq)
+	}
+	status := get64(resp.Payload[:], pisces.LcRespStatus)
+	hostCycles := get64(resp.Payload[:], pisces.LcRespCycles)
+	// The caller was blocked while the host worked: advance its clock by
+	// the host's processing time plus the return doorbell.
+	e.CPU.TSC += hostCycles + e.CPU.Costs().IPISend
+	val0 = get64(resp.Payload[:], pisces.LcRespVal0)
+	val1 = get64(resp.Payload[:], pisces.LcRespVal1)
+	if status != pisces.LcOK {
+		return val0, val1, fmt.Errorf("kitten: longcall %d failed with status %d", nr, status)
+	}
+	return val0, val1, nil
+}
+
+// WriteConsole forwards a console write to the host.
+func (e *Env) WriteConsole(s string) error {
+	// Stage the bytes in the longcall data buffer.
+	base := e.K.enc.Base() + pisces.OffLcData
+	if len(s) > pisces.LcDataBytes {
+		s = s[:pisces.LcDataBytes]
+	}
+	io := pisces.CPUMemIO{CPU: e.CPU}
+	if err := io.WriteBytes(base, []byte(s)); err != nil {
+		return err
+	}
+	_, _, err := e.Syscall(pisces.SysWriteConsole, base, uint64(len(s)))
+	return err
+}
+
+// --- XEMEM application interface (forwarded to the host name service) ---
+
+// XemMake exports [ext.Start, ext.End) as a named XEMEM segment, returning
+// its segid.
+func (e *Env) XemMake(name string, ext hw.Extent) (uint64, error) {
+	segid, _, err := e.Syscall(pisces.SysXemMake, hashName(name), ext.Start, ext.Size)
+	return segid, err
+}
+
+// XemGet looks up a segment by name.
+func (e *Env) XemGet(name string) (uint64, error) {
+	segid, _, err := e.Syscall(pisces.SysXemGet, hashName(name))
+	return segid, err
+}
+
+// XemAttach maps a segment into this enclave, returning the now-accessible
+// extents. The host transmits the page-frame extent list through the
+// longcall data buffer; Kitten walks the list, adds each extent to its
+// memory map, and charges per-extent mapping work — the operation whose
+// latency Fig. 4 of the paper measures.
+func (e *Env) XemAttach(segid uint64) ([]hw.Extent, error) {
+	_, count, err := e.Syscall(pisces.SysXemAttach, segid)
+	if err != nil {
+		return nil, err
+	}
+	io := pisces.CPUMemIO{CPU: e.CPU}
+	exts, err := pisces.GetExtents(io, e.K.enc.Base()+pisces.OffLcData, int(count))
+	if err != nil {
+		return nil, err
+	}
+	cs := e.CPU.Costs()
+	for _, x := range exts {
+		e.K.mm.Add(x)
+		// Page-table population: one write per 2M mapping.
+		pages := (x.Size + hw.PageSize2M - 1) / hw.PageSize2M
+		e.CPU.TSC += pages * cs.WalkPerLevel
+	}
+	return exts, nil
+}
+
+// XemDetach unmaps a previously attached segment, following the paper's
+// ordering: the co-kernel relinquishes its own mappings first, and only
+// then is the detach completed on the host side — where the protection
+// layer unmaps the hardware context and flushes TLBs before the management
+// layer considers the memory released.
+func (e *Env) XemDetach(segid uint64) error {
+	_, count, err := e.Syscall(pisces.SysXemDetach, segid)
+	if err != nil {
+		return err
+	}
+	io := pisces.CPUMemIO{CPU: e.CPU}
+	exts, err := pisces.GetExtents(io, e.K.enc.Base()+pisces.OffLcData, int(count))
+	if err != nil {
+		return err
+	}
+	for _, x := range exts {
+		e.K.mm.Remove(x)
+		e.K.shootdown(e.CPU, x)
+	}
+	_, _, err = e.Syscall(pisces.SysXemDetachDone, segid)
+	return err
+}
+
+// hashName gives names a stable 64-bit wire encoding (FNV-1a).
+func hashName(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// put64/get64: little-endian payload packing.
+func put64(p []byte, off int, v uint64) { binary.LittleEndian.PutUint64(p[off:], v) }
+func get64(p []byte, off int) uint64    { return binary.LittleEndian.Uint64(p[off:]) }

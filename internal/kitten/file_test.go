@@ -1,0 +1,159 @@
+package kitten
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"covirt/internal/pisces"
+)
+
+func TestFileWriteReadRoundTrip(t *testing.T) {
+	_, _, _, k := testStack(t, 1, []int{0}, 128<<20)
+	task, _ := k.Spawn("file", 0, func(e *Env) error {
+		f, err := e.Open("/out/result.dat", pisces.OpenWrite)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("hello ")); err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("filesystem")); err != nil {
+			return err
+		}
+		size, err := f.Size()
+		if err != nil {
+			return err
+		}
+		if size != 16 {
+			t.Errorf("size = %d", size)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+
+		r, err := e.Open("/out/result.dat", pisces.OpenRead)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		buf := make([]byte, 32)
+		n, err := r.Read(buf)
+		if err != nil {
+			return err
+		}
+		if string(buf[:n]) != "hello filesystem" {
+			t.Errorf("read %q", buf[:n])
+		}
+		// Cursor advanced to EOF: next read returns 0.
+		if n, _ := r.Read(buf); n != 0 {
+			t.Errorf("post-EOF read = %d", n)
+		}
+		// Random access does not move the cursor.
+		if n, err := r.ReadAt(buf[:5], 6); err != nil || string(buf[:n]) != "files" {
+			t.Errorf("ReadAt = %q, %v", buf[:n], err)
+		}
+		return nil
+	})
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileHostStagingAndCollection(t *testing.T) {
+	host, _, _, k := testStack(t, 1, []int{0}, 128<<20)
+	host.WriteFile("/input/config", []byte("tolerance=1e-6\n"))
+
+	task, _ := k.Spawn("job", 0, func(e *Env) error {
+		in, err := e.Open("/input/config", pisces.OpenRead)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 64)
+		n, err := in.Read(buf)
+		if err != nil {
+			return err
+		}
+		_ = in.Close()
+		out, err := e.Open("/output/log", pisces.OpenWrite)
+		if err != nil {
+			return err
+		}
+		if _, err := out.Write(append([]byte("got: "), buf[:n]...)); err != nil {
+			return err
+		}
+		return out.Close()
+	})
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := host.ReadFile("/output/log")
+	if !ok || !bytes.Equal(got, []byte("got: tolerance=1e-6\n")) {
+		t.Errorf("output = %q, %v", got, ok)
+	}
+	files := host.ListFiles()
+	if len(files) != 2 || files[0] != "/input/config" {
+		t.Errorf("files = %v", files)
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	_, _, _, k := testStack(t, 1, []int{0}, 128<<20)
+	task, _ := k.Spawn("errs", 0, func(e *Env) error {
+		if _, err := e.Open("/missing", pisces.OpenRead); err == nil {
+			return errors.New("open of missing file succeeded")
+		}
+		if _, err := e.Open("", pisces.OpenRead); err == nil {
+			return errors.New("empty path accepted")
+		}
+		f, err := e.Open("/ro", pisces.OpenWrite)
+		if err != nil {
+			return err
+		}
+		_, _ = f.Write([]byte("x"))
+		_ = f.Close()
+		r, err := e.Open("/ro", pisces.OpenRead)
+		if err != nil {
+			return err
+		}
+		if _, err := r.Write([]byte("y")); err == nil {
+			return errors.New("write through read-only fd succeeded")
+		}
+		_ = r.Close()
+		// Closed fd is invalid.
+		if _, err := r.Read(make([]byte, 4)); err == nil {
+			return errors.New("read on closed fd succeeded")
+		}
+		if err := e.Unlink("/ro"); err != nil {
+			return err
+		}
+		if err := e.Unlink("/ro"); err == nil {
+			return errors.New("double unlink succeeded")
+		}
+		return nil
+	})
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileAppendMode(t *testing.T) {
+	host, _, _, k := testStack(t, 1, []int{0}, 128<<20)
+	host.WriteFile("/log", []byte("line1\n"))
+	task, _ := k.Spawn("append", 0, func(e *Env) error {
+		f, err := e.Open("/log", pisces.OpenAppend)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.Write([]byte("line2\n"))
+		return err
+	})
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := host.ReadFile("/log")
+	if string(got) != "line1\nline2\n" {
+		t.Errorf("log = %q", got)
+	}
+}

@@ -1,0 +1,508 @@
+package kitten
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"covirt/internal/hw"
+	"covirt/internal/pisces"
+)
+
+// Kernel-internal interrupt vectors (distinct from the Pisces control
+// vectors).
+const (
+	VectorResched  uint8 = 0xF0 // wake an idle core: new task queued
+	VectorTLBFlush uint8 = 0xF1 // TLB shootdown request
+)
+
+// Config tunes a Kitten instance.
+type Config struct {
+	// TimerInterval is the local APIC timer period in cycles; 0 uses the
+	// machine default, negative disables the tick entirely.
+	TimerInterval int64
+	// TaskQueueDepth bounds queued tasks per core (default 64).
+	TaskQueueDepth int
+}
+
+// Kernel is one booted Kitten instance inside a Pisces enclave. It
+// implements pisces.Bootable.
+type Kernel struct {
+	cfg Config
+
+	mach *hw.Machine
+	enc  *pisces.Enclave
+	bp   *pisces.BootParams
+
+	mm    *MemMap
+	alloc *pisces.Ledger
+
+	coresMu sync.RWMutex
+	cores   []*coreCtx
+	byCPU   map[int]*coreCtx
+	done    chan struct{}
+	stop    sync.Once
+	wg      sync.WaitGroup
+	booted  atomic.Bool
+
+	lcMu  sync.Mutex
+	lcSeq uint32
+
+	irqMu       sync.Mutex
+	irqHandlers map[uint8]func(env *Env)
+
+	flushMu      sync.Mutex
+	flushPending map[int][]hw.Extent // cpu id -> ranges awaiting local flush
+
+	// Ticks counts timer interrupts taken (noise accounting).
+	Ticks atomic.Uint64
+}
+
+// coreCtx is the per-core execution context: exactly one goroutine runs a
+// core at any time (the core loop), alternating between queued tasks and
+// the idle loop.
+type coreCtx struct {
+	local  int // index within the enclave at creation time
+	cpu    *hw.CPU
+	tasks  chan *Task
+	stop   chan struct{} // closed on hot-remove
+	exited chan struct{} // closed when the core loop returns
+	busy   atomic.Bool   // a task is executing
+}
+
+// Task is one run-to-completion unit of guest work.
+type Task struct {
+	Name string
+	fn   func(*Env) error
+	err  error
+	done chan struct{}
+}
+
+// Wait blocks until the task finishes and returns its error.
+func (t *Task) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// New returns an unbooted Kitten image.
+func New(cfg Config) *Kernel {
+	if cfg.TaskQueueDepth <= 0 {
+		cfg.TaskQueueDepth = 64
+	}
+	return &Kernel{
+		cfg:          cfg,
+		mm:           NewMemMap(),
+		alloc:        pisces.NewLedgerGranule(hw.PageSize4K),
+		byCPU:        make(map[int]*coreCtx),
+		done:         make(chan struct{}),
+		irqHandlers:  make(map[uint8]func(*Env)),
+		flushPending: make(map[int][]hw.Extent),
+	}
+}
+
+// Boot implements pisces.Bootable.
+func (k *Kernel) Boot(bc *pisces.BootContext) error {
+	if k.booted.Load() {
+		return fmt.Errorf("kitten: already booted")
+	}
+	k.mach = bc.Machine
+	k.enc = bc.Enclave
+	k.bp = bc.Params
+
+	// Build the memory map from the boot parameters and hand the
+	// non-reserved portions to the physical allocator.
+	for i, e := range k.bp.Mem {
+		k.mm.Add(e)
+		usable := e
+		if i == 0 {
+			usable.Start += pisces.ReservedBytes
+			usable.Size -= pisces.ReservedBytes
+		}
+		if err := k.alloc.DonateMemory(usable); err != nil {
+			return fmt.Errorf("kitten: allocator: %w", err)
+		}
+	}
+
+	interval := k.timerInterval()
+
+	// Count enclave cores per NUMA node so CPUs can model bandwidth
+	// sharing within the partition.
+	sharers := make(map[int]int)
+	for _, id := range k.bp.Cores {
+		if cpu := k.mach.CPU(id); cpu != nil {
+			sharers[cpu.Node]++
+		}
+	}
+
+	for _, id := range k.bp.Cores {
+		cpu := k.mach.CPU(id)
+		if cpu == nil {
+			return fmt.Errorf("kitten: no such core %d", id)
+		}
+		cpu.StreamSharers = sharers[cpu.Node]
+		k.onlineCore(cpu, interval)
+	}
+	k.booted.Store(true)
+	return nil
+}
+
+// onlineCore brings one CPU into the kernel: interrupt handler, timer, and
+// a fresh scheduler loop. Used at boot and on hot-add.
+func (k *Kernel) onlineCore(cpu *hw.CPU, timerInterval uint64) *coreCtx {
+	k.coresMu.Lock()
+	cc := &coreCtx{
+		local:  len(k.cores),
+		cpu:    cpu,
+		tasks:  make(chan *Task, k.cfg.TaskQueueDepth),
+		stop:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	k.cores = append(k.cores, cc)
+	k.byCPU[cpu.ID] = cc
+	k.coresMu.Unlock()
+	cpu.SetIRQHandler(k.handleIRQ)
+	if timerInterval > 0 {
+		cpu.APIC.ArmTimer(cpu.TSC, timerInterval, pisces.VectorTimer)
+	}
+	k.wg.Add(1)
+	go k.coreLoop(cc)
+	return cc
+}
+
+// timerInterval resolves the configured timer period.
+func (k *Kernel) timerInterval() uint64 {
+	switch {
+	case k.cfg.TimerInterval > 0:
+		return uint64(k.cfg.TimerInterval)
+	case k.cfg.TimerInterval == 0:
+		return k.mach.Costs.TimerIntervalCycles
+	}
+	return 0
+}
+
+// Shutdown implements pisces.Bootable. It stops all core loops; safe to
+// call multiple times and from any goroutine.
+func (k *Kernel) Shutdown() {
+	k.stop.Do(func() {
+		close(k.done)
+		k.coresMu.RLock()
+		defer k.coresMu.RUnlock()
+		for _, cc := range k.cores {
+			cc.cpu.APIC.DisarmTimer()
+			// Wake any idle loop so it notices the shutdown.
+			cc.cpu.APIC.RaiseNMI()
+		}
+	})
+}
+
+// Wait blocks until all core loops exit (after Shutdown or a crash).
+func (k *Kernel) Wait() { k.wg.Wait() }
+
+// Quiesce implements pisces.Quiescer.
+func (k *Kernel) Quiesce() { k.wg.Wait() }
+
+// NumCores returns the enclave's current core count.
+func (k *Kernel) NumCores() int {
+	k.coresMu.RLock()
+	defer k.coresMu.RUnlock()
+	return len(k.cores)
+}
+
+// CPU returns the hw CPU of local core index i.
+func (k *Kernel) CPU(i int) *hw.CPU {
+	k.coresMu.RLock()
+	defer k.coresMu.RUnlock()
+	return k.cores[i].cpu
+}
+
+// core returns the core context at local index i, or nil.
+func (k *Kernel) core(i int) *coreCtx {
+	k.coresMu.RLock()
+	defer k.coresMu.RUnlock()
+	if i < 0 || i >= len(k.cores) {
+		return nil
+	}
+	return k.cores[i]
+}
+
+// MemMap exposes the kernel's memory map (tests, controller integration).
+func (k *Kernel) MemMap() *MemMap { return k.mm }
+
+// Nodes returns the distinct NUMA nodes the enclave's memory spans.
+func (k *Kernel) Nodes() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, e := range k.bp.Mem {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			out = append(out, e.Node)
+		}
+	}
+	return out
+}
+
+// coreLoop is the per-core scheduler: run queued tasks to completion,
+// otherwise idle (servicing interrupts).
+func (k *Kernel) coreLoop(cc *coreCtx) {
+	defer k.wg.Done()
+	defer close(cc.exited)
+	for {
+		select {
+		case <-k.done:
+			return
+		case <-cc.stop:
+			return
+		case t := <-cc.tasks:
+			k.runTask(cc, t)
+		default:
+			if err := cc.cpu.Idle(k.done); err != nil {
+				// Machine crashed or enclave killed: stop the core.
+				return
+			}
+			// Re-check the queue; Idle returns on any event.
+			select {
+			case <-k.done:
+				return
+			case <-cc.stop:
+				return
+			case t := <-cc.tasks:
+				k.runTask(cc, t)
+			default:
+			}
+		}
+	}
+}
+
+// runTask executes one task on the core, converting guest panics raised by
+// Env helpers into task errors.
+func (k *Kernel) runTask(cc *coreCtx, t *Task) {
+	cc.busy.Store(true)
+	defer cc.busy.Store(false)
+	env := &Env{K: k, CPU: cc.cpu, Core: cc.local, Task: t}
+	defer close(t.done)
+	defer func() {
+		if r := recover(); r != nil {
+			if ge, ok := r.(guestError); ok {
+				t.err = ge.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.err = t.fn(env)
+}
+
+// Spawn queues fn on local core index, waking the core if idle.
+func (k *Kernel) Spawn(name string, core int, fn func(*Env) error) (*Task, error) {
+	if !k.booted.Load() {
+		return nil, fmt.Errorf("kitten: not booted")
+	}
+	cc := k.core(core)
+	if cc == nil {
+		return nil, fmt.Errorf("kitten: no local core %d", core)
+	}
+	t := &Task{Name: name, fn: fn, done: make(chan struct{})}
+	select {
+	case cc.tasks <- t:
+	case <-k.done:
+		return nil, fmt.Errorf("kitten: kernel is down")
+	}
+	// Reschedule doorbell so an idle core picks the task up.
+	k.mach.RouteIPI(-1, cc.cpu.ID, VectorResched)
+	return t, nil
+}
+
+// RunParallel spawns fn on cores 0..n-1 (rank passed to each) and waits for
+// all of them, returning the first error.
+func (k *Kernel) RunParallel(name string, n int, fn func(env *Env, rank int) error) error {
+	if n <= 0 || n > k.NumCores() {
+		return fmt.Errorf("kitten: RunParallel over %d cores, have %d", n, k.NumCores())
+	}
+	tasks := make([]*Task, n)
+	for r := 0; r < n; r++ {
+		rank := r
+		t, err := k.Spawn(fmt.Sprintf("%s/%d", name, rank), rank, func(e *Env) error { return fn(e, rank) })
+		if err != nil {
+			return err
+		}
+		tasks[rank] = t
+	}
+	var first error
+	for _, t := range tasks {
+		if err := t.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// OnIPI registers an application-level handler for an IPI vector,
+// mirroring Hobbes' globally-allocatable per-core IPI vectors.
+func (k *Kernel) OnIPI(vector uint8, h func(env *Env)) {
+	k.irqMu.Lock()
+	k.irqHandlers[vector] = h
+	k.irqMu.Unlock()
+}
+
+// handleIRQ is the kernel interrupt dispatcher; it runs in interrupt
+// context on the receiving core's execution goroutine.
+func (k *Kernel) handleIRQ(cpu *hw.CPU, vector uint8, external bool) {
+	switch vector {
+	case pisces.VectorTimer:
+		k.Ticks.Add(1)
+	case VectorResched, pisces.VectorLcResp:
+		// Nothing: the wakeup itself is the point.
+	case VectorTLBFlush:
+		k.flushLocal(cpu)
+	case pisces.VectorCtl:
+		k.drainCtl(cpu)
+	default:
+		k.irqMu.Lock()
+		h := k.irqHandlers[vector]
+		k.irqMu.Unlock()
+		if h != nil {
+			k.coresMu.RLock()
+			cc := k.byCPU[cpu.ID]
+			k.coresMu.RUnlock()
+			if cc != nil {
+				h(&Env{K: k, CPU: cpu, Core: cc.local})
+			}
+		}
+	}
+}
+
+// flushLocal performs this core's share of a pending TLB shootdown.
+func (k *Kernel) flushLocal(cpu *hw.CPU) {
+	k.flushMu.Lock()
+	ranges := k.flushPending[cpu.ID]
+	delete(k.flushPending, cpu.ID)
+	k.flushMu.Unlock()
+	for _, r := range ranges {
+		cpu.TLB.FlushRange(r.Start, r.Size)
+		cpu.TSC += cpu.Costs().TLBFlushPage
+	}
+}
+
+// shootdown flushes [e.Start, e.End) on the initiating core immediately and
+// queues asynchronous flushes (IPI-driven) on the enclave's other cores.
+func (k *Kernel) shootdown(initiator *hw.CPU, e hw.Extent) {
+	initiator.TLB.FlushRange(e.Start, e.Size)
+	initiator.TSC += initiator.Costs().TLBFlushPage
+	k.coresMu.RLock()
+	cores := append([]*coreCtx(nil), k.cores...)
+	k.coresMu.RUnlock()
+	for _, cc := range cores {
+		if cc.cpu.ID == initiator.ID {
+			continue
+		}
+		k.flushMu.Lock()
+		k.flushPending[cc.cpu.ID] = append(k.flushPending[cc.cpu.ID], e)
+		k.flushMu.Unlock()
+		k.mach.RouteIPI(initiator.ID, cc.cpu.ID, VectorTLBFlush)
+	}
+}
+
+// drainCtl processes pending host control commands. Runs in interrupt
+// context on the receiving core.
+func (k *Kernel) drainCtl(cpu *hw.CPU) {
+	io := pisces.CPUMemIO{CPU: cpu}
+	for {
+		var m pisces.Msg
+		ok, err := k.enc.CtlReq.TryPop(io, &m)
+		if err != nil || !ok {
+			return
+		}
+		resp := pisces.Msg{Type: pisces.AckOK, Seq: m.Seq}
+		switch m.Type {
+		case pisces.CmdPing:
+			// Liveness only.
+		case pisces.CmdMemAdd:
+			ext := hw.Extent{
+				Start: get64(m.Payload[:], 0),
+				Size:  get64(m.Payload[:], 8),
+				Node:  int(get64(m.Payload[:], 16)),
+			}
+			k.mm.Add(ext)
+			if err := k.alloc.DonateMemory(ext); err != nil {
+				resp.Type = pisces.AckErr
+			}
+		case pisces.CmdMemRemove:
+			ext := hw.Extent{Start: get64(m.Payload[:], 0), Size: get64(m.Payload[:], 8)}
+			ext.Node = k.mach.Mem.NodeOf(ext.Start)
+			// The extent must be unused (still free in the allocator).
+			if err := k.alloc.Reserve(ext); err != nil {
+				resp.Type = pisces.AckErr
+			} else if !k.mm.Remove(ext) {
+				resp.Type = pisces.AckErr
+			} else {
+				k.shootdown(cpu, ext)
+			}
+		case pisces.CmdCPUAdd:
+			id := int(get64(m.Payload[:], 0))
+			newCPU := k.mach.CPU(id)
+			if newCPU == nil {
+				resp.Type = pisces.AckErr
+			} else {
+				k.onlineCore(newCPU, k.timerInterval())
+			}
+		case pisces.CmdCPURemove:
+			if err := k.offlineCore(int(get64(m.Payload[:], 0))); err != nil {
+				resp.Type = pisces.AckErr
+			}
+		case pisces.CmdShutdown:
+			_ = k.enc.CtlResp.Push(io, &resp)
+			go k.Shutdown() // async: let this IRQ return first
+			return
+		default:
+			resp.Type = pisces.AckErr
+		}
+		if err := k.enc.CtlResp.Push(io, &resp); err != nil {
+			return
+		}
+	}
+}
+
+// offlineCore stops an idle hot-added core's scheduler loop. It refuses if
+// the core is running or has queued work, or is the boot core.
+func (k *Kernel) offlineCore(cpuID int) error {
+	k.coresMu.Lock()
+	var cc *coreCtx
+	idx := -1
+	for i, c := range k.cores {
+		if i > 0 && c.cpu.ID == cpuID {
+			cc, idx = c, i
+			break
+		}
+	}
+	if cc == nil {
+		k.coresMu.Unlock()
+		return fmt.Errorf("kitten: core %d not offline-able", cpuID)
+	}
+	if cc.busy.Load() || len(cc.tasks) > 0 {
+		k.coresMu.Unlock()
+		return fmt.Errorf("kitten: core %d is busy", cpuID)
+	}
+	k.cores = append(k.cores[:idx], k.cores[idx+1:]...)
+	delete(k.byCPU, cpuID)
+	k.coresMu.Unlock()
+
+	// Stop the core loop and wait for it to exit (it may take IRQs on the
+	// way out, which need coresMu, so the lock is already released): only
+	// a quiesced core may be handed back to the host.
+	close(cc.stop)
+	cc.cpu.APIC.DisarmTimer()
+	cc.cpu.APIC.RaiseNMI() // wake the idle loop so it observes stop
+	<-cc.exited
+	return nil
+}
+
+// AllocMemory carves an application memory region from the enclave's
+// assigned memory on node (contiguous, 2M-granular).
+func (k *Kernel) AllocMemory(node int, size uint64) (hw.Extent, error) {
+	return k.alloc.AllocMemory(node, size)
+}
+
+// FreeMemory returns an application region to the kernel allocator.
+func (k *Kernel) FreeMemory(e hw.Extent) { k.alloc.FreeMemory(e) }
+
+var _ pisces.Bootable = (*Kernel)(nil)

@@ -1,0 +1,70 @@
+package kitten
+
+import (
+	"sort"
+	"sync"
+
+	"covirt/internal/hw"
+)
+
+// MemMap is Kitten's view of the physical memory it may touch: the
+// simulation stand-in for the kernel's identity-mapped page tables. The
+// co-kernel voluntarily constrains itself to this map — and, exactly as the
+// paper observes, nothing but a protection layer stops code that bypasses
+// or misconfigures it.
+type MemMap struct {
+	mu   sync.RWMutex
+	exts []hw.Extent // sorted by Start, non-overlapping
+}
+
+// NewMemMap returns an empty memory map.
+func NewMemMap() *MemMap { return &MemMap{} }
+
+// Add inserts an extent into the map.
+func (m *MemMap) Add(e hw.Extent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].Start >= e.Start })
+	m.exts = append(m.exts, hw.Extent{})
+	copy(m.exts[i+1:], m.exts[i:])
+	m.exts[i] = e
+}
+
+// Remove deletes the extent that exactly matches e's range, reporting
+// whether it was present.
+func (m *MemMap) Remove(e hw.Extent) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, x := range m.exts {
+		if x.Start == e.Start && x.Size == e.Size {
+			m.exts = append(m.exts[:i], m.exts[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether [addr, addr+size) is fully covered by one
+// mapped extent.
+func (m *MemMap) Contains(addr, size uint64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].End() > addr })
+	return i < len(m.exts) && m.exts[i].ContainsRange(addr, size)
+}
+
+// Extents returns a snapshot of the map.
+func (m *MemMap) Extents() []hw.Extent {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]hw.Extent, len(m.exts))
+	copy(out, m.exts)
+	return out
+}
+
+// Bytes returns the total mapped size.
+func (m *MemMap) Bytes() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return hw.TotalSize(m.exts)
+}

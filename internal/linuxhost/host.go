@@ -1,0 +1,213 @@
+// Package linuxhost simulates the general-purpose host OS of a co-kernel
+// node: it owns all hardware at boot, donates (offlines) cores and memory
+// to the Pisces framework for enclave use, hosts the Hobbes master control
+// process and XEMEM name service, and services longcalls (forwarded system
+// calls) from co-kernel enclaves.
+package linuxhost
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"covirt/internal/hobbes"
+	"covirt/internal/hw"
+	"covirt/internal/pisces"
+)
+
+// Host-side longcall processing costs (simulated cycles, charged to the
+// calling guest as wait time).
+const (
+	lcBaseCost    = 3500 // syscall forwarding fixed overhead
+	lcPerExtent   = 400  // per extent record handled
+	lcPerPage4K   = 150  // per 4 KiB frame walked when building page lists
+	lcConsolePerB = 2    // per console byte
+)
+
+// LongcallHandler services one forwarded system call. It fills resp's
+// payload (status/val0/val1 slots) and returns the host cycles consumed.
+type LongcallHandler func(h *Host, enc *pisces.Enclave, m *pisces.Msg, resp *pisces.Msg) uint64
+
+// Host is the simulated general-purpose OS instance.
+type Host struct {
+	M *hw.Machine
+	// HostLedger tracks resources the host retains for itself.
+	HostLedger *pisces.Ledger
+	// EnclaveLedger holds offlined resources available to Pisces enclaves.
+	EnclaveLedger *pisces.Ledger
+	Pisces        *pisces.Framework
+	Master        *hobbes.Master
+
+	io pisces.NativeMemIO
+
+	mu        sync.Mutex
+	consoles  map[int]*bytes.Buffer
+	handlers  map[uint32]LongcallHandler
+	hostCores map[int]bool
+	fs        *memFS
+	services  map[int]chan struct{} // enclave id -> longcall service exited
+}
+
+// New boots the host OS on machine m: the host initially owns every core
+// and all (large-page-aligned) memory.
+func New(m *hw.Machine) (*Host, error) {
+	h := &Host{
+		M:             m,
+		HostLedger:    pisces.NewLedger(),
+		EnclaveLedger: pisces.NewLedger(),
+		io:            pisces.NativeMemIO{Mem: m.Mem},
+		consoles:      make(map[int]*bytes.Buffer),
+		handlers:      make(map[uint32]LongcallHandler),
+		hostCores:     make(map[int]bool),
+		fs:            newMemFS(),
+		services:      make(map[int]chan struct{}),
+	}
+	for _, n := range m.Topo.Nodes {
+		start := hw.AlignUp(n.MemBase, hw.PageSize2M)
+		end := hw.AlignDown(n.MemBase+n.MemSize, hw.PageSize2M)
+		if err := h.HostLedger.DonateMemory(hw.Extent{Start: start, Size: end - start, Node: n.ID}); err != nil {
+			return nil, err
+		}
+		for _, c := range n.Cores {
+			h.hostCores[c] = true
+		}
+	}
+	h.Pisces = pisces.NewFramework(m, h.EnclaveLedger)
+	h.Master = hobbes.NewMaster(h.Pisces)
+
+	// Start the longcall service for every enclave as it boots, and drop
+	// dead enclaves' descriptor tables.
+	h.Pisces.Subscribe(func(ev *pisces.Event) error {
+		switch ev.Kind {
+		case pisces.EvBooted:
+			svcDone := make(chan struct{})
+			h.mu.Lock()
+			h.services[ev.Enclave.ID] = svcDone
+			h.mu.Unlock()
+			go func() {
+				defer close(svcDone)
+				h.longcallService(ev.Enclave)
+			}()
+		case pisces.EvCrashed, pisces.EvDestroyed:
+			// The rings are closed by teardown; wait for the service to
+			// stop touching the enclave's (about to be recycled) memory.
+			h.mu.Lock()
+			svcDone := h.services[ev.Enclave.ID]
+			delete(h.services, ev.Enclave.ID)
+			h.mu.Unlock()
+			if svcDone != nil {
+				<-svcDone
+			}
+			h.fs.dropEnclave(ev.Enclave.ID)
+		}
+		return nil
+	})
+	h.registerDefaultLongcalls()
+	h.registerFileLongcalls()
+	return h, nil
+}
+
+// OfflineCores removes cores from the host and donates them to the enclave
+// resource pool, as the Pisces kernel module does at enclave setup.
+func (h *Host) OfflineCores(ids ...int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, id := range ids {
+		if !h.hostCores[id] {
+			return fmt.Errorf("linuxhost: core %d not owned by host", id)
+		}
+		delete(h.hostCores, id)
+		h.EnclaveLedger.DonateCore(id)
+	}
+	return nil
+}
+
+// OfflineMemory carves size bytes on node out of the host's memory and
+// donates them for enclave use.
+func (h *Host) OfflineMemory(node int, size uint64) error {
+	ext, err := h.HostLedger.AllocMemory(node, size)
+	if err != nil {
+		return err
+	}
+	return h.EnclaveLedger.DonateMemory(ext)
+}
+
+// HostAlloc allocates host-private memory (buffers, canaries, host-side
+// shared segments).
+func (h *Host) HostAlloc(node int, size uint64) (hw.Extent, error) {
+	return h.HostLedger.AllocMemory(node, size)
+}
+
+// HostFree returns memory from HostAlloc.
+func (h *Host) HostFree(e hw.Extent) { h.HostLedger.FreeMemory(e) }
+
+// Console returns everything enclave encID has written to its console.
+func (h *Host) Console(encID int) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if b := h.consoles[encID]; b != nil {
+		return b.String()
+	}
+	return ""
+}
+
+// RegisterLongcall installs (or overrides) a longcall handler.
+func (h *Host) RegisterLongcall(nr uint32, fn LongcallHandler) {
+	h.mu.Lock()
+	h.handlers[nr] = fn
+	h.mu.Unlock()
+}
+
+// longcallService processes forwarded system calls for one enclave until
+// the enclave goes away.
+func (h *Host) longcallService(enc *pisces.Enclave) {
+	for {
+		var m pisces.Msg
+		if err := enc.LcReq.Pop(h.io, &m); err != nil {
+			return // enclave stopped or crashed
+		}
+		resp := pisces.Msg{Type: m.Type, Seq: m.Seq}
+		h.mu.Lock()
+		fn := h.handlers[m.Type]
+		h.mu.Unlock()
+		var cycles uint64 = lcBaseCost
+		if fn == nil {
+			put64(resp.Payload[:], pisces.LcRespStatus, pisces.LcErrNoSys)
+		} else {
+			cycles += fn(h, enc, &m, &resp)
+		}
+		put64(resp.Payload[:], pisces.LcRespCycles, cycles)
+		if err := enc.LcResp.Push(h.io, &resp); err != nil {
+			return
+		}
+		// Response doorbell: kick the calling core so its idle wait wakes.
+		caller := int(get64(m.Payload[:], pisces.LcReqCallerCore))
+		h.M.RouteIPI(-1, caller, pisces.VectorLcResp)
+	}
+}
+
+// PlantCanary fills [e.Start, e.End) with a deterministic pattern derived
+// from seed. Used to detect cross-enclave corruption.
+func (h *Host) PlantCanary(e hw.Extent, seed uint64) error {
+	for off := uint64(0); off < e.Size; off += 4096 {
+		if err := h.M.Mem.Write64(e.Start+off, seed^(e.Start+off)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckCanary verifies a pattern from PlantCanary, returning the first
+// corrupted address or 0 if intact.
+func (h *Host) CheckCanary(e hw.Extent, seed uint64) (uint64, error) {
+	for off := uint64(0); off < e.Size; off += 4096 {
+		v, err := h.M.Mem.Read64(e.Start + off)
+		if err != nil {
+			return 0, err
+		}
+		if v != seed^(e.Start+off) {
+			return e.Start + off, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,320 @@
+package linuxhost
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"covirt/internal/pisces"
+)
+
+// memFS is the host's in-memory filesystem serving forwarded file I/O from
+// co-kernel applications — the "access to the Linux environment" half of
+// the co-kernel bargain. Per-enclave descriptor tables keep enclaves from
+// touching each other's open files.
+type memFS struct {
+	mu     sync.Mutex
+	files  map[string][]byte
+	fds    map[int]map[uint64]*fdState // enclave id -> fd -> state
+	nextFD map[int]uint64
+}
+
+type fdState struct {
+	path   string
+	flags  uint64
+	offset uint64
+}
+
+func newMemFS() *memFS {
+	return &memFS{
+		files:  make(map[string][]byte),
+		fds:    make(map[int]map[uint64]*fdState),
+		nextFD: make(map[int]uint64),
+	}
+}
+
+// open resolves path for an enclave, creating the file for write modes.
+func (fs *memFS) open(enc int, path string, flags uint64) (uint64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if path == "" {
+		return 0, fmt.Errorf("memfs: empty path")
+	}
+	_, exists := fs.files[path]
+	switch flags {
+	case pisces.OpenRead:
+		if !exists {
+			return 0, fmt.Errorf("memfs: %s: no such file", path)
+		}
+	case pisces.OpenWrite:
+		fs.files[path] = nil // create/truncate
+	case pisces.OpenAppend:
+		if !exists {
+			fs.files[path] = nil
+		}
+	default:
+		return 0, fmt.Errorf("memfs: bad flags %d", flags)
+	}
+	t := fs.fds[enc]
+	if t == nil {
+		t = make(map[uint64]*fdState)
+		fs.fds[enc] = t
+	}
+	fs.nextFD[enc]++
+	fd := fs.nextFD[enc] + 2 // leave 0-2 for std streams
+	st := &fdState{path: path, flags: flags}
+	if flags == pisces.OpenAppend {
+		st.offset = uint64(len(fs.files[path]))
+	}
+	t[fd] = st
+	return fd, nil
+}
+
+// lookup returns the fd state for an enclave.
+func (fs *memFS) lookup(enc int, fd uint64) (*fdState, error) {
+	t := fs.fds[enc]
+	if t == nil || t[fd] == nil {
+		return nil, fmt.Errorf("memfs: bad fd %d", fd)
+	}
+	return t[fd], nil
+}
+
+// read copies up to n bytes from offset off (or the cursor when off is
+// ^0), returning the data.
+func (fs *memFS) read(enc int, fd, off, n uint64) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st, err := fs.lookup(enc, fd)
+	if err != nil {
+		return nil, err
+	}
+	data := fs.files[st.path]
+	pos := off
+	if off == ^uint64(0) {
+		pos = st.offset
+	}
+	if pos >= uint64(len(data)) {
+		return nil, nil // EOF
+	}
+	end := pos + n
+	if end > uint64(len(data)) {
+		end = uint64(len(data))
+	}
+	out := make([]byte, end-pos)
+	copy(out, data[pos:end])
+	if off == ^uint64(0) {
+		st.offset = end
+	}
+	return out, nil
+}
+
+// write stores p at offset off (or the cursor when off is ^0).
+func (fs *memFS) write(enc int, fd, off uint64, p []byte) (uint64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st, err := fs.lookup(enc, fd)
+	if err != nil {
+		return 0, err
+	}
+	if st.flags == pisces.OpenRead {
+		return 0, fmt.Errorf("memfs: fd %d is read-only", fd)
+	}
+	data := fs.files[st.path]
+	pos := off
+	if off == ^uint64(0) {
+		pos = st.offset
+	}
+	if need := pos + uint64(len(p)); need > uint64(len(data)) {
+		grown := make([]byte, need)
+		copy(grown, data)
+		data = grown
+	}
+	copy(data[pos:], p)
+	fs.files[st.path] = data
+	if off == ^uint64(0) {
+		st.offset = pos + uint64(len(p))
+	}
+	return uint64(len(p)), nil
+}
+
+// size returns the file length behind fd.
+func (fs *memFS) size(enc int, fd uint64) (uint64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st, err := fs.lookup(enc, fd)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(len(fs.files[st.path])), nil
+}
+
+// close drops the descriptor.
+func (fs *memFS) close(enc int, fd uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.lookup(enc, fd); err != nil {
+		return err
+	}
+	delete(fs.fds[enc], fd)
+	return nil
+}
+
+// unlink removes a file.
+func (fs *memFS) unlink(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("memfs: %s: no such file", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// dropEnclave closes all of an enclave's descriptors (crash cleanup).
+func (fs *memFS) dropEnclave(enc int) {
+	fs.mu.Lock()
+	delete(fs.fds, enc)
+	delete(fs.nextFD, enc)
+	fs.mu.Unlock()
+}
+
+// --- Host-side convenience API ---
+
+// WriteFile stores contents under path in the host filesystem (staging
+// input data for enclaves).
+func (h *Host) WriteFile(path string, contents []byte) {
+	h.fs.mu.Lock()
+	h.fs.files[path] = append([]byte(nil), contents...)
+	h.fs.mu.Unlock()
+}
+
+// ReadFile returns a file's contents (collecting enclave output).
+func (h *Host) ReadFile(path string) ([]byte, bool) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	data, ok := h.fs.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// ListFiles returns the host filesystem's paths, sorted.
+func (h *Host) ListFiles() []string {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	out := make([]string, 0, len(h.fs.files))
+	for p := range h.fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// registerFileLongcalls wires the file-forwarding system calls.
+func (h *Host) registerFileLongcalls() {
+	const perByteCost = 1 // host memcpy bandwidth
+
+	h.RegisterLongcall(pisces.SysOpen, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {
+		plen := get64(m.Payload[:], 0)
+		flags := get64(m.Payload[:], 8)
+		if plen == 0 || plen > 4096 {
+			setResp(resp, pisces.LcErrInval, 0, 0)
+			return 100
+		}
+		buf := make([]byte, plen)
+		if err := h.io.ReadBytes(enc.Base()+pisces.OffLcData, buf); err != nil {
+			setResp(resp, pisces.LcErrFault, 0, 0)
+			return 100
+		}
+		fd, err := h.fs.open(enc.ID, string(buf), flags)
+		if err != nil {
+			setResp(resp, pisces.LcErrNoEnt, 0, 0)
+			return 600
+		}
+		setResp(resp, pisces.LcOK, fd, 0)
+		return 900 // path resolution
+	})
+
+	h.RegisterLongcall(pisces.SysClose, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {
+		if err := h.fs.close(enc.ID, get64(m.Payload[:], 0)); err != nil {
+			setResp(resp, pisces.LcErrInval, 0, 0)
+			return 100
+		}
+		setResp(resp, pisces.LcOK, 0, 0)
+		return 200
+	})
+
+	h.RegisterLongcall(pisces.SysRead, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {
+		fd := get64(m.Payload[:], 0)
+		off := get64(m.Payload[:], 8)
+		n := get64(m.Payload[:], 16)
+		if n > pisces.LcDataBytes {
+			n = pisces.LcDataBytes
+		}
+		data, err := h.fs.read(enc.ID, fd, off, n)
+		if err != nil {
+			setResp(resp, pisces.LcErrInval, 0, 0)
+			return 100
+		}
+		if len(data) > 0 {
+			if err := h.io.WriteBytes(enc.Base()+pisces.OffLcData, data); err != nil {
+				setResp(resp, pisces.LcErrFault, 0, 0)
+				return 100
+			}
+		}
+		setResp(resp, pisces.LcOK, uint64(len(data)), 0)
+		return 700 + uint64(len(data))*perByteCost
+	})
+
+	h.RegisterLongcall(pisces.SysWrite, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {
+		fd := get64(m.Payload[:], 0)
+		off := get64(m.Payload[:], 8)
+		n := get64(m.Payload[:], 16)
+		if n > pisces.LcDataBytes {
+			setResp(resp, pisces.LcErrInval, 0, 0)
+			return 100
+		}
+		buf := make([]byte, n)
+		if err := h.io.ReadBytes(enc.Base()+pisces.OffLcData, buf); err != nil {
+			setResp(resp, pisces.LcErrFault, 0, 0)
+			return 100
+		}
+		wrote, err := h.fs.write(enc.ID, fd, off, buf)
+		if err != nil {
+			setResp(resp, pisces.LcErrInval, 0, 0)
+			return 100
+		}
+		setResp(resp, pisces.LcOK, wrote, 0)
+		return 700 + wrote*perByteCost
+	})
+
+	h.RegisterLongcall(pisces.SysUnlink, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {
+		plen := get64(m.Payload[:], 0)
+		if plen == 0 || plen > 4096 {
+			setResp(resp, pisces.LcErrInval, 0, 0)
+			return 100
+		}
+		buf := make([]byte, plen)
+		if err := h.io.ReadBytes(enc.Base()+pisces.OffLcData, buf); err != nil {
+			setResp(resp, pisces.LcErrFault, 0, 0)
+			return 100
+		}
+		if err := h.fs.unlink(string(buf)); err != nil {
+			setResp(resp, pisces.LcErrNoEnt, 0, 0)
+			return 300
+		}
+		setResp(resp, pisces.LcOK, 0, 0)
+		return 600
+	})
+
+	h.RegisterLongcall(pisces.SysFsize, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {
+		size, err := h.fs.size(enc.ID, get64(m.Payload[:], 0))
+		if err != nil {
+			setResp(resp, pisces.LcErrInval, 0, 0)
+			return 100
+		}
+		setResp(resp, pisces.LcOK, size, 0)
+		return 150
+	})
+}

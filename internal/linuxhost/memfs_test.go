@@ -1,0 +1,124 @@
+package linuxhost
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"covirt/internal/pisces"
+)
+
+func TestMemFSOpenModes(t *testing.T) {
+	fs := newMemFS()
+	if _, err := fs.open(1, "/missing", pisces.OpenRead); err == nil {
+		t.Error("read-open of missing file succeeded")
+	}
+	if _, err := fs.open(1, "", pisces.OpenWrite); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := fs.open(1, "/f", 99); err == nil {
+		t.Error("bad flags accepted")
+	}
+	fd, err := fs.open(1, "/f", pisces.OpenWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.write(1, fd, 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	// OpenWrite truncates.
+	fd2, _ := fs.open(1, "/f", pisces.OpenWrite)
+	if n, _ := fs.size(1, fd2); n != 0 {
+		t.Errorf("size after truncating open = %d", n)
+	}
+}
+
+func TestMemFSDescriptorIsolationBetweenEnclaves(t *testing.T) {
+	fs := newMemFS()
+	fdA, err := fs.open(1, "/shared", pisces.OpenWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enclave 2 cannot use enclave 1's descriptor number.
+	if _, err := fs.read(2, fdA, 0, 4); err == nil {
+		t.Error("cross-enclave fd use succeeded")
+	}
+	// But both can open the same path independently.
+	if _, err := fs.write(1, fdA, 0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	fdB, err := fs.open(2, "/shared", pisces.OpenRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.read(2, fdB, 0, 16)
+	if err != nil || !bytes.Equal(got, []byte("data")) {
+		t.Errorf("read = %q, %v", got, err)
+	}
+}
+
+func TestMemFSCursorAndOffsets(t *testing.T) {
+	fs := newMemFS()
+	fd, _ := fs.open(1, "/c", pisces.OpenWrite)
+	_, _ = fs.write(1, fd, cursorOff, []byte("aaaa"))
+	_, _ = fs.write(1, fd, cursorOff, []byte("bbbb"))
+	if n, _ := fs.size(1, fd); n != 8 {
+		t.Errorf("size = %d", n)
+	}
+	// Absolute write inside the file does not move the cursor.
+	_, _ = fs.write(1, fd, 0, []byte("XX"))
+	_, _ = fs.write(1, fd, cursorOff, []byte("cc"))
+	got, _ := fs.read(1, fd, 0, 16)
+	if string(got) != "XXaabbbbcc" {
+		t.Errorf("contents = %q", got)
+	}
+	// Reads past EOF return nil.
+	if out, _ := fs.read(1, fd, 100, 4); out != nil {
+		t.Errorf("past-EOF read = %q", out)
+	}
+}
+
+// cursorOff mirrors the kitten-side sentinel for "use the fd cursor".
+const cursorOff = ^uint64(0)
+
+func TestMemFSDropEnclave(t *testing.T) {
+	fs := newMemFS()
+	fd, _ := fs.open(3, "/x", pisces.OpenWrite)
+	fs.dropEnclave(3)
+	if _, err := fs.write(3, fd, 0, []byte("y")); err == nil {
+		t.Error("fd survived dropEnclave")
+	}
+	// The file itself persists (the host still owns the data).
+	if _, err := fs.open(4, "/x", pisces.OpenRead); err != nil {
+		t.Errorf("file lost after enclave drop: %v", err)
+	}
+}
+
+// Property: write-then-read round-trips arbitrary content at arbitrary
+// (bounded) offsets.
+func TestMemFSRoundTripProperty(t *testing.T) {
+	f := func(off uint16, data []byte) bool {
+		if len(data) > pisces.LcDataBytes {
+			data = data[:pisces.LcDataBytes]
+		}
+		fs := newMemFS()
+		fd, err := fs.open(1, "/p", pisces.OpenWrite)
+		if err != nil {
+			return false
+		}
+		if _, err := fs.write(1, fd, uint64(off), data); err != nil {
+			return false
+		}
+		got, err := fs.read(1, fd, uint64(off), uint64(len(data)))
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package nautilus_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"covirt/internal/covirt"
+	"covirt/internal/hw"
+	"covirt/internal/linuxhost"
+	"covirt/internal/nautilus"
+	"covirt/internal/pisces"
+)
+
+// stack boots a host, optionally with Covirt, ready for one enclave.
+func stack(t *testing.T, protected bool) (*linuxhost.Host, *covirt.Controller) {
+	t.Helper()
+	spec := hw.DefaultSpec()
+	spec.MemPerNode = 2 << 30
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := linuxhost.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.OfflineCores(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.OfflineMemory(0, 512<<20); err != nil {
+		t.Fatal(err)
+	}
+	var ctrl *covirt.Controller
+	if protected {
+		if ctrl, err = covirt.Attach(m, h.Pisces, h.Master, covirt.FeaturesMem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h, ctrl
+}
+
+func bootNautilus(t *testing.T, h *linuxhost.Host, cores int, entry nautilus.ThreadFn) (*pisces.Enclave, *nautilus.Kernel) {
+	t.Helper()
+	enc, err := h.Pisces.CreateEnclave(pisces.EnclaveSpec{
+		Name: "aero", NumCores: cores, Nodes: []int{0}, MemBytes: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := nautilus.New(entry)
+	if err := h.Pisces.Boot(enc, k); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Pisces.Destroy(enc) })
+	return enc, k
+}
+
+func TestNautilusBootsAndComputes(t *testing.T) {
+	h, _ := stack(t, false)
+	var sum atomic.Uint64
+	_, k := bootNautilus(t, h, 2, func(e *nautilus.Env, rank int) error {
+		if err := e.Compute(10_000); err != nil {
+			return err
+		}
+		heap := e.Heap()
+		addr := heap.Start + uint64(rank)*4096
+		if err := e.Write64(addr, uint64(rank+1)); err != nil {
+			return err
+		}
+		v, err := e.Read64(addr)
+		if err != nil {
+			return err
+		}
+		sum.Add(v)
+		return nil
+	})
+	// Threads run immediately at boot; give them a moment then check.
+	deadline := time.After(5 * time.Second)
+	for sum.Load() != 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("threads incomplete: sum = %d, errs = %v", sum.Load(), k.Errors())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestNautilusControlProtocol(t *testing.T) {
+	h, _ := stack(t, false)
+	enc, _ := bootNautilus(t, h, 1, func(e *nautilus.Env, rank int) error {
+		return e.Compute(100)
+	})
+	if err := h.Pisces.Ping(enc); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	// Nautilus rejects dynamic memory growth (static runtime kernel).
+	if _, err := h.Pisces.AddMemory(enc, 0, 16<<20); err == nil {
+		t.Error("aerokernel accepted mem-add")
+	}
+	if err := h.Pisces.Destroy(enc); err != nil {
+		t.Fatalf("destroy: %v", err)
+	}
+	if enc.State() != pisces.StateStopped {
+		t.Errorf("state = %v", enc.State())
+	}
+}
+
+func TestRejectedMemAddRollsBackEPT(t *testing.T) {
+	// Nautilus refuses mem-add; the controller's map-before-notify EPT
+	// entry must be rolled back, or the enclave would retain hardware
+	// access to memory it never accepted.
+	h, ctrl := stack(t, true)
+	enc, _ := bootNautilus(t, h, 1, func(e *nautilus.Env, rank int) error {
+		return e.Compute(100)
+	})
+	before := ctrl.StatusFor(enc.ID).EPT.Bytes
+	if _, err := h.Pisces.AddMemory(enc, 0, 16<<20); err == nil {
+		t.Fatal("aerokernel accepted mem-add")
+	}
+	if after := ctrl.StatusFor(enc.ID).EPT.Bytes; after != before {
+		t.Errorf("EPT bytes %d -> %d: rejected grant left mapped", before, after)
+	}
+}
+
+func TestNautilusBringupFaultContainedUnderCovirt(t *testing.T) {
+	// The §V porting story: early-bringup code touches hardware it was
+	// never assigned. Under Covirt, development proceeds on "real
+	// hardware" because the fault cannot leave the enclave.
+	h, ctrl := stack(t, true)
+	enc, k := bootNautilus(t, h, 1, func(e *nautilus.Env, rank int) error {
+		// Bringup bug: probe legacy low memory that isn't ours.
+		_, err := e.Read64(0x8000)
+		return err
+	})
+	select {
+	case <-enc.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("fault never surfaced")
+	}
+	if h.M.Crashed() {
+		t.Fatal("node crashed; Covirt should contain aerokernel bringup faults")
+	}
+	if enc.State() != pisces.StateCrashed {
+		t.Errorf("state = %v", enc.State())
+	}
+	// The crash report fires from inside the faulting access; the thread
+	// body may not have returned yet. Wait for its error to surface.
+	deadline := time.After(5 * time.Second)
+	for len(k.Errors()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("thread error never surfaced")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	errs := k.Errors()
+	if len(errs) != 1 || !hw.IsFault(errors.Unwrap(errs[0]), hw.FaultEnclaveKilled) {
+		t.Errorf("thread errors = %v", errs)
+	}
+	_ = ctrl
+}
+
+func TestNautilusBringupFaultCrashesNodeBare(t *testing.T) {
+	h, _ := stack(t, false)
+	enc, _ := bootNautilus(t, h, 1, func(e *nautilus.Env, rank int) error {
+		_, err := e.Read64(0x8000) // unbacked: native abort
+		return err
+	})
+	deadline := time.After(5 * time.Second)
+	for !h.M.Crashed() {
+		select {
+		case <-deadline:
+			t.Fatal("node survived; expected the unprotected bringup crash")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	_ = enc
+}
+
+func TestNautilusIPIBetweenRanks(t *testing.T) {
+	h, _ := stack(t, false)
+	var got atomic.Int32
+	ready := make(chan *nautilus.Kernel, 2) // entry threads fetch the kernel
+	_, k := bootNautilus(t, h, 2, func(e *nautilus.Env, rank int) error {
+		kn := <-ready
+		if rank == 0 {
+			kn.OnIPI(0x55, func(*nautilus.Env) { got.Store(1) })
+			// Spin so the interrupt is serviced promptly.
+			for got.Load() == 0 {
+				if err := e.Compute(100); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Rank 1 signals rank 0 (after a short delay for registration).
+		if err := e.Compute(5_000); err != nil {
+			return err
+		}
+		return e.SendIPI(0, 0x55)
+	})
+	ready <- k
+	ready <- k
+	deadline := time.After(5 * time.Second)
+	for got.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("IPI never delivered; errs=%v", k.Errors())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package pisces
+
+import (
+	"fmt"
+
+	"covirt/internal/hw"
+)
+
+// BootParamsMagic identifies a Pisces boot-parameter block in memory.
+const BootParamsMagic = 0x5049534345530001 // "PISCES\0\1"
+
+// Limits of the fixed-layout boot parameter block.
+const (
+	MaxBootCores   = 16
+	MaxBootExtents = 16
+)
+
+// Reserved layout inside an enclave's first memory extent. The co-kernel
+// treats this area as kernel data; applications never receive it.
+const (
+	OffBootParams   = 0x0000
+	OffCtlReqRing   = 0x1000
+	OffCtlRespRing  = 0x2000
+	OffLcReqRing    = 0x3000
+	OffLcRespRing   = 0x4000
+	OffCovirtParams = 0x5000 // Covirt boot-parameter block (hypervisor-owned)
+	OffCovirtCmdQ   = 0x6000 // Covirt controller->hypervisor command queue
+	ReservedBytes   = 0x10000
+)
+
+// Interrupt vectors used by the co-kernel control plane.
+const (
+	VectorCtl   uint8 = 0xF2 // host -> enclave: control command pending
+	VectorTimer uint8 = 0xEF // local APIC timer
+)
+
+// BootParams is the boot-parameter structure Pisces passes to a co-kernel:
+// the assigned hardware plus the communication channels used to coordinate
+// with the master control process. Covirt wraps (but does not modify) this
+// block; the co-kernel always sees the original.
+type BootParams struct {
+	EnclaveID uint64
+	Cores     []int
+	Mem       []hw.Extent
+
+	CtlReqRing  uint64
+	CtlRespRing uint64
+	LcReqRing   uint64
+	LcRespRing  uint64
+
+	// CovirtParams points at the Covirt boot-parameter block, or 0 when
+	// the enclave boots bare. The co-kernel itself never reads this; it is
+	// consumed by the interposed hypervisor.
+	CovirtParams uint64
+}
+
+// bootParamsBytes is the serialized size (fits well inside one 4K page).
+const bootParamsBytes = 8 + 8 + 8 + MaxBootCores*8 + 8 + MaxBootExtents*24 + 5*8
+
+// EncodeBootParams writes bp at addr via io.
+func EncodeBootParams(io MemIO, addr uint64, bp *BootParams) error {
+	if len(bp.Cores) > MaxBootCores {
+		return fmt.Errorf("pisces: %d cores exceeds boot-param limit %d", len(bp.Cores), MaxBootCores)
+	}
+	if len(bp.Mem) > MaxBootExtents {
+		return fmt.Errorf("pisces: %d extents exceeds boot-param limit %d", len(bp.Mem), MaxBootExtents)
+	}
+	buf := make([]byte, bootParamsBytes)
+	off := 0
+	w := func(v uint64) { put64(buf, off, v); off += 8 }
+	w(BootParamsMagic)
+	w(bp.EnclaveID)
+	w(uint64(len(bp.Cores)))
+	for i := 0; i < MaxBootCores; i++ {
+		if i < len(bp.Cores) {
+			w(uint64(bp.Cores[i]))
+		} else {
+			w(0)
+		}
+	}
+	w(uint64(len(bp.Mem)))
+	for i := 0; i < MaxBootExtents; i++ {
+		if i < len(bp.Mem) {
+			w(bp.Mem[i].Start)
+			w(bp.Mem[i].Size)
+			w(uint64(bp.Mem[i].Node))
+		} else {
+			w(0)
+			w(0)
+			w(0)
+		}
+	}
+	w(bp.CtlReqRing)
+	w(bp.CtlRespRing)
+	w(bp.LcReqRing)
+	w(bp.LcRespRing)
+	w(bp.CovirtParams)
+	return io.WriteBytes(addr, buf)
+}
+
+// DecodeBootParams reads a boot-parameter block at addr via io, validating
+// the magic.
+func DecodeBootParams(io MemIO, addr uint64) (*BootParams, error) {
+	buf := make([]byte, bootParamsBytes)
+	if err := io.ReadBytes(addr, buf); err != nil {
+		return nil, err
+	}
+	off := 0
+	r := func() uint64 { v := get64(buf, off); off += 8; return v }
+	if m := r(); m != BootParamsMagic {
+		return nil, fmt.Errorf("pisces: bad boot-param magic %#x at %#x", m, addr)
+	}
+	bp := &BootParams{EnclaveID: r()}
+	n := int(r())
+	if n > MaxBootCores {
+		return nil, fmt.Errorf("pisces: corrupt core count %d", n)
+	}
+	for i := 0; i < MaxBootCores; i++ {
+		v := int(r())
+		if i < n {
+			bp.Cores = append(bp.Cores, v)
+		}
+	}
+	ne := int(r())
+	if ne > MaxBootExtents {
+		return nil, fmt.Errorf("pisces: corrupt extent count %d", ne)
+	}
+	for i := 0; i < MaxBootExtents; i++ {
+		s, sz, nd := r(), r(), r()
+		if i < ne {
+			bp.Mem = append(bp.Mem, hw.Extent{Start: s, Size: sz, Node: int(nd)})
+		}
+	}
+	bp.CtlReqRing = r()
+	bp.CtlRespRing = r()
+	bp.LcReqRing = r()
+	bp.LcRespRing = r()
+	bp.CovirtParams = r()
+	return bp, nil
+}

@@ -1,0 +1,154 @@
+package pisces
+
+import (
+	"fmt"
+	"sync"
+
+	"covirt/internal/hw"
+)
+
+// State is an enclave's lifecycle state.
+type State int
+
+// Enclave lifecycle states.
+const (
+	StateCreated State = iota
+	StateBooting
+	StateRunning
+	StateCrashed
+	StateStopped
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateBooting:
+		return "booting"
+	case StateRunning:
+		return "running"
+	case StateCrashed:
+		return "crashed"
+	case StateStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Enclave is one hardware partition running an independent OS/R.
+type Enclave struct {
+	ID    int
+	Name  string
+	Cores []int
+
+	mu          sync.Mutex
+	mem         []hw.Extent
+	state       State
+	crashReason string
+
+	// Control-plane channels (created by the framework).
+	CtlReq  *Ring // host -> enclave commands
+	CtlResp *Ring // enclave -> host acks
+	LcReq   *Ring // enclave -> host longcalls
+	LcResp  *Ring // host -> enclave longcall results
+
+	// done closes when the enclave stops or crashes; rings unblock on it.
+	done chan struct{}
+	// reclaimed closes once every resource (cores included) has returned
+	// to the pool and no stale execution context remains.
+	reclaimed chan struct{}
+
+	kernel Bootable
+	fw     *Framework
+
+	ctlSeq uint32
+	ctlMu  sync.Mutex // serializes control commands
+}
+
+// Base returns the start of the enclave's first memory extent, which hosts
+// the reserved boot-parameter/ring area.
+func (e *Enclave) Base() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mem[0].Start
+}
+
+// Mem returns a snapshot of the enclave's assigned memory extents.
+func (e *Enclave) Mem() []hw.Extent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]hw.Extent, len(e.mem))
+	copy(out, e.mem)
+	return out
+}
+
+// State returns the enclave's lifecycle state.
+func (e *Enclave) State() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
+
+// CrashReason returns the recorded crash cause, if any.
+func (e *Enclave) CrashReason() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashReason
+}
+
+// Done returns a channel closed when the enclave stops or crashes.
+func (e *Enclave) Done() <-chan struct{} { return e.done }
+
+// Reclaimed returns a channel closed when teardown has fully completed:
+// the kernel quiesced and all hardware returned to the resource pool.
+func (e *Enclave) Reclaimed() <-chan struct{} { return e.reclaimed }
+
+// CloseRings shuts down the enclave's control and longcall channels,
+// releasing any endpoint blocked on them. Called during teardown before
+// the backing memory can be reused.
+func (e *Enclave) CloseRings() {
+	for _, r := range []*Ring{e.CtlReq, e.CtlResp, e.LcReq, e.LcResp} {
+		if r != nil {
+			r.Close()
+		}
+	}
+}
+
+// Kernel returns the booted co-kernel, or nil before boot.
+func (e *Enclave) Kernel() Bootable {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.kernel
+}
+
+// setState transitions the lifecycle state.
+func (e *Enclave) setState(s State) {
+	e.mu.Lock()
+	e.state = s
+	e.mu.Unlock()
+}
+
+// CPUs resolves the enclave's cores to simulated CPUs.
+func (e *Enclave) CPUs() []*hw.CPU {
+	out := make([]*hw.CPU, 0, len(e.Cores))
+	for _, id := range e.Cores {
+		out = append(out, e.fw.Machine.CPU(id))
+	}
+	return out
+}
+
+// BootCPU returns the enclave's boot core (first assigned core).
+func (e *Enclave) BootCPU() *hw.CPU { return e.fw.Machine.CPU(e.Cores[0]) }
+
+// OwnsAddr reports whether addr lies in the enclave's assigned memory.
+func (e *Enclave) OwnsAddr(addr uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, x := range e.mem {
+		if x.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}

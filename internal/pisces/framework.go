@@ -1,0 +1,628 @@
+package pisces
+
+import (
+	"fmt"
+	"sync"
+
+	"covirt/internal/hw"
+)
+
+// EventKind classifies framework notifications delivered to event sinks
+// (the Hobbes runtime and, through it, the Covirt controller module).
+type EventKind int
+
+// Framework event kinds. The Pre/Post distinction encodes Covirt's ordering
+// rule: resources are mapped into the protection context before the enclave
+// learns of them, and unmapped (with TLB shootdown) only after the enclave
+// has relinquished them.
+const (
+	EvCreated EventKind = iota
+	EvBootPre           // before any enclave core starts executing
+	EvBooted
+	EvMemAddPre     // extent allocated, enclave not yet notified
+	EvMemRemovePost // enclave acked removal, host has not yet reclaimed
+	EvCPUAddPre     // core allocated, enclave not yet notified
+	EvCPURemovePost // enclave released the core, host has not yet reclaimed
+	EvCrashed
+	EvDestroyed
+)
+
+// Event is a framework notification.
+type Event struct {
+	Kind    EventKind
+	Enclave *Enclave
+	Extent  hw.Extent
+	Core    int // CPU add/remove events
+	Reason  string
+}
+
+// EventSink receives framework events synchronously. Returning an error
+// from a Pre event aborts the operation.
+type EventSink func(ev *Event) error
+
+// BootInterposer hooks an enclave's CPU boot path. Covirt registers one to
+// slide its hypervisor underneath the co-kernel: Pisces "instead boots into
+// the Covirt hypervisor, which handles the virtualization hardware setup
+// before directly invoking the actual co-kernel".
+type BootInterposer interface {
+	// InterposeBoot runs on each enclave core before the co-kernel's entry
+	// point. bpAddr is the Pisces boot-parameter address the co-kernel
+	// will receive, unmodified.
+	InterposeBoot(enc *Enclave, cpu *hw.CPU, bpAddr uint64) error
+}
+
+// BootContext is everything a co-kernel needs to bring itself up.
+type BootContext struct {
+	Machine *hw.Machine
+	Enclave *Enclave
+	Params  *BootParams
+}
+
+// Bootable is a co-kernel image the framework can launch in an enclave.
+type Bootable interface {
+	// Boot initializes the kernel across the enclave's cores and returns
+	// once the kernel is ready for work (services run on goroutines /
+	// interrupt handlers).
+	Boot(bc *BootContext) error
+	// Shutdown stops the kernel's execution contexts.
+	Shutdown()
+}
+
+// Quiescer is implemented by kernels whose execution contexts can be
+// awaited after Shutdown. The framework quiesces a kernel before handing
+// its cores to a new enclave, so no stale execution context can race with
+// the successor.
+type Quiescer interface {
+	Quiesce()
+}
+
+// EnclaveSpec configures CreateEnclave.
+type EnclaveSpec struct {
+	Name string
+	// NumCores cores are allocated round-robin across Nodes.
+	NumCores int
+	// Nodes lists the NUMA nodes the enclave spans (default node 0).
+	Nodes []int
+	// MemBytes of memory, split evenly across Nodes.
+	MemBytes uint64
+}
+
+// Control command message types.
+const (
+	CmdPing uint32 = iota + 1
+	CmdMemAdd
+	CmdMemRemove
+	CmdCPUAdd
+	CmdCPURemove
+	CmdShutdown
+	AckOK  uint32 = 100
+	AckErr uint32 = 101
+)
+
+// Framework is the Pisces co-kernel framework instance (the "kernel
+// module" on the host).
+type Framework struct {
+	Machine *hw.Machine
+	Ledger  *Ledger
+
+	hostIO NativeMemIO
+
+	mu       sync.Mutex
+	enclaves map[int]*Enclave
+	nextID   int
+	sinks    []EventSink
+	interp   BootInterposer
+
+	ioctlMu sync.Mutex
+	ioctls  map[uint32]func(arg any) (any, error)
+}
+
+// NewFramework loads the Pisces framework on machine m with the given
+// resource ledger (populated by the host OS).
+func NewFramework(m *hw.Machine, ledger *Ledger) *Framework {
+	return &Framework{
+		Machine:  m,
+		Ledger:   ledger,
+		hostIO:   NativeMemIO{Mem: m.Mem},
+		enclaves: make(map[int]*Enclave),
+		nextID:   1,
+		ioctls:   make(map[uint32]func(any) (any, error)),
+	}
+}
+
+// HostIO returns the host-side (native) memory accessor.
+func (fw *Framework) HostIO() MemIO { return fw.hostIO }
+
+// Subscribe registers an event sink. Sinks run synchronously in
+// registration order.
+func (fw *Framework) Subscribe(s EventSink) {
+	fw.mu.Lock()
+	fw.sinks = append(fw.sinks, s)
+	fw.mu.Unlock()
+}
+
+// SetInterposer installs the boot interposer (at most one; Covirt).
+func (fw *Framework) SetInterposer(bi BootInterposer) {
+	fw.mu.Lock()
+	fw.interp = bi
+	fw.mu.Unlock()
+}
+
+// emit delivers ev to all sinks, stopping at the first error.
+func (fw *Framework) emit(ev *Event) error {
+	fw.mu.Lock()
+	sinks := append([]EventSink(nil), fw.sinks...)
+	fw.mu.Unlock()
+	for _, s := range sinks {
+		if err := s(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Enclave returns the enclave with the given id, or nil.
+func (fw *Framework) Enclave(id int) *Enclave {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.enclaves[id]
+}
+
+// Enclaves returns all enclaves.
+func (fw *Framework) Enclaves() []*Enclave {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	out := make([]*Enclave, 0, len(fw.enclaves))
+	for _, e := range fw.enclaves {
+		out = append(out, e)
+	}
+	return out
+}
+
+// CreateEnclave allocates resources and prepares (but does not boot) a new
+// enclave.
+func (fw *Framework) CreateEnclave(spec EnclaveSpec) (*Enclave, error) {
+	if spec.NumCores <= 0 {
+		return nil, fmt.Errorf("pisces: enclave needs at least one core")
+	}
+	nodes := spec.Nodes
+	if len(nodes) == 0 {
+		nodes = []int{0}
+	}
+	if spec.MemBytes == 0 {
+		return nil, fmt.Errorf("pisces: enclave needs memory")
+	}
+
+	// Allocate cores round-robin across the requested nodes.
+	var cores []int
+	perNode := make(map[int]int)
+	for i := 0; i < spec.NumCores; i++ {
+		perNode[nodes[i%len(nodes)]]++
+	}
+	for _, n := range nodes {
+		got, err := fw.Ledger.AllocCores(&fw.Machine.Topo, n, perNode[n])
+		if err != nil {
+			fw.Ledger.FreeCores(cores)
+			return nil, err
+		}
+		cores = append(cores, got...)
+	}
+
+	// Allocate memory split evenly across nodes.
+	var mem []hw.Extent
+	per := spec.MemBytes / uint64(len(nodes))
+	for _, n := range nodes {
+		ext, err := fw.Ledger.AllocMemory(n, per)
+		if err != nil {
+			for _, e := range mem {
+				fw.Ledger.FreeMemory(e)
+			}
+			fw.Ledger.FreeCores(cores)
+			return nil, err
+		}
+		mem = append(mem, ext)
+	}
+
+	fw.mu.Lock()
+	id := fw.nextID
+	fw.nextID++
+	fw.mu.Unlock()
+
+	enc := &Enclave{
+		ID:        id,
+		Name:      spec.Name,
+		Cores:     cores,
+		mem:       mem,
+		state:     StateCreated,
+		done:      make(chan struct{}),
+		reclaimed: make(chan struct{}),
+		fw:        fw,
+	}
+
+	// Lay out control channels in the reserved head of the first extent.
+	// Rings shut down when the enclave stops OR the whole node crashes.
+	ringDone := make(chan struct{})
+	go func() {
+		select {
+		case <-enc.done:
+		case <-fw.Machine.CrashedCh():
+		}
+		close(ringDone)
+	}()
+	base := mem[0].Start
+	enc.CtlReq = NewRing(base+OffCtlReqRing, ringDone)
+	enc.CtlResp = NewRing(base+OffCtlRespRing, ringDone)
+	enc.LcReq = NewRing(base+OffLcReqRing, ringDone)
+	enc.LcResp = NewRing(base+OffLcRespRing, ringDone)
+	for _, r := range []*Ring{enc.CtlReq, enc.CtlResp, enc.LcReq, enc.LcResp} {
+		if err := r.Init(fw.hostIO); err != nil {
+			return nil, fmt.Errorf("pisces: ring init: %w", err)
+		}
+	}
+
+	bp := &BootParams{
+		EnclaveID:   uint64(id),
+		Cores:       cores,
+		Mem:         mem,
+		CtlReqRing:  base + OffCtlReqRing,
+		CtlRespRing: base + OffCtlRespRing,
+		LcReqRing:   base + OffLcReqRing,
+		LcRespRing:  base + OffLcRespRing,
+	}
+	if err := EncodeBootParams(fw.hostIO, base+OffBootParams, bp); err != nil {
+		return nil, fmt.Errorf("pisces: boot params: %w", err)
+	}
+
+	fw.mu.Lock()
+	fw.enclaves[id] = enc
+	fw.mu.Unlock()
+	if err := fw.emit(&Event{Kind: EvCreated, Enclave: enc}); err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+// Boot launches kernel inside enc, interposing the registered boot
+// interposer (if any) on every core first.
+func (fw *Framework) Boot(enc *Enclave, kernel Bootable) error {
+	if s := enc.State(); s != StateCreated {
+		return fmt.Errorf("pisces: enclave %d is %s, cannot boot", enc.ID, s)
+	}
+	enc.setState(StateBooting)
+	// Reset the cores: they may carry kill latches and a stale
+	// virtualization layer from a previous enclave that crashed on them.
+	for _, cpu := range enc.CPUs() {
+		cpu.Revive()
+		cpu.Virt = nil
+		cpu.SetIRQHandler(nil)
+		cpu.SetNMIHandler(nil)
+		cpu.TLB.FlushAll()
+	}
+	if err := fw.emit(&Event{Kind: EvBootPre, Enclave: enc}); err != nil {
+		enc.setState(StateCreated)
+		return err
+	}
+
+	bpAddr := enc.Base() + OffBootParams
+	fw.mu.Lock()
+	interp := fw.interp
+	fw.mu.Unlock()
+	if interp != nil {
+		for _, cpu := range enc.CPUs() {
+			if err := interp.InterposeBoot(enc, cpu, bpAddr); err != nil {
+				enc.setState(StateCreated)
+				return fmt.Errorf("pisces: boot interposer on cpu %d: %w", cpu.ID, err)
+			}
+		}
+	}
+
+	params, err := DecodeBootParams(fw.hostIO, bpAddr)
+	if err != nil {
+		enc.setState(StateCreated)
+		return err
+	}
+	bc := &BootContext{Machine: fw.Machine, Enclave: enc, Params: params}
+	if err := kernel.Boot(bc); err != nil {
+		enc.setState(StateCreated)
+		return fmt.Errorf("pisces: kernel boot: %w", err)
+	}
+	enc.mu.Lock()
+	enc.kernel = kernel
+	enc.state = StateRunning
+	enc.mu.Unlock()
+	return fw.emit(&Event{Kind: EvBooted, Enclave: enc})
+}
+
+// sendCtl issues one control command and waits for the enclave's ack.
+func (fw *Framework) sendCtl(enc *Enclave, m *Msg) (*Msg, error) {
+	if fw.Machine.Crashed() {
+		return nil, fmt.Errorf("pisces: node is down")
+	}
+	enc.ctlMu.Lock()
+	defer enc.ctlMu.Unlock()
+	enc.ctlSeq++
+	m.Seq = enc.ctlSeq
+	if err := enc.CtlReq.Push(fw.hostIO, m); err != nil {
+		return nil, err
+	}
+	// Doorbell: kick the enclave's boot core.
+	fw.Machine.RouteIPI(-1, enc.Cores[0], VectorCtl)
+	var resp Msg
+	if err := enc.CtlResp.Pop(fw.hostIO, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Seq != m.Seq {
+		return nil, fmt.Errorf("pisces: ctl ack seq %d, want %d", resp.Seq, m.Seq)
+	}
+	if resp.Type == AckErr {
+		return &resp, fmt.Errorf("pisces: enclave %d rejected command %d", enc.ID, m.Type)
+	}
+	return &resp, nil
+}
+
+// Ping round-trips a no-op control command (liveness check).
+func (fw *Framework) Ping(enc *Enclave) error {
+	_, err := fw.sendCtl(enc, &Msg{Type: CmdPing})
+	return err
+}
+
+// AddMemory grows the enclave by size bytes on node. The extent is made
+// visible to protection layers (EvMemAddPre) before the enclave is told
+// about it, preserving Covirt's map-before-notify ordering.
+func (fw *Framework) AddMemory(enc *Enclave, node int, size uint64) (hw.Extent, error) {
+	if enc.State() != StateRunning {
+		return hw.Extent{}, fmt.Errorf("pisces: enclave %d not running", enc.ID)
+	}
+	ext, err := fw.Ledger.AllocMemory(node, size)
+	if err != nil {
+		return hw.Extent{}, err
+	}
+	if err := fw.emit(&Event{Kind: EvMemAddPre, Enclave: enc, Extent: ext}); err != nil {
+		fw.Ledger.FreeMemory(ext)
+		return hw.Extent{}, err
+	}
+	var m Msg
+	m.Type = CmdMemAdd
+	put64(m.Payload[:], 0, ext.Start)
+	put64(m.Payload[:], 8, ext.Size)
+	put64(m.Payload[:], 16, uint64(ext.Node))
+	if _, err := fw.sendCtl(enc, &m); err != nil {
+		// The enclave rejected (or died before accepting) the grant: undo
+		// the protection-layer mapping before reclaiming, or the enclave
+		// would retain hardware access to memory it never accepted.
+		_ = fw.emit(&Event{Kind: EvMemRemovePost, Enclave: enc, Extent: ext})
+		fw.Ledger.FreeMemory(ext)
+		return hw.Extent{}, err
+	}
+	enc.mu.Lock()
+	enc.mem = append(enc.mem, ext)
+	enc.mu.Unlock()
+	return ext, nil
+}
+
+// RemoveMemory shrinks the enclave by the given extent. The enclave
+// relinquishes the memory first; only then do protection layers unmap and
+// flush (EvMemRemovePost), and only after that is the memory reclaimed.
+func (fw *Framework) RemoveMemory(enc *Enclave, ext hw.Extent) error {
+	if enc.State() != StateRunning {
+		return fmt.Errorf("pisces: enclave %d not running", enc.ID)
+	}
+	enc.mu.Lock()
+	found := -1
+	for i, x := range enc.mem {
+		if i > 0 && x == ext { // extent 0 holds the reserved area; never removable
+			found = i
+			break
+		}
+	}
+	enc.mu.Unlock()
+	if found < 0 {
+		return fmt.Errorf("pisces: extent %v not removable from enclave %d", ext, enc.ID)
+	}
+	var m Msg
+	m.Type = CmdMemRemove
+	put64(m.Payload[:], 0, ext.Start)
+	put64(m.Payload[:], 8, ext.Size)
+	if _, err := fw.sendCtl(enc, &m); err != nil {
+		return err
+	}
+	enc.mu.Lock()
+	enc.mem = append(enc.mem[:found], enc.mem[found+1:]...)
+	enc.mu.Unlock()
+	if err := fw.emit(&Event{Kind: EvMemRemovePost, Enclave: enc, Extent: ext}); err != nil {
+		return err
+	}
+	fw.Ledger.FreeMemory(ext)
+	return nil
+}
+
+// AddCPU hot-adds an offline core from node to a running enclave. The
+// protection layer sees the core first (EvCPUAddPre: build the per-core
+// virtualization context and launch the hypervisor) and only then is the
+// co-kernel told to online it.
+func (fw *Framework) AddCPU(enc *Enclave, node int) (int, error) {
+	if enc.State() != StateRunning {
+		return -1, fmt.Errorf("pisces: enclave %d not running", enc.ID)
+	}
+	cores, err := fw.Ledger.AllocCores(&fw.Machine.Topo, node, 1)
+	if err != nil {
+		return -1, err
+	}
+	core := cores[0]
+	cpu := fw.Machine.CPU(core)
+	cpu.Revive()
+	cpu.Virt = nil
+	cpu.SetIRQHandler(nil)
+	cpu.SetNMIHandler(nil)
+	cpu.TLB.FlushAll()
+	if err := fw.emit(&Event{Kind: EvCPUAddPre, Enclave: enc, Core: core}); err != nil {
+		fw.Ledger.FreeCores(cores)
+		return -1, err
+	}
+	fw.mu.Lock()
+	interp := fw.interp
+	fw.mu.Unlock()
+	if interp != nil {
+		if err := interp.InterposeBoot(enc, cpu, enc.Base()+OffBootParams); err != nil {
+			fw.Ledger.FreeCores(cores)
+			return -1, err
+		}
+	}
+	var m Msg
+	m.Type = CmdCPUAdd
+	put64(m.Payload[:], 0, uint64(core))
+	if _, err := fw.sendCtl(enc, &m); err != nil {
+		_ = fw.emit(&Event{Kind: EvCPURemovePost, Enclave: enc, Core: core})
+		fw.Ledger.FreeCores(cores)
+		return -1, err
+	}
+	enc.mu.Lock()
+	enc.Cores = append(enc.Cores, core)
+	enc.mu.Unlock()
+	return core, nil
+}
+
+// RemoveCPU offlines a core from a running enclave: the co-kernel
+// relinquishes it first (rejecting if it is busy), then the protection
+// layer tears down that core's context, then the host reclaims it. The
+// enclave's boot core cannot be removed.
+func (fw *Framework) RemoveCPU(enc *Enclave, core int) error {
+	if enc.State() != StateRunning {
+		return fmt.Errorf("pisces: enclave %d not running", enc.ID)
+	}
+	enc.mu.Lock()
+	idx := -1
+	for i, c := range enc.Cores {
+		if i > 0 && c == core {
+			idx = i
+			break
+		}
+	}
+	enc.mu.Unlock()
+	if idx < 0 {
+		return fmt.Errorf("pisces: core %d not removable from enclave %d", core, enc.ID)
+	}
+	var m Msg
+	m.Type = CmdCPURemove
+	put64(m.Payload[:], 0, uint64(core))
+	if _, err := fw.sendCtl(enc, &m); err != nil {
+		return err
+	}
+	enc.mu.Lock()
+	enc.Cores = append(enc.Cores[:idx], enc.Cores[idx+1:]...)
+	enc.mu.Unlock()
+	if err := fw.emit(&Event{Kind: EvCPURemovePost, Enclave: enc, Core: core}); err != nil {
+		return err
+	}
+	cpu := fw.Machine.CPU(core)
+	cpu.Virt = nil
+	cpu.SetIRQHandler(nil)
+	fw.Ledger.FreeCores([]int{core})
+	return nil
+}
+
+// ReportCrash is called (by the Covirt hypervisor, or host-side detection)
+// when an enclave has been terminated. The framework reclaims the enclave's
+// resources and notifies dependents — the master control process's cleanup
+// duty in the paper.
+func (fw *Framework) ReportCrash(enc *Enclave, reason string) {
+	enc.mu.Lock()
+	if enc.state == StateCrashed || enc.state == StateStopped {
+		enc.mu.Unlock()
+		return
+	}
+	enc.state = StateCrashed
+	enc.crashReason = reason
+	mem := append([]hw.Extent(nil), enc.mem...)
+	enc.mu.Unlock()
+
+	close(enc.done)
+	enc.CloseRings()
+	for _, cpu := range enc.CPUs() {
+		cpu.Kill()
+	}
+	kernel := enc.Kernel()
+	if kernel != nil {
+		kernel.Shutdown()
+	}
+	_ = fw.emit(&Event{Kind: EvCrashed, Enclave: enc, Reason: reason})
+	for _, e := range mem {
+		fw.Ledger.FreeMemory(e)
+	}
+	// The crash report may originate from one of the enclave's own
+	// execution contexts (the hypervisor's exit handler), so waiting for
+	// the kernel to quiesce must happen off to the side; the cores return
+	// to the pool only once no stale context can touch them.
+	go func() {
+		if q, ok := kernel.(Quiescer); ok {
+			q.Quiesce()
+		}
+		fw.Ledger.FreeCores(enc.Cores)
+		close(enc.reclaimed)
+	}()
+}
+
+// Destroy gracefully stops a running enclave and reclaims its resources.
+func (fw *Framework) Destroy(enc *Enclave) error {
+	if enc.State() == StateRunning && !fw.Machine.Crashed() {
+		_, _ = fw.sendCtl(enc, &Msg{Type: CmdShutdown})
+	}
+	enc.mu.Lock()
+	if enc.state == StateCrashed || enc.state == StateStopped {
+		enc.mu.Unlock()
+		return nil
+	}
+	enc.state = StateStopped
+	mem := append([]hw.Extent(nil), enc.mem...)
+	enc.mu.Unlock()
+
+	close(enc.done)
+	enc.CloseRings()
+	kernel := enc.Kernel()
+	if kernel != nil {
+		kernel.Shutdown()
+	}
+	for _, cpu := range enc.CPUs() {
+		cpu.Kill()
+	}
+	// Destroy runs in a management context, never on an enclave core, so
+	// the kernel can be quiesced synchronously before the hardware is
+	// recycled.
+	if q, ok := kernel.(Quiescer); ok {
+		q.Quiesce()
+	}
+	err := fw.emit(&Event{Kind: EvDestroyed, Enclave: enc})
+	for _, e := range mem {
+		fw.Ledger.FreeMemory(e)
+	}
+	fw.Ledger.FreeCores(enc.Cores)
+	close(enc.reclaimed)
+	fw.mu.Lock()
+	delete(fw.enclaves, enc.ID)
+	fw.mu.Unlock()
+	return err
+}
+
+// RegisterIoctl extends the framework's control ABI with a new command —
+// the hook Covirt's userspace controller uses ("piggy-backs on the Pisces
+// kernel ABI by adding a new set of ioctl commands").
+func (fw *Framework) RegisterIoctl(cmd uint32, h func(arg any) (any, error)) error {
+	fw.ioctlMu.Lock()
+	defer fw.ioctlMu.Unlock()
+	if _, dup := fw.ioctls[cmd]; dup {
+		return fmt.Errorf("pisces: ioctl %#x already registered", cmd)
+	}
+	fw.ioctls[cmd] = h
+	return nil
+}
+
+// Ioctl dispatches an extension command.
+func (fw *Framework) Ioctl(cmd uint32, arg any) (any, error) {
+	fw.ioctlMu.Lock()
+	h := fw.ioctls[cmd]
+	fw.ioctlMu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("pisces: unknown ioctl %#x", cmd)
+	}
+	return h(arg)
+}

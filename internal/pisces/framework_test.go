@@ -1,0 +1,370 @@
+package pisces
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"covirt/internal/hw"
+)
+
+// stubKernel is a minimal Bootable that services the control ring from an
+// idle loop, accepting or rejecting commands per configuration.
+type stubKernel struct {
+	acceptMem bool
+
+	bc     *BootContext
+	done   chan struct{}
+	stop   sync.Once
+	wg     sync.WaitGroup
+	booted bool
+
+	mu     sync.Mutex
+	memAdd []hw.Extent
+}
+
+func newStubKernel(acceptMem bool) *stubKernel {
+	return &stubKernel{acceptMem: acceptMem, done: make(chan struct{})}
+}
+
+func (s *stubKernel) Boot(bc *BootContext) error {
+	s.bc = bc
+	s.booted = true
+	for _, id := range bc.Params.Cores {
+		cpu := bc.Machine.CPU(id)
+		cpu.SetIRQHandler(func(c *hw.CPU, vector uint8, external bool) {
+			if vector == VectorCtl {
+				s.drainCtl(c)
+			}
+		})
+		s.wg.Add(1)
+		go func(c *hw.CPU) {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.done:
+					return
+				default:
+				}
+				if err := c.Idle(s.done); err != nil {
+					return
+				}
+			}
+		}(cpu)
+	}
+	return nil
+}
+
+func (s *stubKernel) drainCtl(c *hw.CPU) {
+	io := CPUMemIO{CPU: c}
+	for {
+		var m Msg
+		ok, err := s.bc.Enclave.CtlReq.TryPop(io, &m)
+		if err != nil || !ok {
+			return
+		}
+		resp := Msg{Type: AckOK, Seq: m.Seq}
+		switch m.Type {
+		case CmdPing:
+		case CmdMemAdd:
+			if s.acceptMem {
+				s.mu.Lock()
+				s.memAdd = append(s.memAdd, hw.Extent{})
+				s.mu.Unlock()
+			} else {
+				resp.Type = AckErr
+			}
+		case CmdMemRemove:
+			if !s.acceptMem {
+				resp.Type = AckErr
+			}
+		case CmdShutdown:
+			_ = s.bc.Enclave.CtlResp.Push(io, &resp)
+			go s.Shutdown()
+			return
+		default:
+			resp.Type = AckErr
+		}
+		if err := s.bc.Enclave.CtlResp.Push(io, &resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *stubKernel) Shutdown() {
+	s.stop.Do(func() {
+		close(s.done)
+		if s.bc != nil {
+			for _, cpu := range s.bc.Enclave.CPUs() {
+				cpu.APIC.RaiseNMI()
+			}
+		}
+	})
+}
+
+func (s *stubKernel) Quiesce() { s.wg.Wait() }
+
+// fwFixture builds a machine + framework with donated resources.
+func fwFixture(t *testing.T) (*hw.Machine, *Framework) {
+	t.Helper()
+	spec := hw.DefaultSpec()
+	spec.MemPerNode = 2 << 30
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := NewLedger()
+	for _, n := range m.Topo.Nodes {
+		start := hw.AlignUp(n.MemBase, hw.PageSize2M)
+		if err := ledger.DonateMemory(hw.Extent{Start: start, Size: 1 << 30, Node: n.ID}); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range n.Cores[1:] {
+			ledger.DonateCore(c)
+		}
+	}
+	return m, NewFramework(m, ledger)
+}
+
+func TestCreateEnclaveValidation(t *testing.T) {
+	_, fw := fwFixture(t)
+	if _, err := fw.CreateEnclave(EnclaveSpec{Name: "x", NumCores: 0, MemBytes: 1 << 20}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := fw.CreateEnclave(EnclaveSpec{Name: "x", NumCores: 1}); err == nil {
+		t.Error("zero memory accepted")
+	}
+	if _, err := fw.CreateEnclave(EnclaveSpec{Name: "x", NumCores: 50, MemBytes: 1 << 20}); err == nil {
+		t.Error("impossible core count accepted")
+	}
+	if _, err := fw.CreateEnclave(EnclaveSpec{Name: "x", NumCores: 1, MemBytes: 1 << 45}); err == nil {
+		t.Error("impossible memory accepted")
+	}
+	// Resources from failed creations were rolled back.
+	enc, err := fw.CreateEnclave(EnclaveSpec{Name: "ok", NumCores: 5, Nodes: []int{0}, MemBytes: 1 << 30})
+	if err != nil {
+		t.Fatalf("rollback leaked resources: %v", err)
+	}
+	if fw.Enclave(enc.ID) != enc {
+		t.Error("lookup failed")
+	}
+	if len(fw.Enclaves()) != 1 {
+		t.Error("enclave list wrong")
+	}
+}
+
+func TestBootStateMachine(t *testing.T) {
+	_, fw := fwFixture(t)
+	enc, err := fw.CreateEnclave(EnclaveSpec{Name: "sm", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.State() != StateCreated {
+		t.Fatalf("state = %v", enc.State())
+	}
+	// Operations on a non-running enclave fail.
+	if _, err := fw.AddMemory(enc, 0, 1<<20); err == nil {
+		t.Error("AddMemory on created enclave accepted")
+	}
+	if _, err := fw.AddCPU(enc, 0); err == nil {
+		t.Error("AddCPU on created enclave accepted")
+	}
+	k := newStubKernel(true)
+	if err := fw.Boot(enc, k); err != nil {
+		t.Fatal(err)
+	}
+	if enc.State() != StateRunning {
+		t.Fatalf("state = %v", enc.State())
+	}
+	// Double boot is rejected.
+	if err := fw.Boot(enc, newStubKernel(true)); err == nil {
+		t.Error("double boot accepted")
+	}
+	if err := fw.Ping(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Destroy(enc); err != nil {
+		t.Fatal(err)
+	}
+	if enc.State() != StateStopped {
+		t.Fatalf("state = %v", enc.State())
+	}
+	// Idempotent destroy.
+	if err := fw.Destroy(enc); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-enc.Reclaimed():
+	default:
+		t.Error("reclaimed channel not closed after destroy")
+	}
+}
+
+func TestBootPreEventAbortsBoot(t *testing.T) {
+	_, fw := fwFixture(t)
+	sentinel := errors.New("veto")
+	fw.Subscribe(func(ev *Event) error {
+		if ev.Kind == EvBootPre {
+			return sentinel
+		}
+		return nil
+	})
+	enc, err := fw.CreateEnclave(EnclaveSpec{Name: "veto", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Boot(enc, newStubKernel(true)); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if enc.State() != StateCreated {
+		t.Errorf("state after vetoed boot = %v", enc.State())
+	}
+}
+
+// failingInterposer rejects interposition on a specific core.
+type failingInterposer struct{}
+
+func (failingInterposer) InterposeBoot(enc *Enclave, cpu *hw.CPU, bpAddr uint64) error {
+	return fmt.Errorf("no VMX on core %d", cpu.ID)
+}
+
+func TestInterposerFailureAbortsBoot(t *testing.T) {
+	_, fw := fwFixture(t)
+	fw.SetInterposer(failingInterposer{})
+	enc, err := fw.CreateEnclave(EnclaveSpec{Name: "novmx", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Boot(enc, newStubKernel(true)); err == nil {
+		t.Fatal("boot succeeded despite interposer failure")
+	}
+	if enc.State() != StateCreated {
+		t.Errorf("state = %v", enc.State())
+	}
+}
+
+func TestMemAddRejectionRollsBack(t *testing.T) {
+	_, fw := fwFixture(t)
+	enc, _ := fw.CreateEnclave(EnclaveSpec{Name: "nomem", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	if err := fw.Boot(enc, newStubKernel(false)); err != nil { // rejects mem ops
+		t.Fatal(err)
+	}
+	defer fw.Destroy(enc)
+	free := fw.Ledger.FreeBytes(0)
+	var sawRollback bool
+	fw.Subscribe(func(ev *Event) error {
+		if ev.Kind == EvMemRemovePost {
+			sawRollback = true
+		}
+		return nil
+	})
+	if _, err := fw.AddMemory(enc, 0, 32<<20); err == nil {
+		t.Fatal("rejected mem-add reported success")
+	}
+	if got := fw.Ledger.FreeBytes(0); got != free {
+		t.Errorf("free bytes %d -> %d: extent leaked", free, got)
+	}
+	if !sawRollback {
+		t.Error("no compensating unmap event emitted")
+	}
+	if len(enc.Mem()) != 1 {
+		t.Errorf("enclave mem = %v", enc.Mem())
+	}
+}
+
+func TestRemoveMemoryValidation(t *testing.T) {
+	_, fw := fwFixture(t)
+	enc, _ := fw.CreateEnclave(EnclaveSpec{Name: "rm", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	if err := fw.Boot(enc, newStubKernel(true)); err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Destroy(enc)
+	// The boot extent (index 0) can never be removed.
+	if err := fw.RemoveMemory(enc, enc.Mem()[0]); err == nil {
+		t.Error("boot extent removal accepted")
+	}
+	// An extent the enclave does not own cannot be removed.
+	if err := fw.RemoveMemory(enc, hw.Extent{Start: 0x1000, Size: 0x1000}); err == nil {
+		t.Error("foreign extent removal accepted")
+	}
+}
+
+func TestReportCrashIsIdempotentAndReclaims(t *testing.T) {
+	m, fw := fwFixture(t)
+	free := fw.Ledger.FreeBytes(0)
+	enc, _ := fw.CreateEnclave(EnclaveSpec{Name: "crash", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
+	k := newStubKernel(true)
+	if err := fw.Boot(enc, k); err != nil {
+		t.Fatal(err)
+	}
+	var crashes int
+	fw.Subscribe(func(ev *Event) error {
+		if ev.Kind == EvCrashed {
+			crashes++
+		}
+		return nil
+	})
+	fw.ReportCrash(enc, "bang")
+	fw.ReportCrash(enc, "bang again") // second report is a no-op
+	if crashes != 1 {
+		t.Errorf("crash events = %d", crashes)
+	}
+	if enc.CrashReason() != "bang" {
+		t.Errorf("reason = %q", enc.CrashReason())
+	}
+	<-enc.Reclaimed()
+	if got := fw.Ledger.FreeBytes(0); got != free {
+		t.Errorf("free bytes = %d, want %d", got, free)
+	}
+	// The cores really came back: a new enclave can use them.
+	enc2, err := fw.CreateEnclave(EnclaveSpec{Name: "next", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Boot(enc2, newStubKernel(true)); err != nil {
+		t.Fatal(err)
+	}
+	_ = fw.Destroy(enc2)
+	_ = m
+}
+
+func TestIoctlRegistry(t *testing.T) {
+	_, fw := fwFixture(t)
+	called := false
+	if err := fw.RegisterIoctl(0x42, func(arg any) (any, error) {
+		called = true
+		return arg, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.RegisterIoctl(0x42, nil); err == nil {
+		t.Error("duplicate ioctl registration accepted")
+	}
+	out, err := fw.Ioctl(0x42, "echo")
+	if err != nil || out != "echo" || !called {
+		t.Errorf("ioctl = %v, %v", out, err)
+	}
+	if _, err := fw.Ioctl(0x99, nil); err == nil {
+		t.Error("unknown ioctl accepted")
+	}
+}
+
+func TestEnclaveAccessors(t *testing.T) {
+	_, fw := fwFixture(t)
+	enc, _ := fw.CreateEnclave(EnclaveSpec{Name: "acc", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
+	if !enc.OwnsAddr(enc.Base()) || !enc.OwnsAddr(enc.Mem()[0].End()-1) {
+		t.Error("OwnsAddr false for own memory")
+	}
+	if enc.OwnsAddr(0x10) {
+		t.Error("OwnsAddr true for foreign memory")
+	}
+	if enc.BootCPU() == nil || len(enc.CPUs()) != 2 {
+		t.Error("CPU accessors wrong")
+	}
+	for _, s := range []State{StateCreated, StateBooting, StateRunning, StateCrashed, StateStopped, State(99)} {
+		if s.String() == "" {
+			t.Errorf("state %d unnamed", s)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package pisces
+
+import (
+	"encoding/binary"
+
+	"covirt/internal/hw"
+)
+
+// MemIO abstracts who is touching shared physical memory: the host OS
+// accesses it natively (trusted, unprotected), while an enclave co-kernel
+// goes through its CPU so translation costs are charged and protection
+// layers can intervene.
+type MemIO interface {
+	ReadBytes(addr uint64, p []byte) error
+	WriteBytes(addr uint64, p []byte) error
+	Read64(addr uint64) (uint64, error)
+	Write64(addr uint64, v uint64) error
+}
+
+// NativeMemIO is host-side direct access to physical memory.
+type NativeMemIO struct {
+	Mem *hw.PhysMem
+}
+
+// ReadBytes implements MemIO.
+func (n NativeMemIO) ReadBytes(addr uint64, p []byte) error { return n.Mem.Read(addr, p) }
+
+// WriteBytes implements MemIO.
+func (n NativeMemIO) WriteBytes(addr uint64, p []byte) error { return n.Mem.Write(addr, p) }
+
+// Read64 implements MemIO.
+func (n NativeMemIO) Read64(addr uint64) (uint64, error) { return n.Mem.Read64(addr) }
+
+// Write64 implements MemIO.
+func (n NativeMemIO) Write64(addr uint64, v uint64) error { return n.Mem.Write64(addr, v) }
+
+// CPUMemIO is enclave-side access through a simulated CPU: every access is
+// charged and subject to the CPU's protection layer.
+type CPUMemIO struct {
+	CPU *hw.CPU
+}
+
+// ReadBytes implements MemIO.
+func (c CPUMemIO) ReadBytes(addr uint64, p []byte) error { return c.CPU.ReadBytesG(addr, p) }
+
+// WriteBytes implements MemIO.
+func (c CPUMemIO) WriteBytes(addr uint64, p []byte) error { return c.CPU.WriteBytesG(addr, p) }
+
+// Read64 implements MemIO.
+func (c CPUMemIO) Read64(addr uint64) (uint64, error) { return c.CPU.Read64G(addr) }
+
+// Write64 implements MemIO.
+func (c CPUMemIO) Write64(addr uint64, v uint64) error { return c.CPU.Write64G(addr, v) }
+
+// put64/get64 are little helpers for message payload packing.
+func put64(p []byte, off int, v uint64) { binary.LittleEndian.PutUint64(p[off:], v) }
+func get64(p []byte, off int) uint64    { return binary.LittleEndian.Uint64(p[off:]) }
+func put32(p []byte, off int, v uint32) { binary.LittleEndian.PutUint32(p[off:], v) }
+func get32(p []byte, off int) uint32    { return binary.LittleEndian.Uint32(p[off:]) }

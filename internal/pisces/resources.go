@@ -1,0 +1,170 @@
+package pisces
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"covirt/internal/hw"
+)
+
+// Ledger tracks free physical memory extents and offline cores available
+// for assignment to enclaves. The host OS donates resources into the ledger
+// (taking them offline) and Pisces allocates them to enclaves from there.
+type Ledger struct {
+	mu      sync.Mutex
+	free    map[int][]hw.Extent // per node, sorted by Start
+	cores   map[int]bool        // offline cores available for enclaves
+	granule uint64
+}
+
+// NewLedger returns an empty ledger. Allocations are made in multiples of
+// the 2 MiB granule, matching Pisces' large-page-aligned memory handoff.
+func NewLedger() *Ledger {
+	return NewLedgerGranule(hw.PageSize2M)
+}
+
+// NewLedgerGranule returns a ledger with a custom allocation granule (a
+// power of two, at least 4 KiB). Co-kernels use a finer granule for their
+// internal allocators than the framework uses for enclave handoff.
+func NewLedgerGranule(granule uint64) *Ledger {
+	if granule < hw.PageSize4K {
+		granule = hw.PageSize4K
+	}
+	return &Ledger{
+		free:    make(map[int][]hw.Extent),
+		cores:   make(map[int]bool),
+		granule: granule,
+	}
+}
+
+// DonateMemory adds a free extent to the ledger. The extent must be
+// granule-aligned.
+func (l *Ledger) DonateMemory(e hw.Extent) error {
+	if e.Start%l.granule != 0 || e.Size%l.granule != 0 {
+		return fmt.Errorf("pisces: extent %v not %d-aligned", e, l.granule)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.free[e.Node] = insertExtent(l.free[e.Node], e)
+	return nil
+}
+
+// DonateCore marks a core available for enclave assignment.
+func (l *Ledger) DonateCore(core int) {
+	l.mu.Lock()
+	l.cores[core] = true
+	l.mu.Unlock()
+}
+
+// AllocMemory carves size bytes from node's free extents. Size is rounded
+// up to the granule. The allocation is contiguous, matching the lightweight
+// kernels' contiguous-memory policy.
+func (l *Ledger) AllocMemory(node int, size uint64) (hw.Extent, error) {
+	size = hw.AlignUp(size, l.granule)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	frees := l.free[node]
+	for i, f := range frees {
+		if f.Size >= size {
+			out := hw.Extent{Start: f.Start, Size: size, Node: node}
+			if f.Size == size {
+				l.free[node] = append(frees[:i], frees[i+1:]...)
+			} else {
+				frees[i] = hw.Extent{Start: f.Start + size, Size: f.Size - size, Node: node}
+			}
+			return out, nil
+		}
+	}
+	return hw.Extent{}, fmt.Errorf("pisces: node %d has no contiguous %d bytes free", node, size)
+}
+
+// FreeMemory returns an extent to the ledger, coalescing with neighbours.
+func (l *Ledger) FreeMemory(e hw.Extent) {
+	l.mu.Lock()
+	l.free[e.Node] = insertExtent(l.free[e.Node], e)
+	l.mu.Unlock()
+}
+
+// AllocCores takes n offline cores from node (or any node if node < 0).
+func (l *Ledger) AllocCores(topo *hw.Topology, node, n int) ([]int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var got []int
+	for core := range l.cores {
+		if node >= 0 && topo.NodeOfCore(core) != node {
+			continue
+		}
+		got = append(got, core)
+	}
+	sort.Ints(got)
+	if len(got) < n {
+		return nil, fmt.Errorf("pisces: want %d cores on node %d, have %d offline", n, node, len(got))
+	}
+	got = got[:n]
+	for _, c := range got {
+		delete(l.cores, c)
+	}
+	return got, nil
+}
+
+// FreeCores returns cores to the offline pool.
+func (l *Ledger) FreeCores(cores []int) {
+	l.mu.Lock()
+	for _, c := range cores {
+		l.cores[c] = true
+	}
+	l.mu.Unlock()
+}
+
+// Reserve removes exactly the given extent from the free lists, failing if
+// any part of it is not currently free. A co-kernel uses this to pull a
+// specific range (e.g. memory the host asked it to relinquish) out of its
+// allocator.
+func (l *Ledger) Reserve(e hw.Extent) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	frees := l.free[e.Node]
+	for i, f := range frees {
+		if f.Start <= e.Start && f.End() >= e.End() {
+			var repl []hw.Extent
+			if f.Start < e.Start {
+				repl = append(repl, hw.Extent{Start: f.Start, Size: e.Start - f.Start, Node: e.Node})
+			}
+			if f.End() > e.End() {
+				repl = append(repl, hw.Extent{Start: e.End(), Size: f.End() - e.End(), Node: e.Node})
+			}
+			out := append(append(append([]hw.Extent{}, frees[:i]...), repl...), frees[i+1:]...)
+			l.free[e.Node] = out
+			return nil
+		}
+	}
+	return fmt.Errorf("pisces: extent %v not fully free", e)
+}
+
+// FreeBytes reports free memory on node.
+func (l *Ledger) FreeBytes(node int) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return hw.TotalSize(l.free[node])
+}
+
+// insertExtent inserts e into a Start-sorted extent list, merging adjacent
+// extents.
+func insertExtent(list []hw.Extent, e hw.Extent) []hw.Extent {
+	i := sort.Search(len(list), func(i int) bool { return list[i].Start >= e.Start })
+	list = append(list, hw.Extent{})
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	// Merge with next.
+	if i+1 < len(list) && list[i].End() == list[i+1].Start {
+		list[i].Size += list[i+1].Size
+		list = append(list[:i+1], list[i+2:]...)
+	}
+	// Merge with previous.
+	if i > 0 && list[i-1].End() == list[i].Start {
+		list[i-1].Size += list[i].Size
+		list = append(list[:i], list[i+1:]...)
+	}
+	return list
+}

@@ -1,0 +1,185 @@
+package pisces
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Msg is one fixed-size command-ring message. Fixed-size messages mirror
+// Covirt's "commands are fixed-size messages" design and keep the
+// shared-memory layout trivial for both kernels to parse.
+type Msg struct {
+	Type    uint32
+	Seq     uint32
+	Payload [MsgPayloadSize]byte
+}
+
+// Message geometry.
+const (
+	MsgPayloadSize = 56
+	msgSize        = 64 // 4 type + 4 seq + 56 payload
+	ringHdrSize    = 16 // head (8) + tail (8)
+)
+
+// RingSlots is the capacity of each command ring.
+const RingSlots = 32
+
+// RingBytes is the shared-memory footprint of one ring.
+const RingBytes = ringHdrSize + RingSlots*msgSize
+
+// Ring is a single-producer single-consumer command ring living in shared
+// physical memory. Head and tail indices and all message bytes are stored
+// in guest-visible memory and accessed through a MemIO, so an enclave-side
+// endpoint pays simulated access costs and is subject to protection.
+//
+// Go-level blocking (cond + done channel) stands in for the interrupt-based
+// wakeups of the real system; the IPI "doorbell" side effects are modelled
+// by the callers, which send IPIs around Push as the real stack does.
+type Ring struct {
+	base uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	done <-chan struct{}
+
+	closed bool
+}
+
+// NewRing creates the Go-side handle for a ring at base. The memory is not
+// initialized; call Init from the owning (host) side first.
+func NewRing(base uint64, done <-chan struct{}) *Ring {
+	r := &Ring{base: base, done: done}
+	r.cond = sync.NewCond(&r.mu)
+	if done != nil {
+		go func() {
+			<-done
+			r.mu.Lock()
+			r.closed = true
+			r.mu.Unlock()
+			r.cond.Broadcast()
+		}()
+	}
+	return r
+}
+
+// Init zeroes the ring header through io.
+func (r *Ring) Init(io MemIO) error {
+	if err := io.Write64(r.base, 0); err != nil {
+		return err
+	}
+	return io.Write64(r.base+8, 0)
+}
+
+// slotAddr returns the physical address of slot i.
+func (r *Ring) slotAddr(i uint64) uint64 {
+	return r.base + ringHdrSize + (i%RingSlots)*msgSize
+}
+
+// Push appends m, blocking while the ring is full. It returns an error if
+// the ring is shut down or the memory access faults.
+func (r *Ring) Push(io MemIO, m *Msg) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return fmt.Errorf("pisces: ring shut down")
+		}
+		head, err := io.Read64(r.base)
+		if err != nil {
+			return err
+		}
+		tail, err := io.Read64(r.base + 8)
+		if err != nil {
+			return err
+		}
+		if head-tail < RingSlots {
+			var buf [msgSize]byte
+			put32(buf[:], 0, m.Type)
+			put32(buf[:], 4, m.Seq)
+			copy(buf[8:], m.Payload[:])
+			if err := io.WriteBytes(r.slotAddr(head), buf[:]); err != nil {
+				return err
+			}
+			if err := io.Write64(r.base, head+1); err != nil {
+				return err
+			}
+			r.cond.Broadcast()
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// Pop removes the oldest message, blocking while the ring is empty.
+func (r *Ring) Pop(io MemIO, m *Msg) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return fmt.Errorf("pisces: ring shut down")
+		}
+		head, err := io.Read64(r.base)
+		if err != nil {
+			return err
+		}
+		tail, err := io.Read64(r.base + 8)
+		if err != nil {
+			return err
+		}
+		if head > tail {
+			var buf [msgSize]byte
+			if err := io.ReadBytes(r.slotAddr(tail), buf[:]); err != nil {
+				return err
+			}
+			m.Type = get32(buf[:], 0)
+			m.Seq = get32(buf[:], 4)
+			copy(m.Payload[:], buf[8:])
+			if err := io.Write64(r.base+8, tail+1); err != nil {
+				return err
+			}
+			r.cond.Broadcast()
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// TryPop is Pop without blocking; ok reports whether a message was taken.
+func (r *Ring) TryPop(io MemIO, m *Msg) (ok bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false, fmt.Errorf("pisces: ring shut down")
+	}
+	head, err := io.Read64(r.base)
+	if err != nil {
+		return false, err
+	}
+	tail, err := io.Read64(r.base + 8)
+	if err != nil {
+		return false, err
+	}
+	if head == tail {
+		return false, nil
+	}
+	var buf [msgSize]byte
+	if err := io.ReadBytes(r.slotAddr(tail), buf[:]); err != nil {
+		return false, err
+	}
+	m.Type = get32(buf[:], 0)
+	m.Seq = get32(buf[:], 4)
+	copy(m.Payload[:], buf[8:])
+	if err := io.Write64(r.base+8, tail+1); err != nil {
+		return false, err
+	}
+	r.cond.Broadcast()
+	return true, nil
+}
+
+// Close shuts the ring down, releasing all blocked endpoints.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}

@@ -1,0 +1,109 @@
+// Package trace provides a lightweight, fixed-capacity event tracer used
+// to capture hypervisor and controller activity. The paper highlights that
+// Covirt makes diagnosing co-kernel bugs dramatically easier because the
+// protection layer observes the exact first bad operation; this tracer is
+// the corresponding debugging artifact — a flight recorder of exits,
+// commands and resource events with simulated-cycle timestamps.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq  uint64
+	TSC  uint64 // issuing CPU's cycle counter at record time
+	CPU  int    // issuing CPU, -1 for management-plane events
+	Kind string // short category, e.g. "exit:EPT_VIOLATION", "ctl:map"
+	Msg  string
+}
+
+// String formats one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%8d] cpu=%-2d tsc=%-12d %-24s %s", e.Seq, e.CPU, e.TSC, e.Kind, e.Msg)
+}
+
+// Buffer is a concurrency-safe ring buffer of Events. The zero value is
+// unusable; call New. A nil *Buffer is valid and records nothing, so call
+// sites never need nil checks.
+type Buffer struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever recorded
+}
+
+// New returns a tracer retaining the last capacity events.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Buffer{ring: make([]Event, capacity)}
+}
+
+// Record appends an event. Safe on a nil buffer (no-op).
+func (b *Buffer) Record(cpu int, tsc uint64, kind, format string, args ...any) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.ring[b.next%uint64(len(b.ring))] = Event{
+		Seq: b.next, TSC: tsc, CPU: cpu, Kind: kind, Msg: fmt.Sprintf(format, args...),
+	}
+	b.next++
+	b.mu.Unlock()
+}
+
+// Len returns the total number of events ever recorded.
+func (b *Buffer) Len() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	capn := uint64(len(b.ring))
+	start := uint64(0)
+	count := b.next
+	if b.next > capn {
+		start = b.next - capn
+		count = capn
+	}
+	out := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, b.ring[(start+i)%capn])
+	}
+	return out
+}
+
+// Filter returns retained events whose Kind has the given prefix.
+func (b *Buffer) Filter(kindPrefix string) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if strings.HasPrefix(e.Kind, kindPrefix) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for _, e := range b.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilBufferIsSafe(t *testing.T) {
+	var b *Buffer
+	b.Record(0, 0, "x", "y")
+	if b.Len() != 0 || b.Events() != nil || b.Dump() != "" {
+		t.Error("nil buffer misbehaved")
+	}
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	b := New(8)
+	for i := 0; i < 5; i++ {
+		b.Record(i, uint64(i*100), "k", "event %d", i)
+	}
+	evs := b.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) || e.CPU != i || e.Msg != strings.ReplaceAll("event N", "N", string(rune('0'+i))) {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Record(0, uint64(i), "k", "%d", i)
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Errorf("window = [%d, %d]", evs[0].Seq, evs[3].Seq)
+	}
+	if b.Len() != 10 {
+		t.Errorf("total = %d", b.Len())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := New(16)
+	b.Record(0, 1, "exit:EPT_VIOLATION", "a")
+	b.Record(0, 2, "ctl:map", "b")
+	b.Record(0, 3, "exit:NMI", "c")
+	if got := len(b.Filter("exit:")); got != 2 {
+		t.Errorf("exit events = %d", got)
+	}
+	if got := len(b.Filter("ctl:")); got != 1 {
+		t.Errorf("ctl events = %d", got)
+	}
+	if !strings.Contains(b.Dump(), "EPT_VIOLATION") {
+		t.Error("dump missing event")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	b := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Record(g, uint64(i), "k", "g%d-%d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Len() != 800 {
+		t.Errorf("total = %d", b.Len())
+	}
+	if len(b.Events()) != 128 {
+		t.Errorf("retained = %d", len(b.Events()))
+	}
+}
+
+// Property: Events always returns min(Len, capacity) items with strictly
+// increasing Seq.
+func TestEventsMonotoneProperty(t *testing.T) {
+	f := func(n uint8, capn uint8) bool {
+		capacity := int(capn%32) + 1
+		b := New(capacity)
+		for i := 0; i < int(n); i++ {
+			b.Record(0, 0, "k", "")
+		}
+		evs := b.Events()
+		want := int(n)
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq != evs[i-1].Seq+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

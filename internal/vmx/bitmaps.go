@@ -1,0 +1,97 @@
+package vmx
+
+import "sync"
+
+// MSRBitmap selects which model-specific registers trap on access, like the
+// VMX MSR bitmap area. The zero value intercepts nothing.
+type MSRBitmap struct {
+	mu    sync.RWMutex
+	read  map[uint32]bool
+	write map[uint32]bool
+	all   bool // intercept everything (both directions)
+	allWr bool // intercept all writes
+}
+
+// NewMSRBitmap returns an empty bitmap (no intercepts).
+func NewMSRBitmap() *MSRBitmap {
+	return &MSRBitmap{read: make(map[uint32]bool), write: make(map[uint32]bool)}
+}
+
+// InterceptAll makes every MSR access trap.
+func (b *MSRBitmap) InterceptAll() {
+	b.mu.Lock()
+	b.all = true
+	b.mu.Unlock()
+}
+
+// InterceptAllWrites makes every WRMSR trap while leaving reads direct —
+// Covirt's default MSR-protection posture.
+func (b *MSRBitmap) InterceptAllWrites() {
+	b.mu.Lock()
+	b.allWr = true
+	b.mu.Unlock()
+}
+
+// Set marks a single MSR for read and/or write interception.
+func (b *MSRBitmap) Set(msr uint32, read, write bool) {
+	b.mu.Lock()
+	if read {
+		b.read[msr] = true
+	}
+	if write {
+		b.write[msr] = true
+	}
+	b.mu.Unlock()
+}
+
+// TrapsRead reports whether RDMSR of msr exits.
+func (b *MSRBitmap) TrapsRead(msr uint32) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.all || b.read[msr]
+}
+
+// TrapsWrite reports whether WRMSR of msr exits.
+func (b *MSRBitmap) TrapsWrite(msr uint32) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.all || b.allWr || b.write[msr]
+}
+
+// IOBitmap selects which I/O ports trap, like the VMX I/O bitmap pages.
+type IOBitmap struct {
+	mu   sync.RWMutex
+	bits [65536 / 64]uint64
+	all  bool
+}
+
+// NewIOBitmap returns an empty bitmap (no intercepts).
+func NewIOBitmap() *IOBitmap { return &IOBitmap{} }
+
+// InterceptAll makes every port access trap.
+func (b *IOBitmap) InterceptAll() {
+	b.mu.Lock()
+	b.all = true
+	b.mu.Unlock()
+}
+
+// Set marks one port for interception.
+func (b *IOBitmap) Set(port uint16) {
+	b.mu.Lock()
+	b.bits[port/64] |= 1 << (port % 64)
+	b.mu.Unlock()
+}
+
+// Clear unmarks one port.
+func (b *IOBitmap) Clear(port uint16) {
+	b.mu.Lock()
+	b.bits[port/64] &^= 1 << (port % 64)
+	b.mu.Unlock()
+}
+
+// Traps reports whether access to port exits.
+func (b *IOBitmap) Traps(port uint16) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.all || b.bits[port/64]&(1<<(port%64)) != 0
+}

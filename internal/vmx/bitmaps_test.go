@@ -1,0 +1,131 @@
+package vmx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMSRBitmapDefaults(t *testing.T) {
+	b := NewMSRBitmap()
+	if b.TrapsRead(0x1B) || b.TrapsWrite(0x1B) {
+		t.Error("fresh bitmap traps")
+	}
+}
+
+func TestMSRBitmapSelective(t *testing.T) {
+	b := NewMSRBitmap()
+	b.Set(0x1B, true, false)
+	b.Set(0x3A, false, true)
+	if !b.TrapsRead(0x1B) || b.TrapsWrite(0x1B) {
+		t.Error("read-only intercept wrong")
+	}
+	if b.TrapsRead(0x3A) || !b.TrapsWrite(0x3A) {
+		t.Error("write-only intercept wrong")
+	}
+	if b.TrapsRead(0x999) || b.TrapsWrite(0x999) {
+		t.Error("unrelated MSR trapped")
+	}
+}
+
+func TestMSRBitmapAllWrites(t *testing.T) {
+	b := NewMSRBitmap()
+	b.InterceptAllWrites()
+	if !b.TrapsWrite(0x1234) {
+		t.Error("all-writes not trapping")
+	}
+	if b.TrapsRead(0x1234) {
+		t.Error("all-writes trapped a read")
+	}
+	b2 := NewMSRBitmap()
+	b2.InterceptAll()
+	if !b2.TrapsRead(0x1) || !b2.TrapsWrite(0x1) {
+		t.Error("intercept-all incomplete")
+	}
+}
+
+func TestIOBitmapSetClear(t *testing.T) {
+	b := NewIOBitmap()
+	if b.Traps(0x3F8) {
+		t.Error("fresh bitmap traps")
+	}
+	b.Set(0x3F8)
+	if !b.Traps(0x3F8) || b.Traps(0x3F9) {
+		t.Error("single-port intercept wrong")
+	}
+	b.Clear(0x3F8)
+	if b.Traps(0x3F8) {
+		t.Error("clear failed")
+	}
+	b.InterceptAll()
+	if !b.Traps(0) || !b.Traps(0xFFFF) {
+		t.Error("intercept-all incomplete")
+	}
+}
+
+// Property: IOBitmap traps exactly the set ports (edge ports included).
+func TestIOBitmapProperty(t *testing.T) {
+	f := func(ports []uint16) bool {
+		b := NewIOBitmap()
+		set := map[uint16]bool{}
+		for _, p := range ports {
+			b.Set(p)
+			set[p] = true
+		}
+		for _, p := range ports {
+			if !b.Traps(p) {
+				return false
+			}
+		}
+		// Probe boundaries and a few non-members.
+		for _, p := range []uint16{0, 1, 63, 64, 0xFFFF} {
+			if b.Traps(p) != set[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVMCSLaunchState(t *testing.T) {
+	v := NewVMCS(3)
+	if v.Launched() {
+		t.Error("fresh VMCS launched")
+	}
+	v.MarkLaunched()
+	if !v.Launched() {
+		t.Error("launch not recorded")
+	}
+	if v.CPUID != 3 {
+		t.Error("cpu binding lost")
+	}
+}
+
+func TestExitReasonStrings(t *testing.T) {
+	for r := ExitReason(0); r < numExitReasons; r++ {
+		if r.String() == "" {
+			t.Errorf("reason %d unnamed", r)
+		}
+	}
+	if ExitReason(99).String() == "" {
+		t.Error("unknown reason empty")
+	}
+}
+
+func TestEPTMaxPageSize(t *testing.T) {
+	e := NewEPT()
+	e.SetMaxPageSize(1 << 12)
+	if err := e.MapRange(0, 1<<21, PermAll); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Mapped2M != 0 || s.Mapped4K != 512 {
+		t.Errorf("stats = %+v, want 512x4K", s)
+	}
+	res, err := e.Walk(0x1000, false)
+	if err != nil || res.Levels != 4 {
+		t.Errorf("walk = %+v, %v", res, err)
+	}
+}

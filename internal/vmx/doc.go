@@ -1,0 +1,21 @@
+// Package vmx simulates the Intel VMX hardware virtualization extensions
+// that Covirt's hypervisor drives: the Virtual Machine Control Structure
+// (VMCS), nested page tables (EPT) with 4K/2M/1G mappings and hardware-style
+// splitting/coalescing, MSR and I/O port intercept bitmaps, APIC
+// virtualization with posted-interrupt (PIV) support, and the VM-exit
+// dispatch engine.
+//
+// A VCPU implements hw.VirtLayer: installing one on a simulated CPU places
+// that CPU in VMX non-root operation. Privileged guest operations are then
+// either executed directly (when the VMCS does not request an intercept —
+// the common, zero-overhead case Covirt relies on) or cause a simulated VM
+// exit, charging world-switch cycle costs and invoking the registered
+// ExitHandler — the Covirt hypervisor.
+//
+// The EPT structure is deliberately shared mutable state: Covirt's
+// controller module edits it from the management plane while the guest's
+// CPU walks it concurrently, exactly as the paper's controller "directly
+// modifies the hardware-level data structures associated with the
+// co-kernel's virtualization context". A generation counter lets the
+// hypervisor detect when local TLBs must be flushed.
+package vmx

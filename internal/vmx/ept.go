@@ -1,0 +1,333 @@
+package vmx
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"covirt/internal/hw"
+)
+
+// Perms are EPT access permissions.
+type Perms uint8
+
+// Permission bits.
+const (
+	PermRead Perms = 1 << iota
+	PermWrite
+	PermExec
+	// PermAll grants read, write and execute — Covirt maps all enclave
+	// memory with full permissions; violations mean "outside the map".
+	PermAll = PermRead | PermWrite | PermExec
+)
+
+// page-table geometry (x86-64 4-level)
+const (
+	eptLevels   = 4
+	eptIdxBits  = 9
+	eptIdxMask  = (1 << eptIdxBits) - 1
+	eptMaxLevel = eptLevels - 1 // index of the root level (L4 == 3)
+)
+
+// levelShift returns the address shift of the given level (0 == L1/4K).
+func levelShift(level int) uint { return 12 + uint(level)*eptIdxBits }
+
+// levelPageSize returns the leaf page size at a level (L1→4K, L2→2M, L3→1G).
+func levelPageSize(level int) uint64 { return 1 << levelShift(level) }
+
+// eptEntry is one slot of an EPT table node: either a pointer to the next
+// level or a leaf mapping.
+type eptEntry struct {
+	next  *eptNode
+	leaf  bool
+	perms Perms
+}
+
+// eptNode is one 512-entry EPT table.
+type eptNode struct {
+	entries [1 << eptIdxBits]eptEntry
+}
+
+// EPTStats summarizes an EPT's current mappings.
+type EPTStats struct {
+	Mapped4K uint64 // number of 4K leaf mappings
+	Mapped2M uint64
+	Mapped1G uint64
+	Bytes    uint64 // total mapped bytes
+}
+
+// Pages returns the total number of leaf mappings.
+func (s EPTStats) Pages() uint64 { return s.Mapped4K + s.Mapped2M + s.Mapped1G }
+
+// EPT is a simulated nested page table. Mappings are identity (guest
+// physical == host physical), matching Covirt's zero-abstraction design; the
+// structure exists to *bound* what the guest may touch, not to remap it.
+//
+// EPT is safe for concurrent use: the controller module mutates it while
+// guest CPUs walk it. Mutations bump a generation counter; TLB shootdown is
+// the hypervisor's job (see covirt's command queue).
+type EPT struct {
+	mu    sync.RWMutex
+	root  *eptNode
+	stats EPTStats
+	gen   atomic.Uint64
+	// maxPage caps leaf mapping sizes (0 = coalesce freely up to 1G);
+	// used by the large-page ablation.
+	maxPage uint64
+	// walkCount counts completed walks (diagnostics).
+	walkCount atomic.Uint64
+}
+
+// NewEPT returns an empty nested page table (nothing mapped: every access
+// violates).
+func NewEPT() *EPT { return &EPT{root: &eptNode{}} }
+
+// SetMaxPageSize caps the leaf page size used by MapRange (pass
+// hw.PageSize4K to disable coalescing entirely). Must be called before any
+// mapping exists.
+func (e *EPT) SetMaxPageSize(ps uint64) {
+	e.mu.Lock()
+	e.maxPage = ps
+	e.mu.Unlock()
+}
+
+// Gen returns the mutation generation; it increments on every Map/Unmap.
+func (e *EPT) Gen() uint64 { return e.gen.Load() }
+
+// Stats returns current mapping statistics.
+func (e *EPT) Stats() EPTStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
+
+// idx extracts the table index of gpa at level.
+func idx(gpa uint64, level int) int {
+	return int((gpa >> levelShift(level)) & eptIdxMask)
+}
+
+// MapRange identity-maps [gpa, gpa+size) with the given permissions,
+// coalescing into 2M and 1G leaf mappings wherever alignment and length
+// allow — the optimization the paper calls out ("contiguous memory pages
+// are coalesced into large (2MB) and giant (1GB) EPT page mappings").
+// gpa and size must be 4K-aligned. Mapping over an existing mapping is an
+// error (the controller tracks ownership; double-maps indicate a bug).
+func (e *EPT) MapRange(gpa, size uint64, perms Perms) error {
+	if gpa%hw.PageSize4K != 0 || size%hw.PageSize4K != 0 {
+		return fmt.Errorf("vmx: unaligned map [%#x,+%#x)", gpa, size)
+	}
+	if size == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	end := gpa + size
+	for cur := gpa; cur < end; {
+		ps := bestPageSize(cur, end-cur)
+		if e.maxPage > 0 && ps > e.maxPage {
+			ps = e.maxPage
+		}
+		if err := e.mapOne(cur, ps, perms); err != nil {
+			return err
+		}
+		cur += ps
+	}
+	e.gen.Add(1)
+	return nil
+}
+
+// bestPageSize picks the largest page size usable at cur given remaining
+// length.
+func bestPageSize(cur, remaining uint64) uint64 {
+	if cur%hw.PageSize1G == 0 && remaining >= hw.PageSize1G {
+		return hw.PageSize1G
+	}
+	if cur%hw.PageSize2M == 0 && remaining >= hw.PageSize2M {
+		return hw.PageSize2M
+	}
+	return hw.PageSize4K
+}
+
+// mapOne installs a single leaf of the given page size. Caller holds e.mu.
+func (e *EPT) mapOne(gpa, pageSize uint64, perms Perms) error {
+	leafLevel := 0
+	switch pageSize {
+	case hw.PageSize1G:
+		leafLevel = 2
+	case hw.PageSize2M:
+		leafLevel = 1
+	}
+	n := e.root
+	for level := eptMaxLevel; level > leafLevel; level-- {
+		ent := &n.entries[idx(gpa, level)]
+		if ent.leaf {
+			return fmt.Errorf("vmx: map %#x/%d overlaps existing %d-byte leaf", gpa, pageSize, levelPageSize(level))
+		}
+		if ent.next == nil {
+			ent.next = &eptNode{}
+		}
+		n = ent.next
+	}
+	ent := &n.entries[idx(gpa, leafLevel)]
+	if ent.leaf || ent.next != nil {
+		return fmt.Errorf("vmx: map %#x/%d overlaps existing mapping", gpa, pageSize)
+	}
+	*ent = eptEntry{leaf: true, perms: perms}
+	switch pageSize {
+	case hw.PageSize1G:
+		e.stats.Mapped1G++
+	case hw.PageSize2M:
+		e.stats.Mapped2M++
+	default:
+		e.stats.Mapped4K++
+	}
+	e.stats.Bytes += pageSize
+	return nil
+}
+
+// UnmapRange removes all mappings overlapping [gpa, gpa+size), splitting
+// large leaves when the range covers them only partially. gpa and size must
+// be 4K-aligned. Unmapping never-mapped space is a no-op, mirroring INVEPT
+// semantics (the controller may conservatively unmap supersets).
+func (e *EPT) UnmapRange(gpa, size uint64) error {
+	if gpa%hw.PageSize4K != 0 || size%hw.PageSize4K != 0 {
+		return fmt.Errorf("vmx: unaligned unmap [%#x,+%#x)", gpa, size)
+	}
+	if size == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.unmapNode(e.root, eptMaxLevel, 0, gpa, gpa+size)
+	e.gen.Add(1)
+	return nil
+}
+
+// unmapNode walks node n (covering [base, base+span) at level) removing
+// leaves overlapping [lo, hi). Caller holds e.mu.
+func (e *EPT) unmapNode(n *eptNode, level int, base, lo, hi uint64) {
+	span := levelPageSize(level)
+	for i := 0; i < 1<<eptIdxBits; i++ {
+		entBase := base + uint64(i)*span
+		if entBase >= hi || entBase+span <= lo {
+			continue
+		}
+		ent := &n.entries[i]
+		switch {
+		case ent.leaf:
+			if entBase >= lo && entBase+span <= hi {
+				// Fully covered: drop the leaf.
+				e.accountUnmap(span)
+				*ent = eptEntry{}
+			} else {
+				// Partially covered large leaf: split one level down and
+				// recurse. 4K leaves are always fully covered (alignment).
+				child := e.splitLeaf(ent, level)
+				e.unmapNode(child, level-1, entBase, lo, hi)
+			}
+		case ent.next != nil:
+			e.unmapNode(ent.next, level-1, entBase, lo, hi)
+			if nodeEmpty(ent.next) {
+				ent.next = nil
+			}
+		}
+	}
+}
+
+// splitLeaf replaces a large leaf with a table of next-size-down leaves,
+// preserving permissions. Caller holds e.mu.
+func (e *EPT) splitLeaf(ent *eptEntry, level int) *eptNode {
+	child := &eptNode{}
+	childSpan := levelPageSize(level - 1)
+	for i := range child.entries {
+		child.entries[i] = eptEntry{leaf: true, perms: ent.perms}
+	}
+	// Accounting: one large page becomes 512 smaller ones.
+	e.accountUnmap(levelPageSize(level))
+	for i := 0; i < 1<<eptIdxBits; i++ {
+		e.accountMap(childSpan)
+	}
+	*ent = eptEntry{next: child}
+	return child
+}
+
+func (e *EPT) accountMap(span uint64) {
+	switch span {
+	case hw.PageSize1G:
+		e.stats.Mapped1G++
+	case hw.PageSize2M:
+		e.stats.Mapped2M++
+	default:
+		e.stats.Mapped4K++
+	}
+	e.stats.Bytes += span
+}
+
+func (e *EPT) accountUnmap(span uint64) {
+	switch span {
+	case hw.PageSize1G:
+		e.stats.Mapped1G--
+	case hw.PageSize2M:
+		e.stats.Mapped2M--
+	default:
+		e.stats.Mapped4K--
+	}
+	e.stats.Bytes -= span
+}
+
+// nodeEmpty reports whether a node has no live entries.
+func nodeEmpty(n *eptNode) bool {
+	for i := range n.entries {
+		if n.entries[i].leaf || n.entries[i].next != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// WalkResult reports the outcome of an EPT walk.
+type WalkResult struct {
+	PageSize uint64 // leaf page size backing the translation
+	Levels   int    // table levels touched during the walk
+}
+
+// Walk translates gpa, returning the leaf page size and walk depth. A miss
+// or permission failure returns an hw.Fault of kind FaultEPTViolation.
+// Identity mapping means the output address always equals gpa on success.
+func (e *EPT) Walk(gpa uint64, write bool) (WalkResult, error) {
+	e.walkCount.Add(1)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.root
+	levels := 0
+	for level := eptMaxLevel; level >= 0; level-- {
+		levels++
+		ent := &n.entries[idx(gpa, level)]
+		if ent.leaf {
+			need := PermRead
+			if write {
+				need = PermWrite
+			}
+			if ent.perms&need == 0 {
+				return WalkResult{Levels: levels}, &hw.Fault{Kind: hw.FaultEPTViolation, Addr: gpa, Write: write}
+			}
+			return WalkResult{PageSize: levelPageSize(level), Levels: levels}, nil
+		}
+		if ent.next == nil {
+			return WalkResult{Levels: levels}, &hw.Fault{Kind: hw.FaultEPTViolation, Addr: gpa, Write: write}
+		}
+		n = ent.next
+	}
+	// Unreachable: level 0 entries are always leaves or empty.
+	return WalkResult{Levels: levels}, &hw.Fault{Kind: hw.FaultEPTViolation, Addr: gpa, Write: write}
+}
+
+// Mapped reports whether gpa is currently readable, without touching
+// counters (controller-side queries).
+func (e *EPT) Mapped(gpa uint64) bool {
+	_, err := e.Walk(gpa, false)
+	return err == nil
+}
+
+// WalkCount returns the number of walks performed (diagnostics).
+func (e *EPT) WalkCount() uint64 { return e.walkCount.Load() }

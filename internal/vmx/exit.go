@@ -1,0 +1,155 @@
+package vmx
+
+import (
+	"fmt"
+	"sync"
+
+	"covirt/internal/hw"
+)
+
+// ExitReason identifies why a VM exit occurred. Values mirror the VMX basic
+// exit reasons Covirt handles.
+type ExitReason int
+
+// Exit reasons.
+const (
+	ExitEPTViolation ExitReason = iota
+	ExitICRWrite                // guest APIC ICR write (IPI transmission)
+	ExitMSRRead
+	ExitMSRWrite
+	ExitIO
+	ExitExternalInterrupt
+	ExitNMI
+	ExitCPUID
+	ExitXSETBV
+	ExitDoubleFault
+	ExitTripleFault
+	numExitReasons
+)
+
+// String returns the VMX-style name of the exit reason.
+func (r ExitReason) String() string {
+	switch r {
+	case ExitEPTViolation:
+		return "EPT_VIOLATION"
+	case ExitICRWrite:
+		return "APIC_ICR_WRITE"
+	case ExitMSRRead:
+		return "MSR_READ"
+	case ExitMSRWrite:
+		return "MSR_WRITE"
+	case ExitIO:
+		return "IO_INSTRUCTION"
+	case ExitExternalInterrupt:
+		return "EXTERNAL_INTERRUPT"
+	case ExitNMI:
+		return "EXCEPTION_NMI"
+	case ExitCPUID:
+		return "CPUID"
+	case ExitXSETBV:
+		return "XSETBV"
+	case ExitDoubleFault:
+		return "DOUBLE_FAULT"
+	case ExitTripleFault:
+		return "TRIPLE_FAULT"
+	}
+	return fmt.Sprintf("EXIT(%d)", int(r))
+}
+
+// ExitInfo carries the exit qualification to the handler.
+type ExitInfo struct {
+	Reason ExitReason
+	CPU    int
+
+	// EPT violation qualification.
+	GPA   uint64
+	Write bool
+
+	// ICR write qualification.
+	IPIDest   int
+	IPIVector uint8
+
+	// MSR qualification.
+	MSR    uint32
+	MSRVal uint64
+
+	// IO qualification.
+	Port    uint16
+	IOWrite bool
+	IOVal   uint32
+
+	// Interrupt qualification.
+	Vector uint8
+}
+
+// ExitAction is the handler's verdict.
+type ExitAction int
+
+const (
+	// ActionResume re-enters the guest normally.
+	ActionResume ExitAction = iota
+	// ActionDrop resumes the guest but suppresses the trapped operation
+	// (e.g. a filtered IPI is not delivered).
+	ActionDrop
+	// ActionKill terminates the guest: the enclave is torn down and the
+	// CPU never re-enters non-root mode.
+	ActionKill
+)
+
+// ExitHandler is the hypervisor logic invoked on every VM exit. Covirt's
+// per-core hypervisor implements it.
+type ExitHandler interface {
+	HandleExit(c *hw.CPU, info *ExitInfo) ExitAction
+}
+
+// ExitHandlerFunc adapts a function to ExitHandler.
+type ExitHandlerFunc func(c *hw.CPU, info *ExitInfo) ExitAction
+
+// HandleExit calls f.
+func (f ExitHandlerFunc) HandleExit(c *hw.CPU, info *ExitInfo) ExitAction { return f(c, info) }
+
+// ExitStats counts VM exits by reason plus the cycles spent in world
+// switches, for the noise/overhead analyses in the evaluation.
+type ExitStats struct {
+	mu     sync.Mutex
+	counts [numExitReasons]uint64
+	cycles uint64
+}
+
+// record adds one exit of the given reason costing cyc cycles.
+func (s *ExitStats) record(r ExitReason, cyc uint64) {
+	s.mu.Lock()
+	s.counts[r]++
+	s.cycles += cyc
+	s.mu.Unlock()
+}
+
+// Count returns the number of exits recorded for reason r.
+func (s *ExitStats) Count(r ExitReason) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[r]
+}
+
+// Total returns the total exits and world-switch cycles.
+func (s *ExitStats) Total() (exits, cycles uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.counts {
+		exits += c
+	}
+	return exits, s.cycles
+}
+
+// Snapshot returns a copy of the per-reason counts keyed by reason name.
+func (s *ExitStats) Snapshot() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64)
+	for r, c := range s.counts {
+		if c > 0 {
+			out[ExitReason(r).String()] = c
+		}
+	}
+	return out
+}

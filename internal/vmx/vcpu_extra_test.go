@@ -1,0 +1,129 @@
+package vmx
+
+import (
+	"testing"
+
+	"covirt/internal/hw"
+)
+
+func TestVCPUMSRReadTrapProvidesValue(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	bm := NewMSRBitmap()
+	bm.Set(hw.MSR_IA32_MISC_ENABLE, true, false) // reads trap
+	vmcs.MSRBitmap = bm
+	// The handler virtualizes the value (hides a feature bit).
+	h := ExitHandlerFunc(func(cc *hw.CPU, info *ExitInfo) ExitAction {
+		if info.Reason == ExitMSRRead && info.MSR == hw.MSR_IA32_MISC_ENABLE {
+			info.MSRVal = 0x1234
+		}
+		return ActionResume
+	})
+	v := Launch(c, vmcs, h)
+	got, err := c.RDMSR(hw.MSR_IA32_MISC_ENABLE)
+	if err != nil || got != 0x1234 {
+		t.Fatalf("RDMSR = %#x, %v", got, err)
+	}
+	if v.Stats.Count(ExitMSRRead) != 1 {
+		t.Error("read did not exit")
+	}
+	// Killing on a read works too.
+	h2 := ExitHandlerFunc(func(cc *hw.CPU, info *ExitInfo) ExitAction {
+		cc.Kill()
+		return ActionKill
+	})
+	v.Handler = h2
+	if _, err := c.RDMSR(hw.MSR_IA32_MISC_ENABLE); !hw.IsFault(err, hw.FaultEnclaveKilled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVCPUMSRWriteDropSuppresses(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	bm := NewMSRBitmap()
+	bm.InterceptAllWrites()
+	vmcs.MSRBitmap = bm
+	Launch(c, vmcs, ExitHandlerFunc(func(*hw.CPU, *ExitInfo) ExitAction { return ActionDrop }))
+	if err := c.WRMSR(hw.MSR_IA32_PAT, 0x7777); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MSRs.Read(hw.MSR_IA32_PAT); got == 0x7777 {
+		t.Error("dropped MSR write landed")
+	}
+}
+
+func TestVCPUIOReadTrapValue(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	bm := NewIOBitmap()
+	bm.Set(0x60)
+	vmcs.IOBitmap = bm
+	Launch(c, vmcs, ExitHandlerFunc(func(cc *hw.CPU, info *ExitInfo) ExitAction {
+		if info.Reason == ExitIO && !info.IOWrite {
+			return ActionDrop // reads of the trapped port float
+		}
+		return ActionResume
+	}))
+	v, err := c.IOIn(0x60)
+	if err != nil || v != 0xFFFFFFFF {
+		t.Fatalf("IOIn = %#x, %v", v, err)
+	}
+}
+
+func TestVCPUEPTWalkDepthAffectsCost(t *testing.T) {
+	// 1G-backed EPT mappings make TLB misses cheaper than 4K-backed ones.
+	m := vcpuTestMachine(t)
+	base := m.Topo.Nodes[0].MemBase
+
+	costFor := func(cpuID int, maxPage uint64) uint64 {
+		c := m.CPU(cpuID)
+		ept := NewEPT()
+		if maxPage > 0 {
+			ept.SetMaxPageSize(maxPage)
+		}
+		start := hw.AlignUp(base, hw.PageSize2M)
+		if err := ept.MapRange(start, 1<<27, PermAll); err != nil {
+			t.Fatal(err)
+		}
+		vmcs := NewVMCS(cpuID)
+		vmcs.Controls.EnableEPT = true
+		vmcs.EPT = ept
+		Launch(c, vmcs, ExitHandlerFunc(func(*hw.CPU, *ExitInfo) ExitAction { return ActionResume }))
+		t0 := c.TSC
+		if err := c.MemAccess(start+0x1000, false, hw.AccessHot); err != nil {
+			t.Fatal(err)
+		}
+		return c.TSC - t0
+	}
+	cost2M := costFor(0, 0)             // coalesces to 2M leaves
+	cost4K := costFor(1, hw.PageSize4K) // forced 4K leaves
+	if cost4K <= cost2M {
+		t.Errorf("4K-leaf miss (%d) not costlier than 2M-leaf miss (%d)", cost4K, cost2M)
+	}
+}
+
+func TestVCPUKilledGuestStaysKilled(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	ept := NewEPT() // empty: everything violates
+	vmcs := NewVMCS(0)
+	vmcs.Controls.EnableEPT = true
+	vmcs.EPT = ept
+	v := Launch(c, vmcs, &killHandler{})
+	if err := c.MemAccess(0x1000, false, hw.AccessHot); !hw.IsFault(err, hw.FaultEnclaveKilled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Every subsequent operation fails fast without new exits.
+	before, _ := v.Stats.Total()
+	if err := c.Compute(1); !hw.IsFault(err, hw.FaultEnclaveKilled) {
+		t.Fatalf("err = %v", err)
+	}
+	after, _ := v.Stats.Total()
+	if after != before {
+		t.Error("killed guest still causing exits")
+	}
+}

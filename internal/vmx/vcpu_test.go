@@ -1,0 +1,447 @@
+package vmx
+
+import (
+	"testing"
+
+	"covirt/internal/hw"
+)
+
+func vcpuTestMachine(t *testing.T) *hw.Machine {
+	t.Helper()
+	spec := hw.DefaultSpec()
+	spec.MemPerNode = 1 << 30
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// killHandler terminates the enclave CPU on every exit that asks a verdict.
+type killHandler struct{ lastInfo ExitInfo }
+
+func (h *killHandler) HandleExit(c *hw.CPU, info *ExitInfo) ExitAction {
+	h.lastInfo = *info
+	switch info.Reason {
+	case ExitEPTViolation, ExitDoubleFault, ExitTripleFault:
+		c.Kill()
+		return ActionKill
+	case ExitICRWrite:
+		return ActionDrop
+	}
+	return ActionResume
+}
+
+func TestVCPUNoEPTIsFree(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	v := Launch(c, vmcs, &killHandler{})
+	addr := m.Topo.Nodes[0].MemBase + 0x1000
+	if err := c.MemAccess(addr, false, hw.AccessDRAM); err != nil {
+		t.Fatal(err)
+	}
+	if exits, _ := v.Stats.Total(); exits != 0 {
+		t.Errorf("exits = %d, want 0 without EPT", exits)
+	}
+}
+
+func TestVCPUEPTHitAddsNestedWalkCost(t *testing.T) {
+	m := vcpuTestMachine(t)
+	base := m.Topo.Nodes[0].MemBase
+
+	// Native miss cost baseline.
+	cn := m.CPU(0)
+	if err := cn.MemAccess(base+0x1000, false, hw.AccessDRAM); err != nil {
+		t.Fatal(err)
+	}
+	nativeMiss := cn.TSC
+
+	// Virtualized with EPT: same access pattern.
+	cv := m.CPU(1)
+	ept := NewEPT()
+	if err := ept.MapRange(base, 1<<28, PermAll); err != nil {
+		t.Fatal(err)
+	}
+	vmcs := NewVMCS(1)
+	vmcs.Controls.EnableEPT = true
+	vmcs.EPT = ept
+	Launch(cv, vmcs, &killHandler{})
+	if err := cv.MemAccess(base+0x1000, false, hw.AccessDRAM); err != nil {
+		t.Fatal(err)
+	}
+	eptMiss := cv.TSC
+	if eptMiss <= nativeMiss {
+		t.Errorf("EPT miss %d not costlier than native miss %d", eptMiss, nativeMiss)
+	}
+	// Subsequent (TLB hit) accesses cost the same as native hits.
+	t0 := cv.TSC
+	if err := cv.MemAccess(base+0x1000, false, hw.AccessDRAM); err != nil {
+		t.Fatal(err)
+	}
+	hitCost := cv.TSC - t0
+	if hitCost != m.Costs.MemDRAM {
+		t.Errorf("EPT TLB-hit cost = %d, want native %d", hitCost, m.Costs.MemDRAM)
+	}
+}
+
+func TestVCPUEPTViolationKillsEnclaveOnly(t *testing.T) {
+	m := vcpuTestMachine(t)
+	base := m.Topo.Nodes[0].MemBase
+	c := m.CPU(0)
+	ept := NewEPT()
+	if err := ept.MapRange(base, 1<<24, PermAll); err != nil {
+		t.Fatal(err)
+	}
+	vmcs := NewVMCS(0)
+	vmcs.Controls.EnableEPT = true
+	vmcs.EPT = ept
+	h := &killHandler{}
+	v := Launch(c, vmcs, h)
+
+	victim := m.Topo.Nodes[1].MemBase + 0x100 // someone else's memory
+	if err := m.Mem.Write64(victim, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Write64G(victim, 0x6666)
+	if !hw.IsFault(err, hw.FaultEnclaveKilled) {
+		t.Fatalf("err = %v, want enclave-killed", err)
+	}
+	if m.Crashed() {
+		t.Fatal("machine crashed; violation should be contained")
+	}
+	if val, _ := m.Mem.Read64(victim); val != 0x1111 {
+		t.Fatalf("victim corrupted to %#x despite EPT", val)
+	}
+	if v.Stats.Count(ExitEPTViolation) != 1 {
+		t.Errorf("EPT violation exits = %d", v.Stats.Count(ExitEPTViolation))
+	}
+	if h.lastInfo.GPA != victim || !h.lastInfo.Write {
+		t.Errorf("exit qualification = %+v", h.lastInfo)
+	}
+	// Other cores still run.
+	if err := m.CPU(5).Compute(10); err != nil {
+		t.Errorf("bystander core: %v", err)
+	}
+	// Fault was logged for diagnostics.
+	found := false
+	for _, f := range m.Faults() {
+		if f.Kind == hw.FaultEPTViolation && f.Addr == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("EPT violation not in machine fault log")
+	}
+}
+
+func TestVCPUIPIFiltering(t *testing.T) {
+	m := vcpuTestMachine(t)
+	src, dst := m.CPU(0), m.CPU(6)
+	vmcs := NewVMCS(0)
+	vmcs.Controls.VirtualAPIC = true
+	var allowed bool
+	h := ExitHandlerFunc(func(c *hw.CPU, info *ExitInfo) ExitAction {
+		if info.Reason != ExitICRWrite {
+			return ActionResume
+		}
+		if allowed {
+			return ActionResume
+		}
+		return ActionDrop
+	})
+	v := Launch(src, vmcs, h)
+
+	got := 0
+	dst.SetIRQHandler(func(_ *hw.CPU, vec uint8, _ bool) { got++ })
+
+	allowed = false
+	if err := src.SendIPI(6, 0x42); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Compute(1); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("filtered IPI was delivered")
+	}
+
+	allowed = true
+	if err := src.SendIPI(6, 0x42); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Compute(1); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatal("allowed IPI not delivered")
+	}
+	if v.Stats.Count(ExitICRWrite) != 2 {
+		t.Errorf("ICR exits = %d, want 2", v.Stats.Count(ExitICRWrite))
+	}
+}
+
+func TestVCPUIPINoVAPICNoExit(t *testing.T) {
+	m := vcpuTestMachine(t)
+	src := m.CPU(0)
+	vmcs := NewVMCS(0)
+	v := Launch(src, vmcs, &killHandler{})
+	if err := src.SendIPI(3, 0x42); err != nil {
+		t.Fatal(err)
+	}
+	if exits, _ := v.Stats.Total(); exits != 0 {
+		t.Errorf("exits = %d, want 0 without VAPIC", exits)
+	}
+}
+
+func TestVCPUMSRBitmap(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	bm := NewMSRBitmap()
+	bm.Set(hw.MSR_IA32_APIC_BASE, false, true) // writes trap
+	vmcs.MSRBitmap = bm
+	killed := false
+	h := ExitHandlerFunc(func(cc *hw.CPU, info *ExitInfo) ExitAction {
+		if info.Reason == ExitMSRWrite && info.MSR == hw.MSR_IA32_APIC_BASE {
+			killed = true
+			cc.Kill()
+			return ActionKill
+		}
+		return ActionResume
+	})
+	v := Launch(c, vmcs, h)
+
+	// Reads are direct.
+	if _, err := c.RDMSR(hw.MSR_IA32_APIC_BASE); err != nil {
+		t.Fatal(err)
+	}
+	if exits, _ := v.Stats.Total(); exits != 0 {
+		t.Error("read of write-trapped MSR exited")
+	}
+	// Untrapped MSR writes are direct.
+	if err := c.WRMSR(hw.MSR_IA32_FS_BASE, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if exits, _ := v.Stats.Total(); exits != 0 {
+		t.Error("untrapped MSR write exited")
+	}
+	// Trapped write kills.
+	err := c.WRMSR(hw.MSR_IA32_APIC_BASE, 0)
+	if !hw.IsFault(err, hw.FaultEnclaveKilled) || !killed {
+		t.Fatalf("err = %v, killed = %v", err, killed)
+	}
+}
+
+func TestVCPUIOBitmap(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	sink := &hw.SerialSink{}
+	m.Ports.Register(hw.PortSerialCOM1, sink)
+	vmcs := NewVMCS(0)
+	bm := NewIOBitmap()
+	bm.Set(hw.PortReset)
+	vmcs.IOBitmap = bm
+	h := ExitHandlerFunc(func(cc *hw.CPU, info *ExitInfo) ExitAction {
+		if info.Reason == ExitIO && info.Port == hw.PortReset {
+			return ActionDrop
+		}
+		return ActionResume
+	})
+	v := Launch(c, vmcs, h)
+
+	// Serial port untrapped: direct.
+	if err := c.IOOut(hw.PortSerialCOM1, 'x'); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != "x" {
+		t.Error("direct port write lost")
+	}
+	if exits, _ := v.Stats.Total(); exits != 0 {
+		t.Error("untrapped port exited")
+	}
+	// Reset port trapped and suppressed.
+	if err := c.IOOut(hw.PortReset, 0x6); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats.Count(ExitIO) != 1 {
+		t.Error("trapped port did not exit")
+	}
+	if m.Crashed() {
+		t.Error("reset reached hardware")
+	}
+}
+
+func TestVCPUInterruptCostModes(t *testing.T) {
+	m := vcpuTestMachine(t)
+	mkCPU := func(id int, ctl Controls) (*hw.CPU, *VCPU) {
+		c := m.CPU(id)
+		vmcs := NewVMCS(id)
+		vmcs.Controls = ctl
+		vmcs.PID = &PostedIntDescriptor{}
+		v := Launch(c, vmcs, ExitHandlerFunc(func(*hw.CPU, *ExitInfo) ExitAction { return ActionResume }))
+		return c, v
+	}
+	deliver := func(c *hw.CPU, external bool) uint64 {
+		t0 := c.TSC
+		c.APIC.Raise(0x50, external)
+		if err := c.Compute(1); err != nil {
+			t.Fatal(err)
+		}
+		return c.TSC - t0
+	}
+
+	cNone, vNone := mkCPU(0, Controls{})
+	cFull, vFull := mkCPU(1, Controls{VirtualAPIC: true})
+	cPIV, vPIV := mkCPU(2, Controls{VirtualAPIC: true, PostedInterrupts: true})
+
+	noVAPIC := deliver(cNone, false)
+	fullIPI := deliver(cFull, false)
+	pivIPI := deliver(cPIV, false)
+	pivExt := deliver(cPIV, true)
+
+	if exits, _ := vNone.Stats.Total(); exits != 0 {
+		t.Error("no-VAPIC delivery exited")
+	}
+	if vFull.Stats.Count(ExitExternalInterrupt) != 1 {
+		t.Error("full VAPIC IPI did not exit")
+	}
+	if vPIV.Stats.Count(ExitExternalInterrupt) != 1 {
+		t.Error("PIV external interrupt should exit exactly once")
+	}
+	if fullIPI <= noVAPIC {
+		t.Errorf("full VAPIC IPI cost %d <= direct %d", fullIPI, noVAPIC)
+	}
+	if pivIPI >= fullIPI {
+		t.Errorf("PIV IPI cost %d >= full VAPIC %d", pivIPI, fullIPI)
+	}
+	if pivExt <= pivIPI {
+		t.Errorf("PIV external cost %d <= posted IPI cost %d (externals must exit)", pivExt, pivIPI)
+	}
+	if vPIV.VMCS.PID.PostedCount.Load() != 1 {
+		t.Errorf("posted deliveries = %d", vPIV.VMCS.PID.PostedCount.Load())
+	}
+}
+
+func TestVCPUNMIExits(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	nmis := 0
+	h := ExitHandlerFunc(func(cc *hw.CPU, info *ExitInfo) ExitAction {
+		if info.Reason == ExitNMI {
+			nmis++
+		}
+		return ActionResume
+	})
+	v := Launch(c, vmcs, h)
+	c.APIC.RaiseNMI()
+	if err := c.Compute(1); err != nil {
+		t.Fatal(err)
+	}
+	if nmis != 1 || v.Stats.Count(ExitNMI) != 1 {
+		t.Errorf("nmis = %d, exits = %d", nmis, v.Stats.Count(ExitNMI))
+	}
+}
+
+func TestVCPUAbortContained(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	Launch(c, vmcs, &killHandler{})
+	err := c.RaiseDoubleFault("guest IDT corrupt")
+	if !hw.IsFault(err, hw.FaultEnclaveKilled) {
+		t.Fatalf("err = %v, want contained", err)
+	}
+	if m.Crashed() {
+		t.Fatal("abort escalated to node crash despite handler")
+	}
+}
+
+func TestVCPUAbortNotContainedCrashes(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	Launch(c, vmcs, ExitHandlerFunc(func(*hw.CPU, *ExitInfo) ExitAction { return ActionResume }))
+	err := c.RaiseDoubleFault("guest IDT corrupt")
+	if !hw.IsFault(err, hw.FaultMachineCrashed) {
+		t.Fatalf("err = %v, want machine crash", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("machine survived unhandled abort")
+	}
+}
+
+func TestVCPUEmulatedInstructions(t *testing.T) {
+	m := vcpuTestMachine(t)
+	c := m.CPU(0)
+	vmcs := NewVMCS(0)
+	v := Launch(c, vmcs, ExitHandlerFunc(func(*hw.CPU, *ExitInfo) ExitAction { return ActionResume }))
+	if err := c.CPUID(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats.Count(ExitCPUID) != 1 {
+		t.Error("cpuid did not exit")
+	}
+}
+
+func TestVCPUEPTViolationResumeRetries(t *testing.T) {
+	// A handler that lazily maps the faulting page and resumes models a
+	// hypervisor repairing a mapping; the access should then succeed.
+	m := vcpuTestMachine(t)
+	base := m.Topo.Nodes[0].MemBase
+	c := m.CPU(0)
+	ept := NewEPT()
+	vmcs := NewVMCS(0)
+	vmcs.Controls.EnableEPT = true
+	vmcs.EPT = ept
+	h := ExitHandlerFunc(func(cc *hw.CPU, info *ExitInfo) ExitAction {
+		if info.Reason == ExitEPTViolation {
+			_ = ept.MapRange(hw.AlignDown(info.GPA, hw.PageSize4K), hw.PageSize4K, PermAll)
+			return ActionResume
+		}
+		return ActionResume
+	})
+	Launch(c, vmcs, h)
+	if err := c.MemAccess(base+0x1000, true, hw.AccessHot); err != nil {
+		t.Fatalf("lazily-mapped access failed: %v", err)
+	}
+}
+
+func TestPostedIntDescriptor(t *testing.T) {
+	p := &PostedIntDescriptor{}
+	if p.Pending() {
+		t.Fatal("new PID pending")
+	}
+	if !p.Post(0x41) {
+		t.Fatal("first post should request notification")
+	}
+	if p.Post(0x42) {
+		t.Fatal("second post should not re-notify while ON")
+	}
+	bits := p.Drain()
+	if bits[1]&(1<<(0x41-64)) == 0 || bits[1]&(1<<(0x42-64)) == 0 {
+		t.Errorf("drained bits = %#x", bits)
+	}
+	if p.Pending() {
+		t.Fatal("pending after drain")
+	}
+}
+
+func TestExitStats(t *testing.T) {
+	var s ExitStats
+	s.record(ExitNMI, 100)
+	s.record(ExitNMI, 100)
+	s.record(ExitIO, 50)
+	if s.Count(ExitNMI) != 2 {
+		t.Error("count wrong")
+	}
+	exits, cyc := s.Total()
+	if exits != 3 || cyc != 250 {
+		t.Errorf("total = %d, %d", exits, cyc)
+	}
+	snap := s.Snapshot()
+	if snap["EXCEPTION_NMI"] != 2 || snap["IO_INSTRUCTION"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}

@@ -1,0 +1,80 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"covirt/internal/harness"
+	"covirt/internal/workloads"
+)
+
+// TestGUPSConfigOrdering checks the relative-cost ordering the paper's
+// Fig. 5b rests on: native <= covirt-none <= covirt-mem <= covirt-vapic,
+// with identical numerical results throughout.
+func TestGUPSConfigOrdering(t *testing.T) {
+	mk := func() *workloads.RandomAccess {
+		return &workloads.RandomAccess{LogTableSize: 23, Updates: 1 << 14}
+	}
+	cycles := map[string]uint64{}
+	for _, cfg := range []harness.Config{
+		harness.CfgNative, harness.CfgCovirtNone, harness.CfgCovirtMem, harness.CfgCovirtVAPIC,
+	} {
+		res, err := harness.RunWorkload(cfg, harness.SingleCore, harness.NodeOptions{}, mk(), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		cycles[cfg.Name] = res[0].Cycles
+	}
+	order := []string{"native", "covirt-none", "covirt-mem", "covirt-mem+ipi-vapic"}
+	for i := 1; i < len(order); i++ {
+		if cycles[order[i]] <= cycles[order[i-1]] {
+			t.Errorf("%s (%d cycles) not costlier than %s (%d cycles)",
+				order[i], cycles[order[i]], order[i-1], cycles[order[i-1]])
+		}
+	}
+	// The overhead band is plausible: worst case under 10%.
+	worst := float64(cycles["covirt-mem+ipi-vapic"]) / float64(cycles["native"])
+	if worst > 1.10 {
+		t.Errorf("worst-case ratio %.3f exceeds 1.10", worst)
+	}
+}
+
+// TestStreamInsensitiveToConfig checks Fig. 5a's claim at test scale:
+// streaming bandwidth is identical (to the cycle) across configurations.
+func TestStreamInsensitiveToConfig(t *testing.T) {
+	mk := func() *workloads.Stream { return &workloads.Stream{N: 1 << 16, Iters: 2} }
+	var base uint64
+	for i, cfg := range []harness.Config{harness.CfgNative, harness.CfgCovirtMem, harness.CfgCovirtVAPIC} {
+		res, err := harness.RunWorkload(cfg, harness.SingleCore, harness.NodeOptions{}, mk(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res[0].Cycles
+			continue
+		}
+		ratio := float64(res[0].Cycles) / float64(base)
+		if ratio > 1.001 {
+			t.Errorf("%s stream cycles ratio %.5f, want ~1", cfg.Name, ratio)
+		}
+	}
+}
+
+// TestEPTAblationOrdering checks that disabling large-page coalescing
+// measurably hurts the translation-bound workload.
+func TestEPTAblationOrdering(t *testing.T) {
+	mk := func() *workloads.RandomAccess {
+		return &workloads.RandomAccess{LogTableSize: 23, Updates: 1 << 14}
+	}
+	coalesced, err := harness.RunWorkload(harness.CfgCovirtMem, harness.SingleCore, harness.NodeOptions{}, mk(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := harness.RunWorkload(harness.CfgCovirtMem4K, harness.SingleCore, harness.NodeOptions{}, mk(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small[0].Cycles <= coalesced[0].Cycles {
+		t.Errorf("4K-only EPT (%d cycles) not costlier than coalesced (%d cycles)",
+			small[0].Cycles, coalesced[0].Cycles)
+	}
+}

@@ -1,0 +1,355 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+)
+
+// LammpsProblem selects one of the stock LAMMPS benchmark inputs the paper
+// runs (Fig. 8).
+type LammpsProblem int
+
+// The four problems from the default LAMMPS bench scripts.
+const (
+	LJ LammpsProblem = iota
+	EAM
+	Chain
+	Chute
+)
+
+// String names the problem as the run scripts do.
+func (p LammpsProblem) String() string {
+	switch p {
+	case LJ:
+		return "lj"
+	case EAM:
+		return "eam"
+	case Chain:
+		return "chain"
+	case Chute:
+		return "chute"
+	}
+	return fmt.Sprintf("lammps(%d)", int(p))
+}
+
+// Lammps is a molecular-dynamics proxy reproducing the computational
+// profile of the LAMMPS benchmarks: velocity-Verlet integration with
+// cell-list neighbor finding and a real Lennard-Jones force loop; the
+// problem variants adjust the force-field cost mix and synchronization
+// frequency the way the real inputs differ:
+//
+//	lj    — baseline pairwise LJ liquid
+//	eam   — adds the embedding pass: a second force sweep plus random
+//	        spline-table lookups per pair
+//	chain — bonded polymer: half the pair density, cheap bond terms
+//	chute — granular flow: sparse contacts but frequent global reductions
+//	        (pours, boundary bookkeeping), the synchronization-heavy case
+type Lammps struct {
+	Problem LammpsProblem
+	// AtomsPerRank is the per-thread atom count (default 1728 = 12^3).
+	AtomsPerRank int
+	// Steps is the number of timesteps (default 40).
+	Steps int
+}
+
+// Name implements Runner.
+func (l *Lammps) Name() string { return "lammps-" + l.Problem.String() }
+
+// lammpsProfile holds per-variant cost-model knobs.
+type lammpsProfile struct {
+	pairDensity     float64 // relative neighbor count vs lj
+	flopsPerPair    uint64
+	tableLookups    float64 // random DRAM lookups per pair (splines, contact history)
+	lookupBytes     uint64  // size of the structure those lookups land in
+	barriersPerStep int
+	rebuildEvery    int // neighbor-list rebuild period in steps
+	extraForcePass  bool
+}
+
+func (p LammpsProblem) profile() lammpsProfile {
+	switch p {
+	case EAM:
+		// Embedded-atom method: a second force sweep plus spline-table
+		// interpolation lookups. The tables are small (cache- and
+		// TLB-resident), so EAM adds compute but little translation
+		// pressure.
+		return lammpsProfile{pairDensity: 1.0, flopsPerPair: 26, tableLookups: 0.05, lookupBytes: 1 << 20, barriersPerStep: 1, rebuildEvery: 10, extraForcePass: true}
+	case Chain:
+		// Bonded polymer: sparse pair interactions, cheap bond terms.
+		return lammpsProfile{pairDensity: 0.5, flopsPerPair: 18, tableLookups: 0, barriersPerStep: 1, rebuildEvery: 10}
+	case Chute:
+		// Granular flow: few contacts but constantly churning neighbor
+		// bins and per-contact history state — the random-access-heavy,
+		// translation-sensitive case (the paper's "most sensitive to the
+		// protections being enabled").
+		return lammpsProfile{pairDensity: 0.3, flopsPerPair: 26, tableLookups: 0.45, lookupBytes: 256 << 20, barriersPerStep: 2, rebuildEvery: 1}
+	default: // LJ
+		return lammpsProfile{pairDensity: 1.0, flopsPerPair: 23, tableLookups: 0, barriersPerStep: 1, rebuildEvery: 10}
+	}
+}
+
+// Run implements Runner.
+func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
+	atoms := l.AtomsPerRank
+	if atoms == 0 {
+		atoms = 1728
+	}
+	steps := l.Steps
+	if steps == 0 {
+		steps = 40
+	}
+	prof := l.Problem.profile()
+	bar := NewBarrier(threads)
+	red := NewAllreduce(threads)
+	drift := make([]float64, threads)
+
+	res, err := runParallel(k, l.Name(), threads, func(e *kitten.Env, rank int) error {
+		md := newLJBox(atoms, uint64(rank+1))
+		posExt := allocSpread(e, hw.AlignUp(uint64(atoms)*48, hw.PageSize4K))     // x,v per atom
+		neighExt := allocSpread(e, hw.AlignUp(uint64(atoms)*40*8, hw.PageSize4K)) // neighbor lists
+		defer e.Free(posExt)
+		defer e.Free(neighExt)
+		lookupExt := neighExt
+		if prof.lookupBytes > 0 {
+			lookupExt = allocSpread(e, prof.lookupBytes)
+			defer e.Free(lookupExt)
+		}
+		rng := xorshift64(0xA5A5A5A5 ^ uint64(rank+7))
+
+		md.buildCells()
+		e0 := md.totalEnergy()
+		avgNeigh := md.averageNeighbors() * prof.pairDensity
+
+		for step := 0; step < steps; step++ {
+			// Neighbor rebuild: binning is random access.
+			if step%prof.rebuildEvery == 0 {
+				md.buildCells()
+				for a := 0; a < atoms/4; a++ {
+					off := rng.next() % (neighExt.Size / 8)
+					e.Access(neighExt.Start+off*8, true, hw.AccessDRAM)
+				}
+				e.Compute(uint64(atoms) * 30)
+			}
+			// Force pass(es): stream neighbor lists + positions, real LJ math.
+			passes := 1
+			if prof.extraForcePass {
+				passes = 2
+			}
+			for pass := 0; pass < passes; pass++ {
+				md.computeForces()
+				pairs := uint64(float64(atoms) * avgNeigh)
+				e.Stream(neighExt.Start, pairs*8, false)
+				e.Stream(posExt.Start, uint64(atoms)*24, false)
+				e.Compute(pairs * prof.flopsPerPair)
+				lookups := uint64(float64(pairs) * prof.tableLookups)
+				for t := uint64(0); t < lookups; t++ {
+					off := rng.next() % (lookupExt.Size / 8)
+					e.Access(lookupExt.Start+off*8, false, hw.AccessDRAM)
+				}
+			}
+			// Integrate (velocity Verlet): stream positions/velocities.
+			md.integrate()
+			e.Stream(posExt.Start, uint64(atoms)*48, true)
+			e.Compute(uint64(atoms) * 12)
+
+			// Synchronization (halo exchange, global thermo/pour logic).
+			for b := 0; b < prof.barriersPerStep; b++ {
+				bar.Wait(e, rank)
+			}
+			if step%5 == 0 {
+				_ = red.Sum(e, rank, md.kineticEnergy())
+			}
+		}
+		e1 := md.totalEnergy()
+		drift[rank] = math.Abs(e1-e0) / math.Max(math.Abs(e0), 1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, d := range drift {
+		if math.IsNaN(d) || d > 0.2 {
+			return nil, fmt.Errorf("lammps-%s: rank %d energy drift %g (integration broken)", l.Problem, r, d)
+		}
+	}
+	res.Metrics["loop_time_s"] = Seconds(res.Cycles)
+	res.Metrics["atom_steps_per_s"] = float64(atoms*threads*steps) / Seconds(res.Cycles)
+	res.Metrics["energy_drift"] = drift[0]
+	return res, nil
+}
+
+// ljBox is a small real Lennard-Jones MD system: FCC lattice at reduced
+// density 0.8442, cutoff 2.5, velocity Verlet, cell-list neighbors.
+type ljBox struct {
+	n          int
+	l          float64 // box edge
+	rc2        float64
+	dt         float64
+	x, y, z    []float64
+	vx, vy, vz []float64
+	fx, fy, fz []float64
+	cells      map[[3]int][]int
+	cellW      float64
+}
+
+func newLJBox(n int, seed uint64) *ljBox {
+	b := &ljBox{
+		n:   n,
+		rc2: 2.5 * 2.5,
+		dt:  0.005,
+		x:   make([]float64, n), y: make([]float64, n), z: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
+		fx: make([]float64, n), fy: make([]float64, n), fz: make([]float64, n),
+	}
+	b.l = math.Cbrt(float64(n) / 0.8442)
+	// Simple cubic lattice placement with slight deterministic jitter.
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	spacing := b.l / float64(side)
+	rng := xorshift64(seed*2654435761 + 1)
+	i := 0
+	for ix := 0; ix < side && i < n; ix++ {
+		for iy := 0; iy < side && i < n; iy++ {
+			for iz := 0; iz < side && i < n; iz++ {
+				b.x[i] = (float64(ix) + 0.5) * spacing
+				b.y[i] = (float64(iy) + 0.5) * spacing
+				b.z[i] = (float64(iz) + 0.5) * spacing
+				b.vx[i] = (float64(rng.next()%1000)/1000 - 0.5) * 0.1
+				b.vy[i] = (float64(rng.next()%1000)/1000 - 0.5) * 0.1
+				b.vz[i] = (float64(rng.next()%1000)/1000 - 0.5) * 0.1
+				i++
+			}
+		}
+	}
+	return b
+}
+
+// buildCells rebins atoms into cutoff-sized cells.
+func (b *ljBox) buildCells() {
+	b.cellW = 2.5
+	b.cells = make(map[[3]int][]int)
+	for i := 0; i < b.n; i++ {
+		c := b.cellOf(i)
+		b.cells[c] = append(b.cells[c], i)
+	}
+}
+
+func (b *ljBox) cellOf(i int) [3]int {
+	return [3]int{int(b.x[i] / b.cellW), int(b.y[i] / b.cellW), int(b.z[i] / b.cellW)}
+}
+
+// minImage applies the minimum-image convention.
+func (b *ljBox) minImage(d float64) float64 {
+	if d > b.l/2 {
+		return d - b.l
+	}
+	if d < -b.l/2 {
+		return d + b.l
+	}
+	return d
+}
+
+// computeForces evaluates LJ forces via the cell lists.
+func (b *ljBox) computeForces() {
+	for i := 0; i < b.n; i++ {
+		b.fx[i], b.fy[i], b.fz[i] = 0, 0, 0
+	}
+	maxc := int(b.l/b.cellW) + 1
+	for c, atoms := range b.cells {
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					nc := [3]int{mod(c[0]+dx, maxc), mod(c[1]+dy, maxc), mod(c[2]+dz, maxc)}
+					neigh := b.cells[nc]
+					for _, i := range atoms {
+						for _, j := range neigh {
+							if j <= i {
+								continue
+							}
+							ddx := b.minImage(b.x[i] - b.x[j])
+							ddy := b.minImage(b.y[i] - b.y[j])
+							ddz := b.minImage(b.z[i] - b.z[j])
+							r2 := ddx*ddx + ddy*ddy + ddz*ddz
+							if r2 > b.rc2 || r2 == 0 {
+								continue
+							}
+							inv2 := 1 / r2
+							inv6 := inv2 * inv2 * inv2
+							f := 24 * inv2 * inv6 * (2*inv6 - 1)
+							b.fx[i] += f * ddx
+							b.fy[i] += f * ddy
+							b.fz[i] += f * ddz
+							b.fx[j] -= f * ddx
+							b.fy[j] -= f * ddy
+							b.fz[j] -= f * ddz
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func mod(a, m int) int { return ((a % m) + m) % m }
+
+// integrate advances one (leapfrog-ish) step with periodic wrapping.
+func (b *ljBox) integrate() {
+	for i := 0; i < b.n; i++ {
+		b.vx[i] += b.fx[i] * b.dt
+		b.vy[i] += b.fy[i] * b.dt
+		b.vz[i] += b.fz[i] * b.dt
+		b.x[i] = wrap(b.x[i]+b.vx[i]*b.dt, b.l)
+		b.y[i] = wrap(b.y[i]+b.vy[i]*b.dt, b.l)
+		b.z[i] = wrap(b.z[i]+b.vz[i]*b.dt, b.l)
+	}
+}
+
+func wrap(v, l float64) float64 {
+	for v < 0 {
+		v += l
+	}
+	for v >= l {
+		v -= l
+	}
+	return v
+}
+
+// kineticEnergy returns the system kinetic energy.
+func (b *ljBox) kineticEnergy() float64 {
+	ke := 0.0
+	for i := 0; i < b.n; i++ {
+		ke += 0.5 * (b.vx[i]*b.vx[i] + b.vy[i]*b.vy[i] + b.vz[i]*b.vz[i])
+	}
+	return ke
+}
+
+// potentialEnergy sums the LJ pair potential.
+func (b *ljBox) potentialEnergy() float64 {
+	pe := 0.0
+	for i := 0; i < b.n; i++ {
+		for j := i + 1; j < b.n; j++ {
+			ddx := b.minImage(b.x[i] - b.x[j])
+			ddy := b.minImage(b.y[i] - b.y[j])
+			ddz := b.minImage(b.z[i] - b.z[j])
+			r2 := ddx*ddx + ddy*ddy + ddz*ddz
+			if r2 > b.rc2 || r2 == 0 {
+				continue
+			}
+			inv6 := 1 / (r2 * r2 * r2)
+			pe += 4 * inv6 * (inv6 - 1)
+		}
+	}
+	return pe
+}
+
+// totalEnergy returns KE + PE.
+func (b *ljBox) totalEnergy() float64 { return b.kineticEnergy() + b.potentialEnergy() }
+
+// averageNeighbors estimates the neighbor count within the cutoff.
+func (b *ljBox) averageNeighbors() float64 {
+	// Density * cutoff-sphere volume.
+	rho := float64(b.n) / (b.l * b.l * b.l)
+	return rho * 4.0 / 3.0 * math.Pi * 2.5 * 2.5 * 2.5
+}

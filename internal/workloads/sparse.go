@@ -1,0 +1,383 @@
+package workloads
+
+import (
+	"math"
+
+	"covirt/internal/hw"
+	"covirt/internal/kitten"
+)
+
+// stencil27 models the HPCG-style symmetric positive-definite problem: a
+// 27-point stencil discretization on an nx x ny x nz grid with 26 on the
+// diagonal and -1 off-diagonal. The matrix is implicit (regenerated from
+// the stencil), matching how proxy apps avoid storing what they can
+// recompute — but the *memory system* sees the CSR-equivalent traffic via
+// the charge helpers below.
+type stencil27 struct {
+	nx, ny, nz int
+}
+
+func (s stencil27) rows() int { return s.nx * s.ny * s.nz }
+
+// idx maps grid coordinates to a row.
+func (s stencil27) idx(i, j, k int) int { return (k*s.ny+j)*s.nx + i }
+
+// neighborOffsets returns the 26 linear offsets of the stencil neighbours.
+func (s stencil27) neighborOffsets() []int {
+	offs := make([]int, 0, 26)
+	for dk := -1; dk <= 1; dk++ {
+		for dj := -1; dj <= 1; dj++ {
+			for di := -1; di <= 1; di++ {
+				if di == 0 && dj == 0 && dk == 0 {
+					continue
+				}
+				offs = append(offs, (dk*s.ny+dj)*s.nx+di)
+			}
+		}
+	}
+	return offs
+}
+
+// interior reports whether the row is away from every grid boundary, so
+// all 26 neighbours exist and linear offsets are valid.
+func (s stencil27) interior(row int) bool {
+	i := row % s.nx
+	j := (row / s.nx) % s.ny
+	k := row / (s.nx * s.ny)
+	return i > 0 && j > 0 && k > 0 && i < s.nx-1 && j < s.ny-1 && k < s.nz-1
+}
+
+// spmv computes dst = A*src for rows in [lo, hi) — real arithmetic, with a
+// fast offset-based path for interior rows.
+func (s stencil27) spmv(dst, src []float64, lo, hi int) {
+	offs := s.neighborOffsets()
+	for row := lo; row < hi; row++ {
+		sum := 26.0 * src[row]
+		if s.interior(row) {
+			for _, o := range offs {
+				sum -= src[row+o]
+			}
+		} else {
+			i := row % s.nx
+			j := (row / s.nx) % s.ny
+			k := row / (s.nx * s.ny)
+			for dk := -1; dk <= 1; dk++ {
+				for dj := -1; dj <= 1; dj++ {
+					for di := -1; di <= 1; di++ {
+						if di == 0 && dj == 0 && dk == 0 {
+							continue
+						}
+						ni, nj, nk := i+di, j+dj, k+dk
+						if ni < 0 || nj < 0 || nk < 0 || ni >= s.nx || nj >= s.ny || nk >= s.nz {
+							continue
+						}
+						sum -= src[s.idx(ni, nj, nk)]
+					}
+				}
+			}
+		}
+		dst[row] = sum
+	}
+}
+
+// symgs performs one block-local symmetric Gauss-Seidel sweep (forward
+// then backward) on rows [lo, hi): HPCG's preconditioner, restricted to
+// the rank's own block so parallel ranks never read each other's
+// in-flight values (block-Jacobi across ranks, Gauss-Seidel within — the
+// standard race-free parallel formulation).
+func (s stencil27) symgs(z, r []float64, lo, hi int) {
+	offs := s.neighborOffsets()
+	sweep := func(row int) {
+		sum := r[row]
+		if s.interior(row) && row+offs[0] >= lo && row+offs[len(offs)-1] < hi {
+			for _, o := range offs {
+				sum += z[row+o]
+			}
+		} else {
+			i := row % s.nx
+			j := (row / s.nx) % s.ny
+			k := row / (s.nx * s.ny)
+			for dk := -1; dk <= 1; dk++ {
+				for dj := -1; dj <= 1; dj++ {
+					for di := -1; di <= 1; di++ {
+						if di == 0 && dj == 0 && dk == 0 {
+							continue
+						}
+						ni, nj, nk := i+di, j+dj, k+dk
+						if ni < 0 || nj < 0 || nk < 0 || ni >= s.nx || nj >= s.ny || nk >= s.nz {
+							continue
+						}
+						nrow := s.idx(ni, nj, nk)
+						if nrow < lo || nrow >= hi {
+							continue // out-of-block: treated as zero
+						}
+						sum += z[nrow]
+					}
+				}
+			}
+		}
+		z[row] = sum / 26.0
+	}
+	for row := lo; row < hi; row++ {
+		sweep(row)
+	}
+	for row := hi - 1; row >= lo; row-- {
+		sweep(row)
+	}
+}
+
+// sparseCharger charges the memory-system footprint of sparse kernels on a
+// rank's CPU: CSR-equivalent matrix streaming, vector streaming, and a
+// fraction of truly random gathers (cache-missing indirect accesses).
+type sparseCharger struct {
+	env     *kitten.Env
+	matrix  hw.Extent // simulated CSR storage for this rank's rows
+	vec     hw.Extent // simulated local vector storage
+	remote  hw.Extent // neighbour-rank vector storage on the other node
+	scatter hw.Extent // large poor-locality working set (e.g. MG hierarchy)
+	rows    uint64
+	rng     xorshift64
+
+	// gatherMissFrac*rows random DRAM accesses per SpMV-equivalent model
+	// the indirect x-gathers that fall out of cache. When the enclave
+	// spans NUMA nodes, half of them target the remote node's portion of
+	// the vector (halo/boundary gathers). When scatterBytes is set, the
+	// local share targets the scatter extent, whose size exceeds TLB
+	// reach — HPCG's multigrid hierarchy behaves this way, which is what
+	// gives it the small but persistent translation overhead the paper
+	// reports.
+	gatherMissFrac float64
+	scatterBytes   uint64
+}
+
+// matrixBytesPerRow is the CSR traffic per 27-entry row (27 values + 27
+// column indices + row pointer).
+const matrixBytesPerRow = 27*12 + 8
+
+// newSparseCharger sizes the simulated storage for a rank owning `rows` of
+// a problem with `totalRows`. gatherFrac and scatterBytes configure the
+// random-gather model (see the field docs).
+func newSparseCharger(e *kitten.Env, rank, rows, totalRows int, gatherFrac float64, scatterBytes uint64) *sparseCharger {
+	c := &sparseCharger{
+		env:            e,
+		matrix:         allocSpread(e, hw.AlignUp(uint64(rows)*matrixBytesPerRow, hw.PageSize4K)),
+		vec:            allocSpread(e, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K)),
+		rows:           uint64(rows),
+		rng:            xorshift64(0x9E3779B97F4A7C15 ^ uint64(rank+1)),
+		gatherMissFrac: gatherFrac,
+		scatterBytes:   scatterBytes,
+	}
+	if scatterBytes > 0 {
+		c.scatter = allocSpread(e, scatterBytes)
+	}
+	for _, node := range e.K.Nodes() {
+		if node != e.CPU.Node {
+			c.remote = e.Alloc(node, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K))
+			break
+		}
+	}
+	return c
+}
+
+// free releases the simulated storage.
+func (c *sparseCharger) free() {
+	c.env.Free(c.matrix)
+	c.env.Free(c.vec)
+	if c.remote.Size > 0 {
+		c.env.Free(c.remote)
+	}
+	if c.scatter.Size > 0 {
+		c.env.Free(c.scatter)
+	}
+}
+
+// gatherTarget picks the extent a random gather hits: alternating local
+// and remote when the partition spans NUMA nodes; the local share goes to
+// the scatter extent when one is configured.
+func (c *sparseCharger) gatherTarget(i uint64) hw.Extent {
+	if c.remote.Size > 0 && i%2 == 1 {
+		return c.remote
+	}
+	if c.scatter.Size > 0 {
+		return c.scatter
+	}
+	return c.vec
+}
+
+// chargeSpMV charges one sparse matrix-vector multiply over the rank's rows.
+func (c *sparseCharger) chargeSpMV() {
+	e := c.env
+	// Stream the matrix (values + indices) and the destination vector.
+	e.Stream(c.matrix.Start, c.rows*matrixBytesPerRow, false)
+	e.Stream(c.vec.Start, c.rows*8, true)
+	// Source vector: mostly streaming reuse, plus the cache-missing
+	// indirect gathers.
+	e.Stream(c.vec.Start, c.rows*8, false)
+	misses := uint64(float64(c.rows*27) * c.gatherMissFrac)
+	for m := uint64(0); m < misses; m++ {
+		tgt := c.gatherTarget(m)
+		off := c.rng.next() % (tgt.Size / 8)
+		e.Access(tgt.Start+off*8, false, hw.AccessDRAM)
+	}
+	// 2 flops per nonzero.
+	e.Compute(c.rows * 27 * 2)
+}
+
+// chargeSymGS charges one symmetric Gauss-Seidel sweep (≈2x SpMV traffic).
+func (c *sparseCharger) chargeSymGS() {
+	c.chargeSpMV()
+	c.chargeSpMV()
+}
+
+// chargeAXPY charges y = a*x + y over the rank's rows.
+func (c *sparseCharger) chargeAXPY() {
+	e := c.env
+	e.Stream(c.vec.Start, c.rows*8, false)
+	e.Stream(c.vec.Start, c.rows*8, true)
+	e.Compute(c.rows * 2)
+}
+
+// chargeDot charges a local dot product over the rank's rows.
+func (c *sparseCharger) chargeDot() {
+	e := c.env
+	e.Stream(c.vec.Start, c.rows*8*2, false)
+	e.Compute(c.rows * 2)
+}
+
+// cgSolver runs preconditioned (optional) conjugate gradients on the
+// stencil problem across `threads` guest ranks with real arithmetic and
+// charged memory traffic, returning the final relative residual and
+// iteration count.
+type cgSolver struct {
+	s       stencil27
+	precond bool
+	iters   int
+	// gatherFrac and scatterBytes configure the sparseCharger (see its
+	// field docs); zero values select MiniFE-like cache-friendly gathers.
+	gatherFrac   float64
+	scatterBytes uint64
+}
+
+// run executes the solve; fn is invoked per rank by runParallel's caller.
+func (cg *cgSolver) makeRankFn(threads int, finalRes *float64) func(e *kitten.Env, rank int) error {
+	n := cg.s.rows()
+	x := make([]float64, n)
+	b := make([]float64, n)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	z := make([]float64, n)
+
+	// b = A * ones, so the exact solution is all-ones.
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	cg.s.spmv(b, ones, 0, n)
+
+	bar := NewBarrier(threads)
+	redRR := NewAllreduce(threads)
+	redPAp := NewAllreduce(threads)
+	var bNorm float64
+	for _, v := range b {
+		bNorm += v * v
+	}
+	bNorm = math.Sqrt(bNorm)
+
+	// Shared scalar state (rank 0 publishes between barriers).
+	var alpha, beta, rr float64
+
+	return func(e *kitten.Env, rank int) error {
+		lo := rank * n / threads
+		hi := (rank + 1) * n / threads
+		gf := cg.gatherFrac
+		if gf == 0 {
+			gf = 0.02
+		}
+		ch := newSparseCharger(e, rank, hi-lo, n, gf, cg.scatterBytes)
+		defer ch.free()
+
+		// r = b (x = 0), z = precond(r) or r, p = z.
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			r[i] = b[i]
+		}
+		if cg.precond {
+			cg.s.symgs(z, r, lo, hi)
+			ch.chargeSymGS()
+		} else {
+			copy(z[lo:hi], r[lo:hi])
+			ch.chargeAXPY()
+		}
+		for i := lo; i < hi; i++ {
+			p[i] = z[i]
+			local += r[i] * z[i]
+		}
+		ch.chargeDot()
+		rr0 := redRR.Sum(e, rank, local)
+		if rank == 0 {
+			rr = rr0
+		}
+		bar.Wait(e, rank)
+
+		for it := 0; it < cg.iters; it++ {
+			cg.s.spmv(ap, p, lo, hi)
+			ch.chargeSpMV()
+			bar.Wait(e, rank) // halo: neighbours read our p rows
+			local = 0
+			for i := lo; i < hi; i++ {
+				local += p[i] * ap[i]
+			}
+			ch.chargeDot()
+			pap := redPAp.Sum(e, rank, local)
+			if rank == 0 {
+				alpha = rr / pap
+			}
+			bar.Wait(e, rank)
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+			}
+			ch.chargeAXPY()
+			ch.chargeAXPY()
+			if cg.precond {
+				for i := lo; i < hi; i++ {
+					z[i] = 0
+				}
+				cg.s.symgs(z, r, lo, hi)
+				ch.chargeSymGS()
+			} else {
+				copy(z[lo:hi], r[lo:hi])
+			}
+			local = 0
+			for i := lo; i < hi; i++ {
+				local += r[i] * z[i]
+			}
+			ch.chargeDot()
+			rrNew := redRR.Sum(e, rank, local)
+			if rank == 0 {
+				beta = rrNew / rr
+				rr = rrNew
+			}
+			bar.Wait(e, rank)
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+			ch.chargeAXPY()
+			bar.Wait(e, rank)
+		}
+
+		if rank == 0 && finalRes != nil {
+			// True residual ||b - Ax|| / ||b||.
+			tmp := make([]float64, n)
+			cg.s.spmv(tmp, x, 0, n)
+			sum := 0.0
+			for i := range tmp {
+				d := b[i] - tmp[i]
+				sum += d * d
+			}
+			*finalRes = math.Sqrt(sum) / bNorm
+		}
+		return nil
+	}
+}

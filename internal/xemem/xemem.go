@@ -1,0 +1,217 @@
+// Package xemem simulates the XEMEM shared-memory system used by the
+// Hobbes OS/R for all inter-enclave communication: named segments of
+// physical memory exported by one OS/R instance and attachable by others,
+// coordinated through a node-local name service.
+//
+// Consistent with the real system, XEMEM here deals in page-frame extent
+// lists: exporting registers the frames backing a segment; attaching hands
+// the consumer the frame list so it can map the memory into its own
+// context. The management-plane transitions around attach and detach are
+// the hook points the Covirt controller intercepts.
+package xemem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"covirt/internal/hw"
+)
+
+// Well-known errors.
+var (
+	ErrNoSegment   = errors.New("xemem: no such segment")
+	ErrNameTaken   = errors.New("xemem: name already registered")
+	ErrNotAttached = errors.New("xemem: not attached")
+)
+
+// Segment is one exported shared-memory region.
+type Segment struct {
+	ID       uint64
+	NameHash uint64
+	Owner    int // exporting enclave id (0 = host OS)
+	Extents  []hw.Extent
+
+	attached map[int]int // consumer enclave id -> attach count
+	removed  bool
+}
+
+// Registry is the node-local XEMEM name service, hosted by the master
+// control process.
+type Registry struct {
+	mu     sync.Mutex
+	byID   map[uint64]*Segment
+	byName map[uint64]uint64
+	nextID uint64
+}
+
+// NewRegistry returns an empty name service.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[uint64]*Segment), byName: make(map[uint64]uint64), nextID: 1}
+}
+
+// Make exports extents under nameHash on behalf of owner.
+func (r *Registry) Make(nameHash uint64, owner int, extents []hw.Extent) (*Segment, error) {
+	if len(extents) == 0 {
+		return nil, fmt.Errorf("xemem: empty segment")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.byName[nameHash]; taken {
+		return nil, ErrNameTaken
+	}
+	s := &Segment{
+		ID:       r.nextID,
+		NameHash: nameHash,
+		Owner:    owner,
+		Extents:  append([]hw.Extent(nil), extents...),
+		attached: make(map[int]int),
+	}
+	r.nextID++
+	r.byID[s.ID] = s
+	r.byName[nameHash] = s.ID
+	return s, nil
+}
+
+// Get resolves a name to a segid.
+func (r *Registry) Get(nameHash uint64) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.byName[nameHash]
+	if !ok {
+		return 0, ErrNoSegment
+	}
+	return id, nil
+}
+
+// Lookup returns the segment with the given id.
+func (r *Registry) Lookup(segid uint64) (*Segment, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok {
+		return nil, ErrNoSegment
+	}
+	return s, nil
+}
+
+// Attach records consumer's attachment and returns the frame extents to
+// transmit.
+func (r *Registry) Attach(segid uint64, consumer int) ([]hw.Extent, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok || s.removed {
+		return nil, ErrNoSegment
+	}
+	s.attached[consumer]++
+	return append([]hw.Extent(nil), s.Extents...), nil
+}
+
+// DetachStart begins a detach: it returns the extents the consumer must
+// unmap but keeps the attachment recorded until DetachDone (the window the
+// Covirt ordering rules are about).
+func (r *Registry) DetachStart(segid uint64, consumer int) ([]hw.Extent, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok {
+		return nil, ErrNoSegment
+	}
+	if s.attached[consumer] == 0 {
+		return nil, ErrNotAttached
+	}
+	return append([]hw.Extent(nil), s.Extents...), nil
+}
+
+// DetachDone completes a detach after the consumer has relinquished its
+// mappings.
+func (r *Registry) DetachDone(segid uint64, consumer int) ([]hw.Extent, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok {
+		return nil, ErrNoSegment
+	}
+	if s.attached[consumer] == 0 {
+		return nil, ErrNotAttached
+	}
+	s.attached[consumer]--
+	if s.attached[consumer] == 0 {
+		delete(s.attached, consumer)
+	}
+	exts := append([]hw.Extent(nil), s.Extents...)
+	if s.removed && len(s.attached) == 0 {
+		delete(r.byID, s.ID)
+		delete(r.byName, s.NameHash)
+	}
+	return exts, nil
+}
+
+// Remove unregisters a segment. If consumers remain attached the segment
+// lingers (invisible to Get) until the last detach.
+func (r *Registry) Remove(segid uint64, owner int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok {
+		return ErrNoSegment
+	}
+	if s.Owner != owner {
+		return fmt.Errorf("xemem: segment %d owned by %d, not %d", segid, s.Owner, owner)
+	}
+	s.removed = true
+	delete(r.byName, s.NameHash)
+	if len(s.attached) == 0 {
+		delete(r.byID, s.ID)
+	}
+	return nil
+}
+
+// Attachments returns the consumers currently attached to segid.
+func (r *Registry) Attachments(segid uint64) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(s.attached))
+	for c := range s.attached {
+		out = append(out, c)
+	}
+	return out
+}
+
+// CleanupEnclave drops all state belonging to a crashed/destroyed enclave:
+// segments it owned and attachments it held. It returns the segments that
+// were owned by the enclave (so dependents can be notified) and the extent
+// lists of segments it was attached to (so protection layers can unmap).
+func (r *Registry) CleanupEnclave(enclave int) (owned []*Segment, attachedExts []hw.Extent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, s := range r.byID {
+		if s.Owner == enclave {
+			owned = append(owned, s)
+			delete(r.byID, id)
+			delete(r.byName, s.NameHash)
+			continue
+		}
+		if s.attached[enclave] > 0 {
+			attachedExts = append(attachedExts, s.Extents...)
+			delete(s.attached, enclave)
+			if s.removed && len(s.attached) == 0 {
+				delete(r.byID, id)
+				delete(r.byName, s.NameHash)
+			}
+		}
+	}
+	return owned, attachedExts
+}
+
+// Count returns the number of live segments.
+func (r *Registry) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

@@ -1,0 +1,194 @@
+package xemem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"covirt/internal/hw"
+)
+
+func ext(start, size uint64) []hw.Extent {
+	return []hw.Extent{{Start: start, Size: size, Node: 0}}
+}
+
+func TestMakeGetAttach(t *testing.T) {
+	r := NewRegistry()
+	seg, err := r.Make(111, 1, ext(0x100000, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.Get(111)
+	if err != nil || id != seg.ID {
+		t.Fatalf("Get = %d, %v", id, err)
+	}
+	exts, err := r.Attach(id, 2)
+	if err != nil || len(exts) != 1 || exts[0].Start != 0x100000 {
+		t.Fatalf("Attach = %v, %v", exts, err)
+	}
+	if got := r.Attachments(id); len(got) != 1 || got[0] != 2 {
+		t.Errorf("attachments = %v", got)
+	}
+}
+
+func TestMakeValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Make(1, 1, nil); err == nil {
+		t.Error("empty segment accepted")
+	}
+	if _, err := r.Make(5, 1, ext(0, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Make(5, 2, ext(0x1000, 4096)); err != ErrNameTaken {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Get(42); err != ErrNoSegment {
+		t.Error("missing name lookup succeeded")
+	}
+	if _, err := r.Attach(9, 1); err != ErrNoSegment {
+		t.Error("attach to missing segment succeeded")
+	}
+	if _, err := r.DetachStart(9, 1); err != ErrNoSegment {
+		t.Error("detach of missing segment succeeded")
+	}
+	if _, err := r.Lookup(9); err != ErrNoSegment {
+		t.Error("lookup of missing segment succeeded")
+	}
+}
+
+func TestDetachProtocol(t *testing.T) {
+	r := NewRegistry()
+	seg, _ := r.Make(1, 1, ext(0, 1<<21))
+	if _, err := r.DetachStart(seg.ID, 2); err != ErrNotAttached {
+		t.Error("detach-start without attach succeeded")
+	}
+	_, _ = r.Attach(seg.ID, 2)
+	if _, err := r.DetachStart(seg.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	// DetachStart does not drop the attachment.
+	if len(r.Attachments(seg.ID)) != 1 {
+		t.Error("detach-start dropped attachment early")
+	}
+	if _, err := r.DetachDone(seg.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Attachments(seg.ID)) != 0 {
+		t.Error("attachment survived detach-done")
+	}
+	if _, err := r.DetachDone(seg.ID, 2); err != ErrNotAttached {
+		t.Error("double detach-done succeeded")
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	r := NewRegistry()
+	seg, _ := r.Make(1, 1, ext(0, 1<<21))
+	if err := r.Remove(seg.ID, 99); err == nil {
+		t.Error("remove by non-owner succeeded")
+	}
+	_, _ = r.Attach(seg.ID, 2)
+	if err := r.Remove(seg.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Removed-but-attached segments are invisible to Get but the consumer
+	// can still complete its detach.
+	if _, err := r.Get(1); err != ErrNoSegment {
+		t.Error("removed segment still resolvable by name")
+	}
+	if r.Count() != 1 {
+		t.Errorf("count = %d; lingering segment expected", r.Count())
+	}
+	if _, err := r.DetachDone(seg.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 0 {
+		t.Errorf("count = %d after final detach", r.Count())
+	}
+	// The name becomes reusable.
+	if _, err := r.Make(1, 3, ext(0x4000, 4096)); err != nil {
+		t.Errorf("name not reusable: %v", err)
+	}
+}
+
+func TestAttachCountNesting(t *testing.T) {
+	r := NewRegistry()
+	seg, _ := r.Make(1, 1, ext(0, 1<<21))
+	_, _ = r.Attach(seg.ID, 2)
+	_, _ = r.Attach(seg.ID, 2) // nested attach by same consumer
+	if _, err := r.DetachDone(seg.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Attachments(seg.ID)) != 1 {
+		t.Error("nested attach lost")
+	}
+	if _, err := r.DetachDone(seg.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Attachments(seg.ID)) != 0 {
+		t.Error("attachment not cleared")
+	}
+}
+
+func TestCleanupEnclave(t *testing.T) {
+	r := NewRegistry()
+	segA, _ := r.Make(1, 1, ext(0, 1<<21))     // owned by 1
+	segB, _ := r.Make(2, 2, ext(1<<21, 1<<21)) // owned by 2
+	_, _ = r.Attach(segB.ID, 1)                // 1 attached to B
+	owned, attached := r.CleanupEnclave(1)
+	if len(owned) != 1 || owned[0].ID != segA.ID {
+		t.Errorf("owned = %v", owned)
+	}
+	if len(attached) != 1 || attached[0].Start != 1<<21 {
+		t.Errorf("attached = %v", attached)
+	}
+	if _, err := r.Get(1); err != ErrNoSegment {
+		t.Error("dead enclave's segment still registered")
+	}
+	if len(r.Attachments(segB.ID)) != 0 {
+		t.Error("dead enclave still attached")
+	}
+	// Survivor's segment is untouched.
+	if _, err := r.Get(2); err != nil {
+		t.Error("survivor's segment lost")
+	}
+}
+
+// Property: attach/detach counts always balance — after any interleaving,
+// completing all detaches leaves zero attachments.
+func TestAttachBalanceProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewRegistry()
+		seg, err := r.Make(1, 1, ext(0, 1<<21))
+		if err != nil {
+			return false
+		}
+		counts := map[int]int{}
+		for _, op := range ops {
+			consumer := int(op%4) + 10
+			if op%2 == 0 {
+				if _, err := r.Attach(seg.ID, consumer); err == nil {
+					counts[consumer]++
+				}
+			} else if counts[consumer] > 0 {
+				if _, err := r.DetachDone(seg.ID, consumer); err == nil {
+					counts[consumer]--
+				}
+			}
+		}
+		for c, n := range counts {
+			for i := 0; i < n; i++ {
+				if _, err := r.DetachDone(seg.ID, c); err != nil {
+					return false
+				}
+			}
+		}
+		return len(r.Attachments(seg.ID)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
