@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestAnalyzersOnFixtures runs each analyzer against its fixture module
+// under testdata/ and compares the full finding set (as module-relative
+// file:line keys) against expectations. The fixtures also exercise the
+// //covirt:allow directive (see physmem/use/use.go) and the seeded-source
+// exemption (determinism/internal/hw/clock.go).
+func TestAnalyzersOnFixtures(t *testing.T) {
+	cases := []struct {
+		fixture string
+		checks  []string
+		want    []string
+	}{
+		{
+			fixture: "physmem",
+			checks:  []string{checkPhysmem},
+			want: []string{
+				"use/use.go:7",  // result ignored entirely
+				"use/use.go:9",  // discarded via _
+				"use/use.go:11", // unobservable under go
+				// use/use.go:14 is suppressed by //covirt:allow
+			},
+		},
+		{
+			fixture: "lock",
+			checks:  []string{checkLock},
+			want: []string{
+				"locks/locks.go:15", // Lock without defer Unlock
+				"locks/locks.go:21", // RLock without defer RUnlock
+				"locks/locks.go:37", // Cond.Wait outside for loop
+			},
+		},
+		{
+			fixture: "determinism",
+			checks:  []string{checkDeterminism},
+			want: []string{
+				"internal/hw/clock.go:9",  // time.Now
+				"internal/hw/clock.go:11", // time.Since
+				"internal/hw/clock.go:13", // global rand.Intn
+				// the seeded rand.New(rand.NewSource(...)) use is exempt,
+				// and harness/ is not a sim package
+			},
+		},
+		{
+			fixture: "cost",
+			checks:  []string{checkCost},
+			want: []string{
+				"internal/hw/costs.go:7", // Costs.Dead never charged
+			},
+		},
+		{
+			fixture: "queue",
+			checks:  []string{checkQueue},
+			want: []string{
+				"internal/covirt/other.go:6", // cmdQueue field access
+				"internal/covirt/other.go:7", // raw read at layout address
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			root := filepath.Join("testdata", c.fixture)
+			findings, mod, err := Run(root, c.checks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(mod.TypeErrors) > 0 {
+				t.Fatalf("fixture has type errors: %v", mod.TypeErrors)
+			}
+			var got []string
+			for _, f := range findings {
+				rel, err := filepath.Rel(mod.Root, f.Pos.Filename)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, fmt.Sprintf("%s:%d", filepath.ToSlash(rel), f.Pos.Line))
+			}
+			sort.Strings(got)
+			want := append([]string(nil), c.want...)
+			sort.Strings(want)
+			if len(got) != len(want) {
+				t.Fatalf("findings = %v, want %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("finding %d = %s, want %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownCheckRejected ensures a bad -checks selection is an error,
+// not a silent no-op.
+func TestUnknownCheckRejected(t *testing.T) {
+	if _, _, err := Run(filepath.Join("testdata", "lock"), []string{"no-such-check"}); err == nil {
+		t.Fatal("unknown check accepted")
+	}
+}
+
+// TestAllowDirectiveParsing covers the directive grammar.
+func TestAllowDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		text   string
+		checks []string
+		ok     bool
+	}{
+		{"//covirt:allow lock-discipline reason here", []string{"lock-discipline"}, true},
+		{"// covirt:allow lock-discipline spaced form", []string{"lock-discipline"}, true},
+		{"//covirt:allow a,b multi", []string{"a", "b"}, true},
+		{"//covirt:allow all everything", []string{"all"}, true},
+		{"//covirt:allow", nil, false},
+		{"// plain comment", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := parseAllow(c.text)
+		if ok != c.ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(got) != len(c.checks) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.checks)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.checks[i] {
+				t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.checks)
+			}
+		}
+	}
+}
+
+// TestRepoSelfClean is the suite's own CI gate: the repository must stay
+// free of findings (fix the code or annotate with //covirt:allow).
+func TestRepoSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	findings, mod, err := Run(filepath.Join("..", ".."), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range mod.TypeErrors {
+		t.Errorf("type error: %v", te)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

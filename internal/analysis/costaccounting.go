@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// costAccounting verifies that every exported field of the hw.Costs cycle
+// model is actually charged somewhere: read through a selector expression
+// by non-test code. Keyed composite literals (DefaultCosts, test configs)
+// do not count — populating a field is not charging it. A field nobody
+// charges is a dead model entry — its value silently drifts away from the
+// paper's calibration tables without any test noticing.
+var costAccounting = &Analyzer{
+	Name:      checkCost,
+	Doc:       "every exported hw.Costs field must be charged by simulation code",
+	RunModule: runCostAccounting,
+}
+
+func runCostAccounting(m *Module) []Finding {
+	type fieldDecl struct {
+		name ast.Node
+		used bool
+	}
+	var declFile string
+	fields := make(map[string]*fieldDecl)
+	var order []string
+
+	// Locate the Costs struct in the hw package and record its exported
+	// fields and declaring file.
+	for _, u := range m.Units {
+		if !strings.HasSuffix(strings.TrimSuffix(u.Path, ".test"), "internal/hw") || strings.HasSuffix(u.Path, ".test") {
+			continue
+		}
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Costs" {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				declFile = m.Fset.Position(ts.Pos()).Filename
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						if name.IsExported() {
+							fields[name.Name] = &fieldDecl{name: name}
+							order = append(order, name.Name)
+						}
+					}
+				}
+				return false
+			})
+		}
+	}
+	if declFile == "" {
+		return nil // module has no hw.Costs (e.g. an unrelated fixture)
+	}
+
+	// Scan every non-test file for selector references to Costs fields
+	// (cost-model helpers like remoteScale live next to the struct and
+	// count as charges; they are themselves called from charging code).
+	for _, u := range m.Units {
+		for _, f := range u.Files {
+			if isTestFile(m, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fd := fields[sel.Sel.Name]
+				if fd == nil || fd.used {
+					return true
+				}
+				s := u.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				if recvIsCosts(s.Recv()) {
+					fd.used = true
+				}
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	for _, name := range order {
+		fd := fields[name]
+		if !fd.used {
+			out = append(out, Finding{
+				Check: checkCost,
+				Pos:   m.Fset.Position(fd.name.Pos()),
+				Msg: "Costs." + name + " is never charged by any simulation code; " +
+					"dead cost-model entries drift from the paper's tables",
+			})
+		}
+	}
+	return out
+}
+
+// recvIsCosts reports whether t is hw.Costs (possibly behind a pointer).
+func recvIsCosts(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Costs" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/hw")
+}

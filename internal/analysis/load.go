@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one analysis unit: the type-checked files of a package directory.
+// A directory yields up to two units — the package itself (non-test files
+// plus in-package _test.go files) and, when present, the external
+// <name>_test package.
+type Pkg struct {
+	// Path is the import path ("covirt/internal/hw"); external test units
+	// carry a ".test" suffix for display only.
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Name is the package name.
+	Name string
+	// Files are the parsed files of this unit.
+	Files []*ast.File
+	// Types and Info hold the type-checking results. Info is always
+	// non-nil; Types may carry partial information if the package had
+	// type errors (recorded in Module.TypeErrors).
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a fully loaded Go module: every package directory parsed and
+// type-checked, using only the standard library toolchain.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Root is the absolute module root directory.
+	Root string
+	// Fset positions every file in the module.
+	Fset *token.FileSet
+	// Units are the analysis units in deterministic (path) order.
+	Units []*Pkg
+	// TypeErrors collects non-fatal type-checking diagnostics. A module
+	// that builds with `go build ./...` produces none; they are surfaced
+	// as warnings so analysis stays best-effort on broken trees.
+	TypeErrors []error
+}
+
+// pkgDir is one package directory before type checking.
+type pkgDir struct {
+	dir     string // absolute
+	path    string // import path of the base package
+	name    string // base package name ("" if only external tests)
+	base    []*ast.File
+	inTest  []*ast.File // _test.go files in the base package
+	extTest []*ast.File // _test.go files in package <name>_test
+}
+
+// LoadModule parses and type-checks every package under root, which must
+// contain (or sit inside) a go.mod. Imports within the module resolve to
+// the loaded packages themselves; all other imports (standard library)
+// are type-checked from source via go/importer. No external tooling or
+// dependencies are involved.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	dirs, err := parseTree(fset, modRoot, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{Path: modPath, Root: modRoot, Fset: fset}
+	ld := &moduleLoader{
+		mod:     m,
+		dirs:    dirs,
+		byPath:  make(map[string]*pkgDir),
+		checked: make(map[string]*types.Package),
+		src:     importer.ForCompiler(fset, "source", nil),
+	}
+	for _, d := range dirs {
+		ld.byPath[d.path] = d
+	}
+	// Type-check base packages in dependency order (imports first), then
+	// build the analysis units.
+	for _, d := range dirs {
+		if len(d.base) == 0 {
+			continue // external tests only (e.g. a root bench package)
+		}
+		if _, err := ld.check(d.path, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range dirs {
+		units, err := ld.units(d)
+		if err != nil {
+			return nil, err
+		}
+		m.Units = append(m.Units, units...)
+	}
+	sort.Slice(m.Units, func(i, j int) bool { return m.Units[i].Path < m.Units[j].Path })
+	return m, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (string, string, error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// parseTree parses every package directory under modRoot, skipping
+// testdata, vendor, hidden directories, and nested modules.
+func parseTree(fset *token.FileSet, modRoot, modPath string) ([]*pkgDir, error) {
+	var dirs []*pkgDir
+	err := filepath.WalkDir(modRoot, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if de.IsDir() {
+			name := de.Name()
+			if path != modRoot {
+				if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+					return filepath.SkipDir
+				}
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir // nested module
+				}
+			}
+			d, perr := parseDir(fset, path, modRoot, modPath)
+			if perr != nil {
+				return perr
+			}
+			if d != nil {
+				dirs = append(dirs, d)
+			}
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].path < dirs[j].path })
+	return dirs, nil
+}
+
+// parseDir parses the .go files of one directory, or returns nil if it
+// holds none.
+func parseDir(fset *token.FileSet, dir, modRoot, modPath string) (*pkgDir, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	d := &pkgDir{dir: dir, path: importPath}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		name := file.Name.Name
+		switch {
+		case strings.HasSuffix(e.Name(), "_test.go") && strings.HasSuffix(name, "_test"):
+			d.extTest = append(d.extTest, file)
+		case strings.HasSuffix(e.Name(), "_test.go"):
+			d.inTest = append(d.inTest, file)
+		default:
+			if d.name != "" && d.name != name {
+				return nil, fmt.Errorf("analysis: %s: multiple packages %q and %q", dir, d.name, name)
+			}
+			d.name = name
+			d.base = append(d.base, file)
+		}
+	}
+	if d.name == "" && len(d.inTest) > 0 {
+		d.name = d.inTest[0].Name.Name
+	}
+	if len(d.base) == 0 && len(d.inTest) == 0 && len(d.extTest) == 0 {
+		return nil, nil
+	}
+	return d, nil
+}
+
+// moduleLoader type-checks packages on demand, memoizing results so each
+// base package is checked exactly once for import resolution.
+type moduleLoader struct {
+	mod     *Module
+	dirs    []*pkgDir
+	byPath  map[string]*pkgDir
+	checked map[string]*types.Package
+	src     types.Importer // source importer for non-module packages
+	stack   []string       // import cycle detection
+}
+
+// Import implements types.Importer: module-internal paths resolve to the
+// loader's own packages; everything else (standard library) goes through
+// the source importer.
+func (ld *moduleLoader) Import(path string) (*types.Package, error) {
+	if path == ld.mod.Path || strings.HasPrefix(path, ld.mod.Path+"/") {
+		return ld.check(path, nil)
+	}
+	return ld.src.Import(path)
+}
+
+// check type-checks the base package at path (memoized). When extra test
+// files are supplied, a fresh, non-memoized check of base+extra runs
+// instead (used to build analysis units).
+func (ld *moduleLoader) check(path string, extra []*ast.File) (*types.Package, error) {
+	if extra == nil {
+		if pkg, ok := ld.checked[path]; ok {
+			return pkg, nil
+		}
+	}
+	d := ld.byPath[path]
+	if d == nil || len(d.base) == 0 && extra == nil {
+		return nil, fmt.Errorf("analysis: cannot find module package %q", path)
+	}
+	for _, p := range ld.stack {
+		if p == path {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+	}
+	ld.stack = append(ld.stack, path)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	files := append(append([]*ast.File(nil), d.base...), extra...)
+	pkg, _, err := ld.typeCheck(path, files)
+	if err != nil {
+		return nil, err
+	}
+	if extra == nil {
+		ld.checked[path] = pkg
+	}
+	return pkg, nil
+}
+
+// typeCheck runs go/types over files, collecting soft errors into the
+// module diagnostics.
+func (ld *moduleLoader) typeCheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{
+		Importer: ld,
+		Error:    func(err error) { ld.mod.TypeErrors = append(ld.mod.TypeErrors, err) },
+	}
+	pkg, err := cfg.Check(path, ld.mod.Fset, files, info)
+	if pkg == nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return pkg, info, nil
+}
+
+// units builds the analysis units for one directory: the package with its
+// in-package test files, and the external test package if present.
+func (ld *moduleLoader) units(d *pkgDir) ([]*Pkg, error) {
+	var out []*Pkg
+	if len(d.base) > 0 || len(d.inTest) > 0 {
+		var pkg *types.Package
+		var info *types.Info
+		var files []*ast.File
+		var err error
+		if len(d.inTest) == 0 {
+			// No in-package tests: reuse the memoized base check, but we
+			// need its Info, so recheck once with Info collection.
+			files = d.base
+		} else {
+			files = append(append([]*ast.File(nil), d.base...), d.inTest...)
+		}
+		pkg, info, err = ld.typeCheck(d.path, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Pkg{Path: d.path, Dir: d.dir, Name: d.name, Files: files, Types: pkg, Info: info})
+	}
+	if len(d.extTest) > 0 {
+		name := d.extTest[0].Name.Name
+		pkg, info, err := ld.typeCheck(d.path+".test", d.extTest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Pkg{Path: d.path + ".test", Dir: d.dir, Name: name, Files: d.extTest, Types: pkg, Info: info})
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockDiscipline enforces the repository's locking idiom:
+//
+//  1. every sync.Mutex/RWMutex Lock (or RLock) is paired with a deferred
+//     Unlock (or RUnlock) of the same mutex later in the same function
+//     body, so no early return or panic can leak a held lock — critical
+//     sections that must release early are extracted into small locked
+//     helpers instead;
+//  2. sync.Cond.Wait is always enclosed in a for loop re-checking its
+//     predicate (a bare Wait misses spurious and stolen wakeups).
+var lockDiscipline = &Analyzer{
+	Name: checkLock,
+	Doc:  "Lock pairs with defer Unlock in the same function; Cond.Wait sits in a for loop",
+	Run:  runLockDiscipline,
+}
+
+// unlockFor maps an acquire method to its release method.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// syncCall inspects call; if it is a method call on a sync.Mutex,
+// sync.RWMutex, sync.Locker or sync.Cond it returns the receiver
+// expression rendered as source text, the method name, and the receiver
+// type's name ("Mutex", "RWMutex", "Locker", "Cond").
+func syncCall(p *Pass, call *ast.CallExpr) (recv, method, typ string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	fn, isFn := p.Unit.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", "", false
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "Locker", "Cond":
+		return types.ExprString(sel.X), fn.Name(), named.Obj().Name(), true
+	}
+	return "", "", "", false
+}
+
+func runLockDiscipline(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Unit.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					lockCheckFunc(p, fn.Body, &out)
+				}
+			case *ast.FuncLit:
+				lockCheckFunc(p, fn.Body, &out)
+				return false // the literal's own Inspect found nested lits
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockCheckFunc applies both rules to one function body, without
+// descending into nested function literals (they are separate scopes with
+// their own defers).
+func lockCheckFunc(p *Pass, body *ast.BlockStmt, out *[]Finding) {
+	type acquire struct {
+		call   *ast.CallExpr
+		recv   string
+		method string
+	}
+	type release struct {
+		recv   string
+		method string
+		pos    int
+	}
+	var acquires []acquire
+	var deferred []release
+
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		if insideNestedFuncLit(stack, body) {
+			return
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return
+		}
+		recv, method, typ, ok := syncCall(p, call)
+		if !ok {
+			return
+		}
+		inDefer := len(stack) >= 2 && isDeferStmt(stack[len(stack)-2], call)
+		switch {
+		case typ == "Cond" && method == "Wait":
+			if !enclosedInFor(stack, body) {
+				p.report(out, checkLock, call,
+					"%s.Wait() must run inside a for loop re-checking its predicate", recv)
+			}
+		case (method == "Lock" || method == "RLock") && typ != "Cond" && !inDefer:
+			acquires = append(acquires, acquire{call, recv, method})
+		case (method == "Unlock" || method == "RUnlock") && inDefer:
+			deferred = append(deferred, release{recv, method, int(call.Pos())})
+		}
+	})
+
+	for _, a := range acquires {
+		want := unlockFor[a.method]
+		found := false
+		for _, r := range deferred {
+			if r.recv == a.recv && r.method == want && r.pos > int(a.call.Pos()) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			p.report(out, checkLock, a.call,
+				"%s.%s() is not followed by defer %s.%s() in this function; use defer or extract a locked helper",
+				a.recv, a.method, a.recv, want)
+		}
+	}
+}
+
+// isDeferStmt reports whether parent is a defer statement of call.
+func isDeferStmt(parent ast.Node, call *ast.CallExpr) bool {
+	d, ok := parent.(*ast.DeferStmt)
+	return ok && d.Call == call
+}
+
+// insideNestedFuncLit reports whether the current node sits inside a
+// function literal nested under body (such nodes belong to another scope).
+func insideNestedFuncLit(stack []ast.Node, body *ast.BlockStmt) bool {
+	// Find body in the stack, then look for a FuncLit deeper than it.
+	started := false
+	for _, n := range stack {
+		if n == ast.Node(body) {
+			started = true
+			continue
+		}
+		if !started {
+			continue
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosedInFor reports whether the innermost statement context of the
+// current node (within body, not crossing function literals) is a for or
+// range loop.
+func enclosedInFor(stack []ast.Node, body *ast.BlockStmt) bool {
+	started := false
+	inFor := false
+	for _, n := range stack {
+		if n == ast.Node(body) {
+			started = true
+			continue
+		}
+		if !started {
+			continue
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inFor = true
+		case *ast.FuncLit:
+			inFor = false // a new function scope resets the loop context
+		}
+	}
+	return inFor
+}

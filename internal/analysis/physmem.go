@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// physmemErrcheck reports calls to error-returning internal/hw accessors
+// (PhysMem.Read64/Write64 and friends) whose error result is discarded —
+// assigned to the blank identifier, dropped in an expression statement, or
+// made unobservable by go/defer. A swallowed bus error means the simulated
+// machine silently diverges from the modelled hardware.
+var physmemErrcheck = &Analyzer{
+	Name: checkPhysmem,
+	Doc:  "errors from internal/hw memory/MSR/IO accessors must be handled",
+	Run:  runPhysmemErrcheck,
+}
+
+// hwErrorCall reports whether call resolves to a function or method of an
+// internal/hw package whose final result is an error, returning the callee
+// for diagnostics.
+func hwErrorCall(p *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil, false
+	}
+	fn, ok := p.Unit.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, false
+	}
+	path := fn.Pkg().Path()
+	if !strings.HasSuffix(path, "internal/hw") {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil, false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return fn, last.String() == "error"
+}
+
+func runPhysmemErrcheck(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Unit.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn, ok := hwErrorCall(p, call)
+			if !ok {
+				return
+			}
+			parent := ast.Node(nil)
+			if len(stack) >= 2 {
+				parent = stack[len(stack)-2]
+			}
+			switch st := parent.(type) {
+			case *ast.ExprStmt:
+				p.report(&out, checkPhysmem, call, "result of %s.%s ignored: a dropped hw error silently corrupts the simulation", fn.Pkg().Name(), fn.Name())
+			case *ast.GoStmt, *ast.DeferStmt:
+				p.report(&out, checkPhysmem, call, "error from %s.%s unobservable under go/defer", fn.Pkg().Name(), fn.Name())
+			case *ast.AssignStmt:
+				if blankDiscardsError(p, st, call) {
+					p.report(&out, checkPhysmem, call, "error from %s.%s discarded via _", fn.Pkg().Name(), fn.Name())
+				}
+			}
+		})
+	}
+	return out
+}
+
+// blankDiscardsError reports whether assign drops call's error result into
+// the blank identifier.
+func blankDiscardsError(p *Pass, assign *ast.AssignStmt, call *ast.CallExpr) bool {
+	sig, ok := p.Unit.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	nres := sig.Results().Len()
+	if len(assign.Rhs) == 1 && assign.Rhs[0] == ast.Expr(call) {
+		// x, err := f() — the error is the last LHS.
+		if len(assign.Lhs) == nres {
+			return isBlank(assign.Lhs[nres-1])
+		}
+		return false
+	}
+	// a, b = f(), g(): each call yields one value.
+	for i, rhs := range assign.Rhs {
+		if rhs == ast.Expr(call) && i < len(assign.Lhs) {
+			return nres == 1 && isBlank(assign.Lhs[i])
+		}
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// queueProtocol keeps cmdqueue.go the single owner of the
+// controller↔hypervisor command-queue shared-memory layout:
+//
+//  1. within the covirt package, the unexported fields of cmdQueue
+//     (mem, base, mu, cond, seq) may only be touched from cmdqueue.go —
+//     other files must go through its methods;
+//  2. no code outside cmdqueue.go may issue raw physical-memory accesses
+//     whose address expression is derived from the queue-area layout
+//     constants (OffCovirtCmdQ, CmdQueueStride, cmdqHdrSize, cmdqSlots,
+//     cmdqSlotSize).
+var queueProtocol = &Analyzer{
+	Name: checkQueue,
+	Doc:  "command-queue shared memory is accessed only through cmdqueue.go",
+	Run:  runQueueProtocol,
+}
+
+// queueOwnerFile is the sole file allowed to touch the queue layout.
+const queueOwnerFile = "cmdqueue.go"
+
+// queueLayoutIdents are identifiers that mark an address expression as
+// queue-layout arithmetic.
+var queueLayoutIdents = []string{
+	"OffCovirtCmdQ", "CmdQueueStride", "cmdqHdrSize", "cmdqSlots", "cmdqSlotSize",
+}
+
+// memAccessors are the raw physical-memory accessor method names.
+var memAccessors = map[string]bool{
+	"Read": true, "Write": true,
+	"Read32": true, "Write32": true,
+	"Read64": true, "Write64": true,
+}
+
+func runQueueProtocol(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Unit.Files {
+		if fileBase(p.Mod, file) == queueOwnerFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				// Rule 1: field access on a cmdQueue value.
+				s := p.Unit.Info.Selections[n]
+				if s != nil && s.Kind() == types.FieldVal && recvIsCmdQueue(s.Recv()) {
+					p.report(&out, checkQueue, n,
+						"direct access to cmdQueue.%s outside %s; the queue protocol is owned by %s",
+						n.Sel.Name, queueOwnerFile, queueOwnerFile)
+				}
+			case *ast.CallExpr:
+				// Rule 2: raw memory access at a queue-layout address.
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok || !memAccessors[sel.Sel.Name] || len(n.Args) == 0 {
+					return true
+				}
+				fn, ok := p.Unit.Info.Uses[sel.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				if !memAccessorOnPhysMem(fn) {
+					return true
+				}
+				addr := types.ExprString(n.Args[0])
+				for _, id := range queueLayoutIdents {
+					if strings.Contains(addr, id) {
+						p.report(&out, checkQueue, n,
+							"raw %s at queue-layout address (%s) outside %s; use the cmdQueue API",
+							sel.Sel.Name, addr, queueOwnerFile)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// recvIsCmdQueue reports whether t is the covirt cmdQueue type (possibly
+// behind a pointer).
+func recvIsCmdQueue(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "cmdQueue" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/covirt")
+}
+
+// memAccessorOnPhysMem reports whether fn is a method of hw.PhysMem or of
+// a MemIO-style interface declared in an internal package (pisces.MemIO) —
+// i.e. a raw physical-memory accessor rather than some unrelated
+// Read/Write method.
+func memAccessorOnPhysMem(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if strings.HasSuffix(path, "internal/hw") {
+		return true
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	if named, isNamed := rt.(*types.Named); isNamed {
+		name := named.Obj().Name()
+		return strings.Contains(name, "MemIO") || strings.Contains(name, "PhysMem")
+	}
+	return false
+}

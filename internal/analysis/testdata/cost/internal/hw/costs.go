@@ -1,0 +1,10 @@
+// Package hw exercises the cost-accounting analyzer.
+package hw
+
+// Costs is a fixture stub of the cycle model.
+type Costs struct {
+	Charged uint64
+	Dead    uint64 // want: never charged
+}
+
+func charge(c *Costs) uint64 { return c.Charged }

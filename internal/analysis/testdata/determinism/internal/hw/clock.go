@@ -1,0 +1,18 @@
+// Package hw exercises the determinism analyzer inside a sim package.
+package hw
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 { return time.Now().UnixNano() } // want: time.Now
+
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) } // want: time.Since
+
+func roll() int { return rand.Intn(6) } // want: global math/rand
+
+func seeded() uint64 {
+	r := rand.New(rand.NewSource(42)) // ok: seeded source
+	return r.Uint64()
+}

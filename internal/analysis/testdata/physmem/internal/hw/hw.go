@@ -1,0 +1,9 @@
+// Package hw is a fixture stub of the real internal/hw accessors.
+package hw
+
+// PhysMem mimics the simulator's physical-memory accessor surface.
+type PhysMem struct{}
+
+func (m *PhysMem) Read64(addr uint64) (uint64, error) { return 0, nil }
+func (m *PhysMem) Write64(addr, v uint64) error       { return nil }
+func (m *PhysMem) AddRegion(start, size uint64) error { return nil }

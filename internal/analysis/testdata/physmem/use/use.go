@@ -1,0 +1,24 @@
+// Package use exercises the physmem-errcheck analyzer.
+package use
+
+import "covirt/internal/hw"
+
+func bad(m *hw.PhysMem) uint64 {
+	m.Write64(0, 1) // want: ignored entirely
+
+	v, _ := m.Read64(0) // want: discarded via _
+
+	go m.Write64(16, 4) // want: ignored in go statement
+
+	//covirt:allow physmem-errcheck fixture: vetted exception
+	m.Write64(4, 2) // suppressed
+
+	if err := m.Write64(8, 3); err != nil { // ok: error handled
+		return 0
+	}
+	w, err := m.Read64(8) // ok: error handled
+	if err != nil {
+		return 0
+	}
+	return v + w
+}

@@ -1,0 +1,19 @@
+// Package covirt is a fixture stub of the command-queue owner file.
+package covirt
+
+import "covirt/internal/hw"
+
+const (
+	cmdqHdrSize = 24
+	// OffCovirtCmdQ marks queue-layout address arithmetic.
+	OffCovirtCmdQ = 0x6000
+)
+
+type cmdQueue struct {
+	mem  *hw.PhysMem
+	base uint64
+}
+
+func (q *cmdQueue) completed() (uint64, error) {
+	return q.mem.Read64(q.base + 16) // ok: owner file
+}

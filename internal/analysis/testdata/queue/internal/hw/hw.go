@@ -1,0 +1,7 @@
+// Package hw is a fixture stub of the physical-memory accessors.
+package hw
+
+type PhysMem struct{}
+
+func (m *PhysMem) Read64(addr uint64) (uint64, error) { return 0, nil }
+func (m *PhysMem) Write64(addr, v uint64) error       { return nil }

@@ -112,8 +112,14 @@ func (q *cmdQueue) waitCompleted(seq uint64, done <-chan struct{}) error {
 	return nil
 }
 
-// wake unblocks waiters (used on completion and teardown).
-func (q *cmdQueue) wake() { q.cond.Broadcast() }
+// wake unblocks waiters (teardown). The broadcast runs under the lock so
+// it cannot land between a waiter's done-channel check and its cond.Wait
+// and be lost — the waiter would then sleep forever on a dead queue.
+func (q *cmdQueue) wake() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.cond.Broadcast()
+}
 
 // drain processes all pending commands on cpu (the hypervisor's NMI
 // handler body). It returns cycles spent.
@@ -121,18 +127,11 @@ func (q *cmdQueue) drain(cpu *hw.CPU) uint64 {
 	cs := cpu.Costs()
 	var spent uint64
 	for {
-		head, err := q.mem.Read64(q.base)
-		if err != nil {
+		rec, tail, ok := q.fetch()
+		if !ok {
+			// Empty queue, or the backing region vanished mid-teardown
+			// (waiters are then released by teardown's wake).
 			return spent
-		}
-		tail, err := q.mem.Read64(q.base + 8)
-		if err != nil || tail >= head {
-			return spent
-		}
-		slot := q.base + cmdqHdrSize + (tail%cmdqSlots)*cmdqSlotSize
-		var rec [4]uint64
-		for i := range rec {
-			rec[i], _ = q.mem.Read64(slot + uint64(i)*8)
 		}
 		spent += 80 // fetch/decode of one fixed-size command
 		switch rec[0] {
@@ -147,12 +146,49 @@ func (q *cmdQueue) drain(cpu *hw.CPU) uint64 {
 		case CmdPing:
 			// Synchronization only.
 		}
-		// Publish completion under the lock so a controller thread between
-		// its completed() check and cond.Wait cannot miss the wakeup.
-		q.mu.Lock()
-		_ = q.mem.Write64(q.base+8, tail+1)
-		_ = q.mem.Write64(q.base+16, rec[3])
-		q.cond.Broadcast()
-		q.mu.Unlock()
+		if err := q.publishCompletion(tail, rec[3]); err != nil {
+			return spent
+		}
 	}
+}
+
+// fetch reads the next pending command record and its tail index. It runs
+// under the lock: the controller publishes slot contents before advancing
+// the head pointer inside push's critical section, so a locked read is the
+// simulation's stand-in for the hardware's acquire-ordered head load.
+func (q *cmdQueue) fetch() (rec [4]uint64, tail uint64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	head, err := q.mem.Read64(q.base)
+	if err != nil {
+		return rec, 0, false
+	}
+	tail, err = q.mem.Read64(q.base + 8)
+	if err != nil || tail >= head {
+		return rec, 0, false
+	}
+	slot := q.base + cmdqHdrSize + (tail%cmdqSlots)*cmdqSlotSize
+	for i := range rec {
+		v, err := q.mem.Read64(slot + uint64(i)*8)
+		if err != nil {
+			return rec, 0, false
+		}
+		rec[i] = v
+	}
+	return rec, tail, true
+}
+
+// publishCompletion advances the tail pointer and publishes seq as the
+// last completed command. It runs under the lock so a controller thread
+// between its completed() check and cond.Wait cannot miss the wakeup; the
+// broadcast fires even when the backing region vanished mid-teardown so
+// no waiter is left hanging on a dead queue.
+func (q *cmdQueue) publishCompletion(tail, seq uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	defer q.cond.Broadcast()
+	if err := q.mem.Write64(q.base+8, tail+1); err != nil {
+		return err
+	}
+	return q.mem.Write64(q.base+16, seq)
 }

@@ -120,6 +120,68 @@ func TestCmdQueueWaitAbortsOnDeath(t *testing.T) {
 	}
 }
 
+// Regression: concurrent pushers (some hitting the full-queue rejection),
+// a drainer, and waiters must be race-free, and a mid-flight enclave death
+// must release every waiter. Run under -race (scripts/check.sh does).
+func TestCmdQueueConcurrentPushDrainWake(t *testing.T) {
+	m, q, _ := queueFixture(t)
+	// The drainer runs on its own core, as the real hypervisor NMI
+	// handler does, while controller threads push from elsewhere.
+	drainCPU := m.CPU(1)
+	done := make(chan struct{})
+	stop := make(chan struct{})
+
+	drained := make(chan struct{})
+	go func() { // hypervisor: drain until told to stop
+		defer close(drained)
+		for {
+			q.drain(drainCPU)
+			select {
+			case <-stop:
+				q.drain(drainCPU)
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	const pushers = 4
+	const perPusher = 64
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func() { // controller threads: push, tolerate full-queue rejections
+			defer wg.Done()
+			for i := 0; i < perPusher; i++ {
+				seq, err := q.push(CmdPing, 0, 0)
+				if err != nil {
+					continue // full queue: rejected, never corrupted
+				}
+				if err := q.waitCompleted(seq, done); err != nil {
+					t.Errorf("waitCompleted(%d): %v", seq, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-drained
+
+	// Now the dying-enclave path: a waiter parked on a sequence that will
+	// never complete must be released by teardown's wake.
+	seq, err := q.push(CmdPing, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- q.waitCompleted(seq, done) }()
+	close(done) // enclave death
+	q.wake()    // teardown releases waiters
+	if err := <-errc; err == nil {
+		t.Error("waiter survived enclave death")
+	}
+}
+
 // Property: any sequence of flush-range commands leaves exactly the pages
 // outside all flushed ranges in the TLB.
 func TestCmdQueueFlushProperty(t *testing.T) {
@@ -212,7 +274,10 @@ func TestIPIFilterSemantics(t *testing.T) {
 func TestCovirtBootParamsRoundTrip(t *testing.T) {
 	spec := hw.DefaultSpec()
 	spec.MemPerNode = 1 << 30
-	m, _ := hw.NewMachine(spec)
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr := hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K)
 	in := &BootParams{NumCPUs: 4, CmdQueueBase: 0x6000, CmdQueueStride: CmdQueueStride, PiscesParams: 0x1000}
 	if err := encodeBootParams(m.Mem, addr, in); err != nil {
@@ -225,7 +290,9 @@ func TestCovirtBootParamsRoundTrip(t *testing.T) {
 	if *out != *in {
 		t.Errorf("round trip: %+v != %+v", out, in)
 	}
-	_ = m.Mem.Write64(addr, 0xBAD)
+	if err := m.Mem.Write64(addr, 0xBAD); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := decodeBootParams(m.Mem, addr); err == nil {
 		t.Error("bad magic accepted")
 	}

@@ -180,9 +180,7 @@ func (c *Controller) ioctlGrantIO(arg any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("covirt: IoctlGrantIO wants GrantIOArgs")
 	}
-	c.mu.Lock()
-	st := c.states[a.EnclaveID]
-	c.mu.Unlock()
+	st := c.stateByID(a.EnclaveID)
 	if st == nil {
 		return nil, fmt.Errorf("covirt: enclave %d not under covirt", a.EnclaveID)
 	}
@@ -192,9 +190,7 @@ func (c *Controller) ioctlGrantIO(arg any) (any, error) {
 
 // StatusFor returns runtime statistics for an enclave, or nil.
 func (c *Controller) StatusFor(encID int) *Status {
-	c.mu.Lock()
-	st := c.states[encID]
-	c.mu.Unlock()
+	st := c.stateByID(encID)
 	if st == nil {
 		return nil
 	}
@@ -277,9 +273,44 @@ func (c *Controller) stateFor(enc *pisces.Enclave) *enclaveState {
 	if enc == nil {
 		return nil
 	}
+	return c.stateByID(enc.ID)
+}
+
+// stateByID looks up controller state under the lock.
+func (c *Controller) stateByID(encID int) *enclaveState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.states[enc.ID]
+	return c.states[encID]
+}
+
+// takeFeatures consumes the pending feature request for an enclave,
+// falling back to the controller defaults.
+func (c *Controller) takeFeatures(encID int) Features {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	feat, ok := c.pending[encID]
+	if !ok {
+		feat = c.defaults
+	}
+	delete(c.pending, encID)
+	return feat
+}
+
+// setState publishes a fully-built enclave state.
+func (c *Controller) setState(encID int, st *enclaveState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states[encID] = st
+}
+
+// takeState removes and returns the state of a dead enclave.
+func (c *Controller) takeState(encID int) *enclaveState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.states[encID]
+	delete(c.states, encID)
+	delete(c.pending, encID)
+	return st
 }
 
 // buildState constructs the full virtualization configuration for an
@@ -288,13 +319,7 @@ func (c *Controller) stateFor(enc *pisces.Enclave) *enclaveState {
 // queues — all written by the controller so the hypervisor can simply load
 // and launch.
 func (c *Controller) buildState(enc *pisces.Enclave) error {
-	c.mu.Lock()
-	feat, ok := c.pending[enc.ID]
-	if !ok {
-		feat = c.defaults
-	}
-	delete(c.pending, enc.ID)
-	c.mu.Unlock()
+	feat := c.takeFeatures(enc.ID)
 
 	st := &enclaveState{
 		enc:    enc,
@@ -353,9 +378,7 @@ func (c *Controller) buildState(enc *pisces.Enclave) error {
 		return err
 	}
 
-	c.mu.Lock()
-	c.states[enc.ID] = st
-	c.mu.Unlock()
+	c.setState(enc.ID, st)
 	return nil
 }
 
@@ -459,9 +482,7 @@ func (c *Controller) InterposeBoot(enc *pisces.Enclave, cpu *hw.CPU, bpAddr uint
 	if cbp.PiscesParams != bpAddr {
 		return fmt.Errorf("covirt: boot-parameter chain mismatch: %#x != %#x", cbp.PiscesParams, bpAddr)
 	}
-	c.mu.Lock()
-	tracer := c.tracer
-	c.mu.Unlock()
+	tracer := c.Trace()
 	h := &Hypervisor{
 		cpu:    cpu,
 		enc:    enc,
@@ -558,12 +579,7 @@ func (c *Controller) teardown(enc *pisces.Enclave) {
 	if enc == nil {
 		return
 	}
-	c.mu.Lock()
-	st := c.states[enc.ID]
-	delete(c.states, enc.ID)
-	delete(c.pending, enc.ID)
-	c.mu.Unlock()
-	if st != nil {
+	if st := c.takeState(enc.ID); st != nil {
 		for _, q := range st.queues {
 			q.wake()
 		}

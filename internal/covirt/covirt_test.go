@@ -160,7 +160,10 @@ func TestWildWriteWithoutCovirtCorrupts(t *testing.T) {
 	// Same bug, no protection: the canary is corrupted and nothing stops it.
 	spec := hw.DefaultSpec()
 	spec.MemPerNode = 2 << 30
-	m, _ := hw.NewMachine(spec)
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h, _ := linuxhost.New(m)
 	_ = h.OfflineCores(1)
 	_ = h.OfflineMemory(0, 256<<20)

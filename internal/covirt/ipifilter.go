@@ -44,38 +44,43 @@ func NewIPIFilter(ownCores []int) *IPIFilter {
 // AddOwnCore whitelists a hot-added enclave core for all vectors.
 func (f *IPIFilter) AddOwnCore(core int) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.ownCores[core] = true
-	f.mu.Unlock()
 }
 
 // RemoveOwnCore drops a hot-removed core from the whitelist.
 func (f *IPIFilter) RemoveOwnCore(core int) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	delete(f.ownCores, core)
-	f.mu.Unlock()
 }
 
 // Grant permits sending vector to machine core dest.
 func (f *IPIFilter) Grant(dest int, vector uint8) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.grants[ipiKey{dest, vector}] = true
-	f.mu.Unlock()
 }
 
 // Revoke withdraws a grant.
 func (f *IPIFilter) Revoke(dest int, vector uint8) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	delete(f.grants, ipiKey{dest, vector})
-	f.mu.Unlock()
+}
+
+// allowed consults the whitelist under the read lock.
+func (f *IPIFilter) allowed(dest int, vector uint8) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ownCores[dest] || f.grants[ipiKey{dest, vector}]
 }
 
 // Permitted reports whether an IPI to (dest, vector) may be delivered,
 // updating the filter counters.
 func (f *IPIFilter) Permitted(dest int, vector uint8) bool {
 	f.Checked.Add(1)
-	f.mu.RLock()
-	ok := f.ownCores[dest] || f.grants[ipiKey{dest, vector}]
-	f.mu.RUnlock()
+	ok := f.allowed(dest, vector)
 	if !ok {
 		f.Dropped.Add(1)
 	}

@@ -79,16 +79,21 @@ type Bus struct {
 // Subscribe appends h; handlers run in subscription order.
 func (b *Bus) Subscribe(h Handler) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.handlers = append(b.handlers, h)
-	b.mu.Unlock()
+}
+
+// snapshot copies the handler list under the lock so Emit can run the
+// handlers (which may Subscribe re-entrantly) without holding it.
+func (b *Bus) snapshot() []Handler {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Handler(nil), b.handlers...)
 }
 
 // Emit delivers ev to all handlers, stopping at the first error.
 func (b *Bus) Emit(ev *Event) error {
-	b.mu.Lock()
-	hs := append([]Handler(nil), b.handlers...)
-	b.mu.Unlock()
-	for _, h := range hs {
+	for _, h := range b.snapshot() {
 		if err := h(ev); err != nil {
 			return err
 		}
@@ -150,35 +155,51 @@ func (m *Master) onFrameworkEvent(ev *pisces.Event) error {
 		for _, seg := range owned {
 			hev.SegID = seg.ID
 		}
-		m.mu.Lock()
-		delete(m.ipiGrant, ev.Enclave.ID)
-		m.mu.Unlock()
+		m.dropGrants(ev.Enclave.ID)
 	}
 	return m.Bus.Emit(hev)
+}
+
+// dropGrants forgets all IPI grants of a dead enclave.
+func (m *Master) dropGrants(encID int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.ipiGrant, encID)
 }
 
 // GrantIPI allows enclave enc to send vector to machine core dest —
 // Hobbes' globally-allocatable per-core IPI vector resource.
 func (m *Master) GrantIPI(enc *pisces.Enclave, dest int, vector uint8) error {
+	m.addGrant(enc.ID, ipiKey{dest, vector})
+	return m.Bus.Emit(&Event{Kind: EvIPIGrant, Enclave: enc, DestCore: dest, Vector: vector})
+}
+
+// addGrant records a grant in the per-enclave whitelist under the lock
+// (the bus emit must run outside it: handlers call back into the master).
+func (m *Master) addGrant(encID int, k ipiKey) {
 	m.mu.Lock()
-	g := m.ipiGrant[enc.ID]
+	defer m.mu.Unlock()
+	g := m.ipiGrant[encID]
 	if g == nil {
 		g = make(map[ipiKey]bool)
-		m.ipiGrant[enc.ID] = g
+		m.ipiGrant[encID] = g
 	}
-	g[ipiKey{dest, vector}] = true
-	m.mu.Unlock()
-	return m.Bus.Emit(&Event{Kind: EvIPIGrant, Enclave: enc, DestCore: dest, Vector: vector})
+	g[k] = true
 }
 
 // RevokeIPI withdraws a grant.
 func (m *Master) RevokeIPI(enc *pisces.Enclave, dest int, vector uint8) error {
-	m.mu.Lock()
-	if g := m.ipiGrant[enc.ID]; g != nil {
-		delete(g, ipiKey{dest, vector})
-	}
-	m.mu.Unlock()
+	m.removeGrant(enc.ID, ipiKey{dest, vector})
 	return m.Bus.Emit(&Event{Kind: EvIPIRevoke, Enclave: enc, DestCore: dest, Vector: vector})
+}
+
+// removeGrant deletes one grant under the lock.
+func (m *Master) removeGrant(encID int, k ipiKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g := m.ipiGrant[encID]; g != nil {
+		delete(g, k)
+	}
 }
 
 // IPIGranted reports whether enc may send vector to dest.

@@ -60,14 +60,19 @@ func (a *APIC) signal() {
 // interrupts (as opposed to IPIs), which matters for posted-interrupt
 // semantics: PIV avoids exits for IPIs but not for external interrupts.
 func (a *APIC) Raise(vector uint8, external bool) {
+	a.post(vector, external)
+	a.pending.Or(pendingIntr)
+	a.signal()
+}
+
+// post sets the IRR bits for vector under the lock.
+func (a *APIC) post(vector uint8, external bool) {
 	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.irr[vector/64] |= 1 << (vector % 64)
 	if external {
 		a.extIRR[vector/64] |= 1 << (vector % 64)
 	}
-	a.mu.Unlock()
-	a.pending.Or(pendingIntr)
-	a.signal()
 }
 
 // RaiseNMI asserts the NMI line.

@@ -179,7 +179,10 @@ func TestNativeWildWriteCorruptsOtherMemory(t *testing.T) {
 	if err := c.Write64G(victim, 0x6666); err != nil {
 		t.Fatalf("wild write errored: %v", err)
 	}
-	v, _ := m.Mem.Read64(victim)
+	v, err := m.Mem.Read64(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v != 0x6666 {
 		t.Errorf("victim = %#x, want corruption to 0x6666", v)
 	}
@@ -343,6 +346,7 @@ func TestIdleWakesOnEvent(t *testing.T) {
 	seen := make(chan uint8, 1)
 	c.SetIRQHandler(func(_ *CPU, v uint8, _ bool) { seen <- v })
 	go func() {
+		//covirt:allow physmem-errcheck delivery is observed via the seen channel
 		m.CPU(1).SendIPI(0, 0x55)
 	}()
 	// Idle until the IPI arrives (WaitEvent returns once signalled).

@@ -33,15 +33,21 @@ func NewIOPortSpace() *IOPortSpace {
 // Register claims port for dev.
 func (s *IOPortSpace) Register(port uint16, dev IODevice) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.devices[port] = dev
-	s.mu.Unlock()
+}
+
+// device looks up the handler for port under the read lock; device
+// callbacks themselves run outside it.
+func (s *IOPortSpace) device(port uint16) IODevice {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.devices[port]
 }
 
 // In performs a port read.
 func (s *IOPortSpace) In(port uint16) uint32 {
-	s.mu.RLock()
-	dev := s.devices[port]
-	s.mu.RUnlock()
+	dev := s.device(port)
 	if dev == nil {
 		return 0xFFFFFFFF
 	}
@@ -50,10 +56,7 @@ func (s *IOPortSpace) In(port uint16) uint32 {
 
 // Out performs a port write.
 func (s *IOPortSpace) Out(port uint16, val uint32) {
-	s.mu.RLock()
-	dev := s.devices[port]
-	s.mu.RUnlock()
-	if dev != nil {
+	if dev := s.device(port); dev != nil {
 		dev.Out(port, val)
 	}
 }
@@ -71,8 +74,8 @@ func (s *SerialSink) In(port uint16) uint32 { return 0x20 }
 // Out captures the low byte written.
 func (s *SerialSink) Out(port uint16, val uint32) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.buf = append(s.buf, byte(val))
-	s.mu.Unlock()
 }
 
 // String returns everything written so far.

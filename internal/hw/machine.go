@@ -168,8 +168,8 @@ func (m *Machine) CrashReason() string {
 // RecordFault appends f to the machine's fault log (diagnostics, tests).
 func (m *Machine) RecordFault(f Fault) {
 	m.faultMu.Lock()
+	defer m.faultMu.Unlock()
 	m.faultLog = append(m.faultLog, f)
-	m.faultMu.Unlock()
 }
 
 // Faults returns a copy of the fault log.

@@ -42,12 +42,12 @@ func (r *Region) Contains(addr, size uint64) bool {
 func (r *Region) chunkFor(addr uint64) []byte {
 	idx := (addr - r.Start) / regionChunk
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.chunks[idx]
 	if !ok {
 		c = make([]byte, regionChunk)
 		r.chunks[idx] = c
 	}
-	r.mu.Unlock()
 	return c
 }
 

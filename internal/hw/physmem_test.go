@@ -171,6 +171,7 @@ func TestRegionDisjointProperty(t *testing.T) {
 		}
 		for i := 0; i < n; i++ {
 			// Errors are fine; we only care about the invariant below.
+			//covirt:allow physmem-errcheck overlap rejections are the point of this property test
 			_, _ = pm.AddRegion(uint64(starts[i])*0x100, uint64(sizes[i])*0x100+0x100, 0, "r")
 		}
 		regs := pm.Regions()

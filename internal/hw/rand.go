@@ -1,0 +1,37 @@
+package hw
+
+// Rand is the simulation's deterministic pseudo-random source, an
+// xorshift64 generator. Simulation code must draw randomness from a
+// seeded Rand instead of wall-clock time or the global math/rand source,
+// so that every cycle count is a pure function of the seed and machine
+// history (covirt-vet's determinism check bans the alternatives). The
+// zero value is not usable; construct with NewRand or a non-zero
+// conversion.
+type Rand uint64
+
+// randDefaultSeed replaces a zero seed (the xorshift fixed point).
+const randDefaultSeed = 0x9E3779B97F4A7C15
+
+// NewRand returns a generator for seed; a zero seed is remapped to a
+// fixed non-zero constant.
+func NewRand(seed uint64) Rand {
+	if seed == 0 {
+		seed = randDefaultSeed
+	}
+	return Rand(seed)
+}
+
+// Next advances the generator and returns the next 64-bit value.
+func (r *Rand) Next() uint64 {
+	v := uint64(*r)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*r = Rand(v)
+	return v
+}
+
+// Uint64n returns a value in [0, n). n must be non-zero.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	return r.Next() % n
+}

@@ -149,7 +149,21 @@ func (k *Kernel) Boot(bc *pisces.BootContext) error {
 // onlineCore brings one CPU into the kernel: interrupt handler, timer, and
 // a fresh scheduler loop. Used at boot and on hot-add.
 func (k *Kernel) onlineCore(cpu *hw.CPU, timerInterval uint64) *coreCtx {
+	cc := k.registerCore(cpu)
+	cpu.SetIRQHandler(k.handleIRQ)
+	if timerInterval > 0 {
+		cpu.APIC.ArmTimer(cpu.TSC, timerInterval, pisces.VectorTimer)
+	}
+	k.wg.Add(1)
+	go k.coreLoop(cc)
+	return cc
+}
+
+// registerCore allocates a core context and links it into the core tables
+// under the lock; IRQ wiring and the scheduler loop start outside it.
+func (k *Kernel) registerCore(cpu *hw.CPU) *coreCtx {
 	k.coresMu.Lock()
+	defer k.coresMu.Unlock()
 	cc := &coreCtx{
 		local:  len(k.cores),
 		cpu:    cpu,
@@ -159,13 +173,6 @@ func (k *Kernel) onlineCore(cpu *hw.CPU, timerInterval uint64) *coreCtx {
 	}
 	k.cores = append(k.cores, cc)
 	k.byCPU[cpu.ID] = cc
-	k.coresMu.Unlock()
-	cpu.SetIRQHandler(k.handleIRQ)
-	if timerInterval > 0 {
-		cpu.APIC.ArmTimer(cpu.TSC, timerInterval, pisces.VectorTimer)
-	}
-	k.wg.Add(1)
-	go k.coreLoop(cc)
 	return cc
 }
 
@@ -340,8 +347,22 @@ func (k *Kernel) RunParallel(name string, n int, fn func(env *Env, rank int) err
 // mirroring Hobbes' globally-allocatable per-core IPI vectors.
 func (k *Kernel) OnIPI(vector uint8, h func(env *Env)) {
 	k.irqMu.Lock()
+	defer k.irqMu.Unlock()
 	k.irqHandlers[vector] = h
-	k.irqMu.Unlock()
+}
+
+// ipiHandler looks up the registered handler for vector.
+func (k *Kernel) ipiHandler(vector uint8) func(env *Env) {
+	k.irqMu.Lock()
+	defer k.irqMu.Unlock()
+	return k.irqHandlers[vector]
+}
+
+// coreFor maps a machine CPU ID to its kernel core context, or nil.
+func (k *Kernel) coreFor(cpuID int) *coreCtx {
+	k.coresMu.RLock()
+	defer k.coresMu.RUnlock()
+	return k.byCPU[cpuID]
 }
 
 // handleIRQ is the kernel interrupt dispatcher; it runs in interrupt
@@ -357,14 +378,8 @@ func (k *Kernel) handleIRQ(cpu *hw.CPU, vector uint8, external bool) {
 	case pisces.VectorCtl:
 		k.drainCtl(cpu)
 	default:
-		k.irqMu.Lock()
-		h := k.irqHandlers[vector]
-		k.irqMu.Unlock()
-		if h != nil {
-			k.coresMu.RLock()
-			cc := k.byCPU[cpu.ID]
-			k.coresMu.RUnlock()
-			if cc != nil {
+		if h := k.ipiHandler(vector); h != nil {
+			if cc := k.coreFor(cpu.ID); cc != nil {
 				h(&Env{K: k, CPU: cpu, Core: cc.local})
 			}
 		}
@@ -373,14 +388,33 @@ func (k *Kernel) handleIRQ(cpu *hw.CPU, vector uint8, external bool) {
 
 // flushLocal performs this core's share of a pending TLB shootdown.
 func (k *Kernel) flushLocal(cpu *hw.CPU) {
-	k.flushMu.Lock()
-	ranges := k.flushPending[cpu.ID]
-	delete(k.flushPending, cpu.ID)
-	k.flushMu.Unlock()
-	for _, r := range ranges {
+	for _, r := range k.takePendingFlushes(cpu.ID) {
 		cpu.TLB.FlushRange(r.Start, r.Size)
 		cpu.TSC += cpu.Costs().TLBFlushPage
 	}
+}
+
+// takePendingFlushes consumes the queued shootdown ranges for one core.
+func (k *Kernel) takePendingFlushes(cpuID int) []hw.Extent {
+	k.flushMu.Lock()
+	defer k.flushMu.Unlock()
+	ranges := k.flushPending[cpuID]
+	delete(k.flushPending, cpuID)
+	return ranges
+}
+
+// queueFlush records a pending shootdown range for one core.
+func (k *Kernel) queueFlush(cpuID int, e hw.Extent) {
+	k.flushMu.Lock()
+	defer k.flushMu.Unlock()
+	k.flushPending[cpuID] = append(k.flushPending[cpuID], e)
+}
+
+// snapshotCores copies the core list under the read lock.
+func (k *Kernel) snapshotCores() []*coreCtx {
+	k.coresMu.RLock()
+	defer k.coresMu.RUnlock()
+	return append([]*coreCtx(nil), k.cores...)
 }
 
 // shootdown flushes [e.Start, e.End) on the initiating core immediately and
@@ -388,16 +422,11 @@ func (k *Kernel) flushLocal(cpu *hw.CPU) {
 func (k *Kernel) shootdown(initiator *hw.CPU, e hw.Extent) {
 	initiator.TLB.FlushRange(e.Start, e.Size)
 	initiator.TSC += initiator.Costs().TLBFlushPage
-	k.coresMu.RLock()
-	cores := append([]*coreCtx(nil), k.cores...)
-	k.coresMu.RUnlock()
-	for _, cc := range cores {
+	for _, cc := range k.snapshotCores() {
 		if cc.cpu.ID == initiator.ID {
 			continue
 		}
-		k.flushMu.Lock()
-		k.flushPending[cc.cpu.ID] = append(k.flushPending[cc.cpu.ID], e)
-		k.flushMu.Unlock()
+		k.queueFlush(cc.cpu.ID, e)
 		k.mach.RouteIPI(initiator.ID, cc.cpu.ID, VectorTLBFlush)
 	}
 }
@@ -465,26 +494,10 @@ func (k *Kernel) drainCtl(cpu *hw.CPU) {
 // offlineCore stops an idle hot-added core's scheduler loop. It refuses if
 // the core is running or has queued work, or is the boot core.
 func (k *Kernel) offlineCore(cpuID int) error {
-	k.coresMu.Lock()
-	var cc *coreCtx
-	idx := -1
-	for i, c := range k.cores {
-		if i > 0 && c.cpu.ID == cpuID {
-			cc, idx = c, i
-			break
-		}
+	cc, err := k.detachCore(cpuID)
+	if err != nil {
+		return err
 	}
-	if cc == nil {
-		k.coresMu.Unlock()
-		return fmt.Errorf("kitten: core %d not offline-able", cpuID)
-	}
-	if cc.busy.Load() || len(cc.tasks) > 0 {
-		k.coresMu.Unlock()
-		return fmt.Errorf("kitten: core %d is busy", cpuID)
-	}
-	k.cores = append(k.cores[:idx], k.cores[idx+1:]...)
-	delete(k.byCPU, cpuID)
-	k.coresMu.Unlock()
 
 	// Stop the core loop and wait for it to exit (it may take IRQs on the
 	// way out, which need coresMu, so the lock is already released): only
@@ -494,6 +507,30 @@ func (k *Kernel) offlineCore(cpuID int) error {
 	cc.cpu.APIC.RaiseNMI() // wake the idle loop so it observes stop
 	<-cc.exited
 	return nil
+}
+
+// detachCore unlinks an idle hot-added core from the core tables under the
+// lock, or reports why it cannot be offlined.
+func (k *Kernel) detachCore(cpuID int) (*coreCtx, error) {
+	k.coresMu.Lock()
+	defer k.coresMu.Unlock()
+	var cc *coreCtx
+	idx := -1
+	for i, c := range k.cores {
+		if i > 0 && c.cpu.ID == cpuID {
+			cc, idx = c, i
+			break
+		}
+	}
+	if cc == nil {
+		return nil, fmt.Errorf("kitten: core %d not offline-able", cpuID)
+	}
+	if cc.busy.Load() || len(cc.tasks) > 0 {
+		return nil, fmt.Errorf("kitten: core %d is busy", cpuID)
+	}
+	k.cores = append(k.cores[:idx], k.cores[idx+1:]...)
+	delete(k.byCPU, cpuID)
+	return cc, nil
 }
 
 // AllocMemory carves an application memory region from the enclave's

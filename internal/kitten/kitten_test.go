@@ -208,7 +208,10 @@ func TestEnvSegfaultOnRangeCrossing(t *testing.T) {
 func TestTimerTickless(t *testing.T) {
 	spec := hw.DefaultSpec()
 	spec.MemPerNode = 1 << 30
-	m, _ := hw.NewMachine(spec)
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ledger := pisces.NewLedger()
 	_ = ledger.DonateMemory(hw.Extent{Start: hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize2M), Size: 512 << 20, Node: 0})
 	ledger.DonateCore(1)
@@ -239,7 +242,10 @@ func TestTimerTickless(t *testing.T) {
 func TestCustomTimerInterval(t *testing.T) {
 	spec := hw.DefaultSpec()
 	spec.MemPerNode = 1 << 30
-	m, _ := hw.NewMachine(spec)
+	m, err := hw.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ledger := pisces.NewLedger()
 	_ = ledger.DonateMemory(hw.Extent{Start: hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize2M), Size: 512 << 20, Node: 0})
 	ledger.DonateCore(1)

@@ -81,9 +81,7 @@ func New(m *hw.Machine) (*Host, error) {
 		switch ev.Kind {
 		case pisces.EvBooted:
 			svcDone := make(chan struct{})
-			h.mu.Lock()
-			h.services[ev.Enclave.ID] = svcDone
-			h.mu.Unlock()
+			h.setService(ev.Enclave.ID, svcDone)
 			go func() {
 				defer close(svcDone)
 				h.longcallService(ev.Enclave)
@@ -91,11 +89,7 @@ func New(m *hw.Machine) (*Host, error) {
 		case pisces.EvCrashed, pisces.EvDestroyed:
 			// The rings are closed by teardown; wait for the service to
 			// stop touching the enclave's (about to be recycled) memory.
-			h.mu.Lock()
-			svcDone := h.services[ev.Enclave.ID]
-			delete(h.services, ev.Enclave.ID)
-			h.mu.Unlock()
-			if svcDone != nil {
+			if svcDone := h.takeService(ev.Enclave.ID); svcDone != nil {
 				<-svcDone
 			}
 			h.fs.dropEnclave(ev.Enclave.ID)
@@ -151,11 +145,47 @@ func (h *Host) Console(encID int) string {
 	return ""
 }
 
+// appendConsole buffers console output from enclave encID.
+func (h *Host) appendConsole(encID int, buf []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.consoles[encID]
+	if b == nil {
+		b = &bytes.Buffer{}
+		h.consoles[encID] = b
+	}
+	b.Write(buf)
+}
+
 // RegisterLongcall installs (or overrides) a longcall handler.
 func (h *Host) RegisterLongcall(nr uint32, fn LongcallHandler) {
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.handlers[nr] = fn
-	h.mu.Unlock()
+}
+
+// handlerFor looks up the longcall handler for nr, or nil.
+func (h *Host) handlerFor(nr uint32) LongcallHandler {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.handlers[nr]
+}
+
+// setService records the done channel of an enclave's longcall service.
+func (h *Host) setService(encID int, done chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.services[encID] = done
+}
+
+// takeService removes and returns an enclave's longcall-service done
+// channel; the caller waits on it outside the lock.
+func (h *Host) takeService(encID int) chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	done := h.services[encID]
+	delete(h.services, encID)
+	return done
 }
 
 // longcallService processes forwarded system calls for one enclave until
@@ -167,9 +197,7 @@ func (h *Host) longcallService(enc *pisces.Enclave) {
 			return // enclave stopped or crashed
 		}
 		resp := pisces.Msg{Type: m.Type, Seq: m.Seq}
-		h.mu.Lock()
-		fn := h.handlers[m.Type]
-		h.mu.Unlock()
+		fn := h.handlerFor(m.Type)
 		var cycles uint64 = lcBaseCost
 		if fn == nil {
 			put64(resp.Payload[:], pisces.LcRespStatus, pisces.LcErrNoSys)

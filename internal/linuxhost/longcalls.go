@@ -1,7 +1,6 @@
 package linuxhost
 
 import (
-	"bytes"
 	"encoding/binary"
 
 	"covirt/internal/hobbes"
@@ -62,14 +61,7 @@ func (h *Host) registerDefaultLongcalls() {
 			setResp(resp, pisces.LcErrFault, 0, 0)
 			return 100
 		}
-		h.mu.Lock()
-		b := h.consoles[enc.ID]
-		if b == nil {
-			b = &bytes.Buffer{}
-			h.consoles[enc.ID] = b
-		}
-		b.Write(buf)
-		h.mu.Unlock()
+		h.appendConsole(enc.ID, buf)
 		setResp(resp, pisces.LcOK, n, 0)
 		return n * lcConsolePerB
 	})

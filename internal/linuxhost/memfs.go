@@ -173,9 +173,9 @@ func (fs *memFS) unlink(path string) error {
 // dropEnclave closes all of an enclave's descriptors (crash cleanup).
 func (fs *memFS) dropEnclave(enc int) {
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	delete(fs.fds, enc)
 	delete(fs.nextFD, enc)
-	fs.mu.Unlock()
 }
 
 // --- Host-side convenience API ---
@@ -184,8 +184,8 @@ func (fs *memFS) dropEnclave(enc int) {
 // input data for enclaves).
 func (h *Host) WriteFile(path string, contents []byte) {
 	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
 	h.fs.files[path] = append([]byte(nil), contents...)
-	h.fs.mu.Unlock()
 }
 
 // ReadFile returns a file's contents (collecting enclave output).

@@ -131,9 +131,7 @@ func (k *Kernel) threadLoop(cpu *hw.CPU, rank int) {
 	defer k.wg.Done()
 	env := &Env{K: k, CPU: cpu, Rank: rank}
 	if err := k.entry(env, rank); err != nil {
-		k.errMu.Lock()
-		k.errs = append(k.errs, fmt.Errorf("rank %d: %w", rank, err))
-		k.errMu.Unlock()
+		k.recordErr(fmt.Errorf("rank %d: %w", rank, err))
 	}
 	for {
 		select {
@@ -145,6 +143,13 @@ func (k *Kernel) threadLoop(cpu *hw.CPU, rank int) {
 			return
 		}
 	}
+}
+
+// recordErr appends a rank failure under the error lock.
+func (k *Kernel) recordErr(err error) {
+	k.errMu.Lock()
+	defer k.errMu.Unlock()
+	k.errs = append(k.errs, err)
 }
 
 // handleIRQ services interrupts: the Pisces control vector on any core,

@@ -125,8 +125,87 @@ func (e *Enclave) Kernel() Bootable {
 // setState transitions the lifecycle state.
 func (e *Enclave) setState(s State) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.state = s
-	e.mu.Unlock()
+}
+
+// setRunning publishes the booted kernel and marks the enclave running.
+func (e *Enclave) setRunning(kernel Bootable) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.kernel = kernel
+	e.state = StateRunning
+}
+
+// beginTeardown transitions to a terminal state (StateCrashed or
+// StateStopped) and snapshots the memory assignment for reclaim. It
+// reports false if the enclave already reached a terminal state, so crash
+// and destroy paths cannot double-tear-down.
+func (e *Enclave) beginTeardown(final State, crashReason string) ([]hw.Extent, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == StateCrashed || e.state == StateStopped {
+		return nil, false
+	}
+	e.state = final
+	if final == StateCrashed {
+		e.crashReason = crashReason
+	}
+	return append([]hw.Extent(nil), e.mem...), true
+}
+
+// appendMem records a hot-added memory extent.
+func (e *Enclave) appendMem(ext hw.Extent) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mem = append(e.mem, ext)
+}
+
+// memIndex locates a removable extent; extent 0 holds the reserved area
+// and is never removable. Returns -1 if absent.
+func (e *Enclave) memIndex(ext hw.Extent) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, x := range e.mem {
+		if i > 0 && x == ext {
+			return i
+		}
+	}
+	return -1
+}
+
+// dropMem removes the extent at index i.
+func (e *Enclave) dropMem(i int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mem = append(e.mem[:i], e.mem[i+1:]...)
+}
+
+// appendCore records a hot-added core.
+func (e *Enclave) appendCore(core int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.Cores = append(e.Cores, core)
+}
+
+// coreIndex locates a removable core; index 0 is the boot core and never
+// removable. Returns -1 if absent.
+func (e *Enclave) coreIndex(core int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, c := range e.Cores {
+		if i > 0 && c == core {
+			return i
+		}
+	}
+	return -1
+}
+
+// dropCore removes the core at index i.
+func (e *Enclave) dropCore(i int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.Cores = append(e.Cores[:i], e.Cores[i+1:]...)
 }
 
 // CPUs resolves the enclave's cores to simulated CPUs.

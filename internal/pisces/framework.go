@@ -137,23 +137,51 @@ func (fw *Framework) HostIO() MemIO { return fw.hostIO }
 // registration order.
 func (fw *Framework) Subscribe(s EventSink) {
 	fw.mu.Lock()
+	defer fw.mu.Unlock()
 	fw.sinks = append(fw.sinks, s)
-	fw.mu.Unlock()
 }
 
 // SetInterposer installs the boot interposer (at most one; Covirt).
 func (fw *Framework) SetInterposer(bi BootInterposer) {
 	fw.mu.Lock()
+	defer fw.mu.Unlock()
 	fw.interp = bi
-	fw.mu.Unlock()
+}
+
+// interposer returns the registered boot interposer, or nil.
+func (fw *Framework) interposer() BootInterposer {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.interp
+}
+
+// snapshotSinks copies the sink list under the lock so emit can run the
+// sinks (which may Subscribe re-entrantly) without holding it.
+func (fw *Framework) snapshotSinks() []EventSink {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return append([]EventSink(nil), fw.sinks...)
+}
+
+// allocID reserves the next enclave ID.
+func (fw *Framework) allocID() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	id := fw.nextID
+	fw.nextID++
+	return id
+}
+
+// register publishes a fully-constructed enclave in the table.
+func (fw *Framework) register(enc *Enclave) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.enclaves[enc.ID] = enc
 }
 
 // emit delivers ev to all sinks, stopping at the first error.
 func (fw *Framework) emit(ev *Event) error {
-	fw.mu.Lock()
-	sinks := append([]EventSink(nil), fw.sinks...)
-	fw.mu.Unlock()
-	for _, s := range sinks {
+	for _, s := range fw.snapshotSinks() {
 		if err := s(ev); err != nil {
 			return err
 		}
@@ -223,10 +251,7 @@ func (fw *Framework) CreateEnclave(spec EnclaveSpec) (*Enclave, error) {
 		mem = append(mem, ext)
 	}
 
-	fw.mu.Lock()
-	id := fw.nextID
-	fw.nextID++
-	fw.mu.Unlock()
+	id := fw.allocID()
 
 	enc := &Enclave{
 		ID:        id,
@@ -273,9 +298,7 @@ func (fw *Framework) CreateEnclave(spec EnclaveSpec) (*Enclave, error) {
 		return nil, fmt.Errorf("pisces: boot params: %w", err)
 	}
 
-	fw.mu.Lock()
-	fw.enclaves[id] = enc
-	fw.mu.Unlock()
+	fw.register(enc)
 	if err := fw.emit(&Event{Kind: EvCreated, Enclave: enc}); err != nil {
 		return nil, err
 	}
@@ -304,10 +327,7 @@ func (fw *Framework) Boot(enc *Enclave, kernel Bootable) error {
 	}
 
 	bpAddr := enc.Base() + OffBootParams
-	fw.mu.Lock()
-	interp := fw.interp
-	fw.mu.Unlock()
-	if interp != nil {
+	if interp := fw.interposer(); interp != nil {
 		for _, cpu := range enc.CPUs() {
 			if err := interp.InterposeBoot(enc, cpu, bpAddr); err != nil {
 				enc.setState(StateCreated)
@@ -326,10 +346,7 @@ func (fw *Framework) Boot(enc *Enclave, kernel Bootable) error {
 		enc.setState(StateCreated)
 		return fmt.Errorf("pisces: kernel boot: %w", err)
 	}
-	enc.mu.Lock()
-	enc.kernel = kernel
-	enc.state = StateRunning
-	enc.mu.Unlock()
+	enc.setRunning(kernel)
 	return fw.emit(&Event{Kind: EvBooted, Enclave: enc})
 }
 
@@ -394,9 +411,7 @@ func (fw *Framework) AddMemory(enc *Enclave, node int, size uint64) (hw.Extent, 
 		fw.Ledger.FreeMemory(ext)
 		return hw.Extent{}, err
 	}
-	enc.mu.Lock()
-	enc.mem = append(enc.mem, ext)
-	enc.mu.Unlock()
+	enc.appendMem(ext)
 	return ext, nil
 }
 
@@ -407,15 +422,7 @@ func (fw *Framework) RemoveMemory(enc *Enclave, ext hw.Extent) error {
 	if enc.State() != StateRunning {
 		return fmt.Errorf("pisces: enclave %d not running", enc.ID)
 	}
-	enc.mu.Lock()
-	found := -1
-	for i, x := range enc.mem {
-		if i > 0 && x == ext { // extent 0 holds the reserved area; never removable
-			found = i
-			break
-		}
-	}
-	enc.mu.Unlock()
+	found := enc.memIndex(ext)
 	if found < 0 {
 		return fmt.Errorf("pisces: extent %v not removable from enclave %d", ext, enc.ID)
 	}
@@ -426,9 +433,7 @@ func (fw *Framework) RemoveMemory(enc *Enclave, ext hw.Extent) error {
 	if _, err := fw.sendCtl(enc, &m); err != nil {
 		return err
 	}
-	enc.mu.Lock()
-	enc.mem = append(enc.mem[:found], enc.mem[found+1:]...)
-	enc.mu.Unlock()
+	enc.dropMem(found)
 	if err := fw.emit(&Event{Kind: EvMemRemovePost, Enclave: enc, Extent: ext}); err != nil {
 		return err
 	}
@@ -459,10 +464,7 @@ func (fw *Framework) AddCPU(enc *Enclave, node int) (int, error) {
 		fw.Ledger.FreeCores(cores)
 		return -1, err
 	}
-	fw.mu.Lock()
-	interp := fw.interp
-	fw.mu.Unlock()
-	if interp != nil {
+	if interp := fw.interposer(); interp != nil {
 		if err := interp.InterposeBoot(enc, cpu, enc.Base()+OffBootParams); err != nil {
 			fw.Ledger.FreeCores(cores)
 			return -1, err
@@ -476,9 +478,7 @@ func (fw *Framework) AddCPU(enc *Enclave, node int) (int, error) {
 		fw.Ledger.FreeCores(cores)
 		return -1, err
 	}
-	enc.mu.Lock()
-	enc.Cores = append(enc.Cores, core)
-	enc.mu.Unlock()
+	enc.appendCore(core)
 	return core, nil
 }
 
@@ -490,15 +490,7 @@ func (fw *Framework) RemoveCPU(enc *Enclave, core int) error {
 	if enc.State() != StateRunning {
 		return fmt.Errorf("pisces: enclave %d not running", enc.ID)
 	}
-	enc.mu.Lock()
-	idx := -1
-	for i, c := range enc.Cores {
-		if i > 0 && c == core {
-			idx = i
-			break
-		}
-	}
-	enc.mu.Unlock()
+	idx := enc.coreIndex(core)
 	if idx < 0 {
 		return fmt.Errorf("pisces: core %d not removable from enclave %d", core, enc.ID)
 	}
@@ -508,9 +500,7 @@ func (fw *Framework) RemoveCPU(enc *Enclave, core int) error {
 	if _, err := fw.sendCtl(enc, &m); err != nil {
 		return err
 	}
-	enc.mu.Lock()
-	enc.Cores = append(enc.Cores[:idx], enc.Cores[idx+1:]...)
-	enc.mu.Unlock()
+	enc.dropCore(idx)
 	if err := fw.emit(&Event{Kind: EvCPURemovePost, Enclave: enc, Core: core}); err != nil {
 		return err
 	}
@@ -526,15 +516,10 @@ func (fw *Framework) RemoveCPU(enc *Enclave, core int) error {
 // resources and notifies dependents — the master control process's cleanup
 // duty in the paper.
 func (fw *Framework) ReportCrash(enc *Enclave, reason string) {
-	enc.mu.Lock()
-	if enc.state == StateCrashed || enc.state == StateStopped {
-		enc.mu.Unlock()
+	mem, ok := enc.beginTeardown(StateCrashed, reason)
+	if !ok {
 		return
 	}
-	enc.state = StateCrashed
-	enc.crashReason = reason
-	mem := append([]hw.Extent(nil), enc.mem...)
-	enc.mu.Unlock()
 
 	close(enc.done)
 	enc.CloseRings()
@@ -567,14 +552,10 @@ func (fw *Framework) Destroy(enc *Enclave) error {
 	if enc.State() == StateRunning && !fw.Machine.Crashed() {
 		_, _ = fw.sendCtl(enc, &Msg{Type: CmdShutdown})
 	}
-	enc.mu.Lock()
-	if enc.state == StateCrashed || enc.state == StateStopped {
-		enc.mu.Unlock()
+	mem, ok := enc.beginTeardown(StateStopped, "")
+	if !ok {
 		return nil
 	}
-	enc.state = StateStopped
-	mem := append([]hw.Extent(nil), enc.mem...)
-	enc.mu.Unlock()
 
 	close(enc.done)
 	enc.CloseRings()
@@ -597,10 +578,15 @@ func (fw *Framework) Destroy(enc *Enclave) error {
 	}
 	fw.Ledger.FreeCores(enc.Cores)
 	close(enc.reclaimed)
-	fw.mu.Lock()
-	delete(fw.enclaves, enc.ID)
-	fw.mu.Unlock()
+	fw.unregister(enc.ID)
 	return err
+}
+
+// unregister drops an enclave from the table.
+func (fw *Framework) unregister(encID int) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	delete(fw.enclaves, encID)
 }
 
 // RegisterIoctl extends the framework's control ABI with a new command —
@@ -616,11 +602,17 @@ func (fw *Framework) RegisterIoctl(cmd uint32, h func(arg any) (any, error)) err
 	return nil
 }
 
+// ioctlFor looks up an extension handler under the lock; the handler runs
+// outside it (handlers call back into the framework).
+func (fw *Framework) ioctlFor(cmd uint32) func(arg any) (any, error) {
+	fw.ioctlMu.Lock()
+	defer fw.ioctlMu.Unlock()
+	return fw.ioctls[cmd]
+}
+
 // Ioctl dispatches an extension command.
 func (fw *Framework) Ioctl(cmd uint32, arg any) (any, error) {
-	fw.ioctlMu.Lock()
-	h := fw.ioctls[cmd]
-	fw.ioctlMu.Unlock()
+	h := fw.ioctlFor(cmd)
 	if h == nil {
 		return nil, fmt.Errorf("pisces: unknown ioctl %#x", cmd)
 	}

@@ -69,9 +69,7 @@ func (s *stubKernel) drainCtl(c *hw.CPU) {
 		case CmdPing:
 		case CmdMemAdd:
 			if s.acceptMem {
-				s.mu.Lock()
-				s.memAdd = append(s.memAdd, hw.Extent{})
-				s.mu.Unlock()
+				s.recordMemAdd()
 			} else {
 				resp.Type = AckErr
 			}
@@ -104,6 +102,12 @@ func (s *stubKernel) Shutdown() {
 }
 
 func (s *stubKernel) Quiesce() { s.wg.Wait() }
+
+func (s *stubKernel) recordMemAdd() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.memAdd = append(s.memAdd, hw.Extent{})
+}
 
 // fwFixture builds a machine + framework with donated resources.
 func fwFixture(t *testing.T) (*hw.Machine, *Framework) {

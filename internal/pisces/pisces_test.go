@@ -197,7 +197,9 @@ func TestBootParamsRoundTrip(t *testing.T) {
 
 func TestBootParamsLimits(t *testing.T) {
 	pm := hw.NewPhysMem()
-	_, _ = pm.AddRegion(0, 1<<20, 0, "bp")
+	if _, err := pm.AddRegion(0, 1<<20, 0, "bp"); err != nil {
+		t.Fatal(err)
+	}
 	io := NativeMemIO{Mem: pm}
 	tooManyCores := &BootParams{Cores: make([]int, MaxBootCores+1)}
 	if err := EncodeBootParams(io, 0, tooManyCores); err == nil {
@@ -211,7 +213,9 @@ func TestBootParamsLimits(t *testing.T) {
 
 func TestRingPushPop(t *testing.T) {
 	pm := hw.NewPhysMem()
-	_, _ = pm.AddRegion(0, 1<<20, 0, "ring")
+	if _, err := pm.AddRegion(0, 1<<20, 0, "ring"); err != nil {
+		t.Fatal(err)
+	}
 	io := NativeMemIO{Mem: pm}
 	done := make(chan struct{})
 	defer close(done)
@@ -242,7 +246,9 @@ func TestRingPushPop(t *testing.T) {
 
 func TestRingOrderAndCapacity(t *testing.T) {
 	pm := hw.NewPhysMem()
-	_, _ = pm.AddRegion(0, 1<<20, 0, "ring")
+	if _, err := pm.AddRegion(0, 1<<20, 0, "ring"); err != nil {
+		t.Fatal(err)
+	}
 	io := NativeMemIO{Mem: pm}
 	r := NewRing(0, nil)
 	_ = r.Init(io)
@@ -277,7 +283,9 @@ func TestRingOrderAndCapacity(t *testing.T) {
 
 func TestRingCloseUnblocks(t *testing.T) {
 	pm := hw.NewPhysMem()
-	_, _ = pm.AddRegion(0, 1<<20, 0, "ring")
+	if _, err := pm.AddRegion(0, 1<<20, 0, "ring"); err != nil {
+		t.Fatal(err)
+	}
 	io := NativeMemIO{Mem: pm}
 	r := NewRing(0, nil)
 	_ = r.Init(io)
@@ -299,7 +307,9 @@ func TestRingCloseUnblocks(t *testing.T) {
 // Property: any sequence of messages round-trips in order through the ring.
 func TestRingFIFOProperty(t *testing.T) {
 	pm := hw.NewPhysMem()
-	_, _ = pm.AddRegion(0, 1<<20, 0, "ring")
+	if _, err := pm.AddRegion(0, 1<<20, 0, "ring"); err != nil {
+		t.Fatal(err)
+	}
 	io := NativeMemIO{Mem: pm}
 	f := func(types []uint32) bool {
 		r := NewRing(0x2000, nil)
@@ -329,7 +339,9 @@ func TestRingFIFOProperty(t *testing.T) {
 
 func TestExtentHelpers(t *testing.T) {
 	pm := hw.NewPhysMem()
-	_, _ = pm.AddRegion(0, 1<<20, 0, "x")
+	if _, err := pm.AddRegion(0, 1<<20, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
 	io := NativeMemIO{Mem: pm}
 	exts := []hw.Extent{{Start: 0x1000, Size: 0x2000, Node: 0}, {Start: 1 << 38, Size: 1 << 21, Node: 1}}
 	if err := PutExtents(io, 0x8000, exts); err != nil {

@@ -53,8 +53,8 @@ func (l *Ledger) DonateMemory(e hw.Extent) error {
 // DonateCore marks a core available for enclave assignment.
 func (l *Ledger) DonateCore(core int) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.cores[core] = true
-	l.mu.Unlock()
 }
 
 // AllocMemory carves size bytes from node's free extents. Size is rounded
@@ -82,8 +82,8 @@ func (l *Ledger) AllocMemory(node int, size uint64) (hw.Extent, error) {
 // FreeMemory returns an extent to the ledger, coalescing with neighbours.
 func (l *Ledger) FreeMemory(e hw.Extent) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.free[e.Node] = insertExtent(l.free[e.Node], e)
-	l.mu.Unlock()
 }
 
 // AllocCores takes n offline cores from node (or any node if node < 0).
@@ -111,10 +111,10 @@ func (l *Ledger) AllocCores(topo *hw.Topology, node, n int) ([]int, error) {
 // FreeCores returns cores to the offline pool.
 func (l *Ledger) FreeCores(cores []int) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, c := range cores {
 		l.cores[c] = true
 	}
-	l.mu.Unlock()
 }
 
 // Reserve removes exactly the given extent from the free lists, failing if

@@ -53,13 +53,20 @@ func NewRing(base uint64, done <-chan struct{}) *Ring {
 	if done != nil {
 		go func() {
 			<-done
-			r.mu.Lock()
-			r.closed = true
-			r.mu.Unlock()
-			r.cond.Broadcast()
+			r.markClosed()
 		}()
 	}
 	return r
+}
+
+// markClosed latches the closed flag and releases all blocked endpoints.
+// The broadcast runs under the lock so a racing Pop between its closed
+// check and cond.Wait cannot miss it.
+func (r *Ring) markClosed() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.cond.Broadcast()
 }
 
 // Init zeroes the ring header through io.
@@ -178,8 +185,5 @@ func (r *Ring) TryPop(io MemIO, m *Msg) (ok bool, err error) {
 
 // Close shuts the ring down, releasing all blocked endpoints.
 func (r *Ring) Close() {
-	r.mu.Lock()
-	r.closed = true
-	r.mu.Unlock()
-	r.cond.Broadcast()
+	r.markClosed()
 }

@@ -49,11 +49,11 @@ func (b *Buffer) Record(cpu int, tsc uint64, kind, format string, args ...any) {
 		return
 	}
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.ring[b.next%uint64(len(b.ring))] = Event{
 		Seq: b.next, TSC: tsc, CPU: cpu, Kind: kind, Msg: fmt.Sprintf(format, args...),
 	}
 	b.next++
-	b.mu.Unlock()
 }
 
 // Len returns the total number of events ever recorded.

@@ -20,28 +20,28 @@ func NewMSRBitmap() *MSRBitmap {
 // InterceptAll makes every MSR access trap.
 func (b *MSRBitmap) InterceptAll() {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.all = true
-	b.mu.Unlock()
 }
 
 // InterceptAllWrites makes every WRMSR trap while leaving reads direct —
 // Covirt's default MSR-protection posture.
 func (b *MSRBitmap) InterceptAllWrites() {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.allWr = true
-	b.mu.Unlock()
 }
 
 // Set marks a single MSR for read and/or write interception.
 func (b *MSRBitmap) Set(msr uint32, read, write bool) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	if read {
 		b.read[msr] = true
 	}
 	if write {
 		b.write[msr] = true
 	}
-	b.mu.Unlock()
 }
 
 // TrapsRead reports whether RDMSR of msr exits.
@@ -71,22 +71,22 @@ func NewIOBitmap() *IOBitmap { return &IOBitmap{} }
 // InterceptAll makes every port access trap.
 func (b *IOBitmap) InterceptAll() {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.all = true
-	b.mu.Unlock()
 }
 
 // Set marks one port for interception.
 func (b *IOBitmap) Set(port uint16) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.bits[port/64] |= 1 << (port % 64)
-	b.mu.Unlock()
 }
 
 // Clear unmarks one port.
 func (b *IOBitmap) Clear(port uint16) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.bits[port/64] &^= 1 << (port % 64)
-	b.mu.Unlock()
 }
 
 // Traps reports whether access to port exits.

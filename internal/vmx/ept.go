@@ -87,8 +87,8 @@ func NewEPT() *EPT { return &EPT{root: &eptNode{}} }
 // mapping exists.
 func (e *EPT) SetMaxPageSize(ps uint64) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.maxPage = ps
-	e.mu.Unlock()
 }
 
 // Gen returns the mutation generation; it increments on every Map/Unmap.

@@ -119,9 +119,9 @@ type ExitStats struct {
 // record adds one exit of the given reason costing cyc cycles.
 func (s *ExitStats) record(r ExitReason, cyc uint64) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.counts[r]++
 	s.cycles += cyc
-	s.mu.Unlock()
 }
 
 // Count returns the number of exits recorded for reason r.

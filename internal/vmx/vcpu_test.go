@@ -110,7 +110,11 @@ func TestVCPUEPTViolationKillsEnclaveOnly(t *testing.T) {
 	if m.Crashed() {
 		t.Fatal("machine crashed; violation should be contained")
 	}
-	if val, _ := m.Mem.Read64(victim); val != 0x1111 {
+	val, err := m.Mem.Read64(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 0x1111 {
 		t.Fatalf("victim corrupted to %#x despite EPT", val)
 	}
 	if v.Stats.Count(ExitEPTViolation) != 1 {

@@ -117,7 +117,7 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 			lookupExt = allocSpread(e, prof.lookupBytes)
 			defer e.Free(lookupExt)
 		}
-		rng := xorshift64(0xA5A5A5A5 ^ uint64(rank+7))
+		rng := hw.NewRand(0xA5A5A5A5 ^ uint64(rank+7))
 
 		md.buildCells()
 		e0 := md.totalEnergy()
@@ -128,7 +128,7 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 			if step%prof.rebuildEvery == 0 {
 				md.buildCells()
 				for a := 0; a < atoms/4; a++ {
-					off := rng.next() % (neighExt.Size / 8)
+					off := rng.Next() % (neighExt.Size / 8)
 					e.Access(neighExt.Start+off*8, true, hw.AccessDRAM)
 				}
 				e.Compute(uint64(atoms) * 30)
@@ -146,7 +146,7 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 				e.Compute(pairs * prof.flopsPerPair)
 				lookups := uint64(float64(pairs) * prof.tableLookups)
 				for t := uint64(0); t < lookups; t++ {
-					off := rng.next() % (lookupExt.Size / 8)
+					off := rng.Next() % (lookupExt.Size / 8)
 					e.Access(lookupExt.Start+off*8, false, hw.AccessDRAM)
 				}
 			}
@@ -208,7 +208,7 @@ func newLJBox(n int, seed uint64) *ljBox {
 	// Simple cubic lattice placement with slight deterministic jitter.
 	side := int(math.Ceil(math.Cbrt(float64(n))))
 	spacing := b.l / float64(side)
-	rng := xorshift64(seed*2654435761 + 1)
+	rng := hw.NewRand(seed*2654435761 + 1)
 	i := 0
 	for ix := 0; ix < side && i < n; ix++ {
 		for iy := 0; iy < side && i < n; iy++ {
@@ -216,9 +216,9 @@ func newLJBox(n int, seed uint64) *ljBox {
 				b.x[i] = (float64(ix) + 0.5) * spacing
 				b.y[i] = (float64(iy) + 0.5) * spacing
 				b.z[i] = (float64(iz) + 0.5) * spacing
-				b.vx[i] = (float64(rng.next()%1000)/1000 - 0.5) * 0.1
-				b.vy[i] = (float64(rng.next()%1000)/1000 - 0.5) * 0.1
-				b.vz[i] = (float64(rng.next()%1000)/1000 - 0.5) * 0.1
+				b.vx[i] = (float64(rng.Next()%1000)/1000 - 0.5) * 0.1
+				b.vy[i] = (float64(rng.Next()%1000)/1000 - 0.5) * 0.1
+				b.vz[i] = (float64(rng.Next()%1000)/1000 - 0.5) * 0.1
 				i++
 			}
 		}

@@ -62,9 +62,9 @@ func (r *RandomAccess) Run(k *kitten.Kernel, threads int) (*Result, error) {
 		ext := allocSpread(e, logicalWords*8)
 		defer e.Free(ext)
 
-		rng := xorshift64(0x243F6A8885A308D3 ^ uint64(rank+1))
+		rng := hw.NewRand(0x243F6A8885A308D3 ^ uint64(rank+1))
 		for u := 0; u < updates; u++ {
-			v := rng.next()
+			v := rng.Next()
 			idx := v & (logicalWords - 1)
 			table[idx&(realWords-1)] ^= v
 			// RNG + index arithmetic, then the table update itself.
@@ -78,9 +78,9 @@ func (r *RandomAccess) Run(k *kitten.Kernel, threads int) (*Result, error) {
 
 		// Verify by replaying the same update stream: XOR is self-inverse,
 		// so the table must return to its initial state.
-		rng = xorshift64(0x243F6A8885A308D3 ^ uint64(rank+1))
+		rng = hw.NewRand(0x243F6A8885A308D3 ^ uint64(rank+1))
 		for u := 0; u < updates; u++ {
-			v := rng.next()
+			v := rng.Next()
 			idx := v & (logicalWords - 1)
 			table[idx&(realWords-1)] ^= v
 		}

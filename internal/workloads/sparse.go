@@ -136,7 +136,7 @@ type sparseCharger struct {
 	remote  hw.Extent // neighbour-rank vector storage on the other node
 	scatter hw.Extent // large poor-locality working set (e.g. MG hierarchy)
 	rows    uint64
-	rng     xorshift64
+	rng     hw.Rand
 
 	// gatherMissFrac*rows random DRAM accesses per SpMV-equivalent model
 	// the indirect x-gathers that fall out of cache. When the enclave
@@ -163,7 +163,7 @@ func newSparseCharger(e *kitten.Env, rank, rows, totalRows int, gatherFrac float
 		matrix:         allocSpread(e, hw.AlignUp(uint64(rows)*matrixBytesPerRow, hw.PageSize4K)),
 		vec:            allocSpread(e, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K)),
 		rows:           uint64(rows),
-		rng:            xorshift64(0x9E3779B97F4A7C15 ^ uint64(rank+1)),
+		rng:            hw.NewRand(0x9E3779B97F4A7C15 ^ uint64(rank+1)),
 		gatherMissFrac: gatherFrac,
 		scatterBytes:   scatterBytes,
 	}
@@ -216,7 +216,7 @@ func (c *sparseCharger) chargeSpMV() {
 	misses := uint64(float64(c.rows*27) * c.gatherMissFrac)
 	for m := uint64(0); m < misses; m++ {
 		tgt := c.gatherTarget(m)
-		off := c.rng.next() % (tgt.Size / 8)
+		off := c.rng.Next() % (tgt.Size / 8)
 		e.Access(tgt.Start+off*8, false, hw.AccessDRAM)
 	}
 	// 2 flops per nonzero.

@@ -103,6 +103,7 @@ func (b *Barrier) Wait(e *kitten.Env, rank int) {
 		}
 	}
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -114,7 +115,6 @@ func (b *Barrier) Wait(e *kitten.Env, rank int) {
 			b.cond.Wait()
 		}
 	}
-	b.mu.Unlock()
 }
 
 // Allreduce sums per-rank values across all ranks (two barriers plus the
@@ -173,11 +173,11 @@ func runParallel(k *kitten.Kernel, name string, threads int, fn func(e *kitten.E
 		}
 		delta := e.CPU.TSC - start
 		mu.Lock()
+		defer mu.Unlock()
 		res.PerCore[rank] = delta
 		if delta > res.Cycles {
 			res.Cycles = delta
 		}
-		mu.Unlock()
 		return nil
 	})
 	if err != nil {
@@ -191,17 +191,4 @@ func runParallel(k *kitten.Kernel, name string, threads int, fn func(e *kitten.E
 // the paper's "memory divided evenly between NUMA zones" setup.
 func allocSpread(e *kitten.Env, size uint64) hw.Extent {
 	return e.Alloc(e.CPU.Node, size)
-}
-
-// xorshift64 is the deterministic RNG used by the access-pattern
-// generators (Date-free and allocation-free).
-type xorshift64 uint64
-
-func (x *xorshift64) next() uint64 {
-	v := uint64(*x)
-	v ^= v << 13
-	v ^= v >> 7
-	v ^= v << 17
-	*x = xorshift64(v)
-	return v
 }

@@ -1,0 +1,31 @@
+#!/bin/sh
+# check.sh — the repository's CI gate. Run it locally before pushing:
+#
+#   ./scripts/check.sh
+#
+# It must pass with zero findings; vetted exceptions are annotated in the
+# source with //covirt:allow (see DESIGN.md "Static analysis & invariants").
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> covirt-vet ./..."
+go run ./cmd/covirt-vet ./...
+
+echo "==> covirt-vet negative fixtures (must fail)"
+for fixture in internal/analysis/testdata/*/; do
+    if go run ./cmd/covirt-vet -q "./$fixture" 2>/dev/null; then
+        echo "check.sh: fixture $fixture produced no findings" >&2
+        exit 1
+    fi
+done
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"
