@@ -23,8 +23,10 @@ import (
 )
 
 // benchOpts returns scaled-down options so `go test -bench` terminates
-// quickly; covirt-bench -full runs the paper-sized problems.
-func benchOpts() harness.Options { return harness.Options{Reps: 1} }
+// quickly; covirt-bench -full runs the paper-sized problems. Parallel 0
+// lets the harness engine fan each experiment's job matrix out over
+// GOMAXPROCS workers — aggregation order (and thus output) is unaffected.
+func benchOpts() harness.Options { return harness.Options{Reps: 1, Parallel: 0} }
 
 // out returns the destination for the regenerated tables: stdout on
 // -bench -v runs, discarded otherwise to keep benchmark output parseable.

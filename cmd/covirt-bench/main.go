@@ -3,17 +3,24 @@
 //
 // Usage:
 //
-//	covirt-bench [-experiment id] [-reps n] [-full] [-list]
+//	covirt-bench [-experiment id] [-reps n] [-parallel n] [-full] [-list]
 //
-// With no -experiment flag every experiment runs in paper order. Use
-// -list to see the available ids (table1, fig3, fig4, fig5a, fig5b, fig6,
-// fig7, fig8).
+// With no -experiment flag every experiment runs in paper order; a failing
+// experiment does not stop the rest — failures are summarized at the end
+// and the exit status is non-zero. Use -list to see the available ids
+// (table1, fig3, fig4, fig5a, fig5b, fig6, fig7, fig8).
+//
+// -parallel fans the experiment's job matrix out over n workers (default
+// GOMAXPROCS). Every job's seed is derived from its matrix coordinates and
+// results are aggregated in enumeration order, so output is byte-identical
+// at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"covirt/internal/harness"
@@ -21,10 +28,11 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("experiment", "", "experiment id to run (default: all)")
-		reps  = flag.Int("reps", 3, "repetitions per data point (paper used 10)")
-		full  = flag.Bool("full", false, "use the paper's full problem sizes (slow)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("experiment", "", "experiment id to run (default: all)")
+		reps     = flag.Int("reps", 3, "repetitions per data point (paper used 10)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrently simulated nodes")
+		full     = flag.Bool("full", false, "use the paper's full problem sizes (slow)")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -35,15 +43,16 @@ func main() {
 		return
 	}
 
-	opt := harness.Options{Reps: *reps, Full: *full}
-	run := func(e *harness.Experiment) {
+	opt := harness.Options{Reps: *reps, Full: *full, Parallel: *parallel}
+	run := func(e *harness.Experiment) error {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
 		if err := e.Run(opt, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "covirt-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	if *expID != "" {
@@ -52,10 +61,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "covirt-bench: unknown experiment %q (try -list)\n", *expID)
 			os.Exit(2)
 		}
-		run(e)
+		if run(e) != nil {
+			os.Exit(1)
+		}
 		return
 	}
+	var failed []string
 	for i := range harness.All {
-		run(&harness.All[i])
+		if run(&harness.All[i]) != nil {
+			failed = append(failed, harness.All[i].ID)
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "covirt-bench: %d of %d experiments failed: %v\n",
+			len(failed), len(harness.All), failed)
+		os.Exit(1)
 	}
 }

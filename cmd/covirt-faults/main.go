@@ -13,8 +13,8 @@ import (
 	"covirt/internal/covirt"
 	"covirt/internal/hw"
 	"covirt/internal/kitten"
-	"covirt/internal/linuxhost"
 	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 )
 
 // outcome describes the blast radius of one injected fault.
@@ -88,11 +88,15 @@ var injections = []injection{
 
 // inject builds a fresh node, injects one fault, and reports the outcome.
 func inject(inj injection, protected bool) outcome {
-	machine, err := hw.NewMachine(hw.DefaultSpec())
-	if err != nil {
-		panic(err)
-	}
-	host, err := linuxhost.New(machine)
+	tb, err := testbed.Spec{
+		OfflineCores: []int{1},
+		OfflineMem:   map[int]uint64{0: 1 << 30},
+		Covirt:       protected,
+		Features:     covirt.FeaturesAll,
+		Guests: []testbed.Guest{{
+			Name: "faulty", Cores: 1, Nodes: []int{0}, MemBytes: 256 << 20,
+		}},
+	}.Build()
 	if err != nil {
 		panic(err)
 	}
@@ -101,24 +105,12 @@ func inject(inj injection, protected bool) outcome {
 			panic(err)
 		}
 	}
-	must(host.OfflineCores(1))
-	must(host.OfflineMemory(0, 1<<30))
-	var ctrl *covirt.Controller
-	if protected {
-		ctrl, err = covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesAll)
-		must(err)
-	}
+	machine, host, ctrl := tb.M, tb.Host, tb.Ctrl
+	enc, k := tb.Enc(), tb.Kitten()
 	machine.Ports.Register(hw.PortReset, resetDevice{machine})
 	victim, err := host.HostAlloc(0, 4<<20)
 	must(err)
 	must(host.PlantCanary(victim, 0xACE))
-
-	enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
-		Name: "faulty", NumCores: 1, Nodes: []int{0}, MemBytes: 256 << 20,
-	})
-	must(err)
-	k := kitten.New(kitten.Config{})
-	must(host.Pisces.Boot(enc, k))
 
 	task, err := k.Spawn("inject", 0, func(e *kitten.Env) error {
 		return inj.run(e, victim, 0)
@@ -144,9 +136,7 @@ func inject(inj injection, protected bool) outcome {
 	if k.CPU(0).MSRs.Read(hw.MSR_IA32_APIC_BASE) == 0 {
 		o.msrClobbered = true
 	}
-	if !o.nodeCrashed {
-		_ = host.Pisces.Destroy(enc)
-	}
+	tb.Close()
 	return o
 }
 

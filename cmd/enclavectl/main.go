@@ -23,10 +23,12 @@ import (
 	"covirt/internal/kitten"
 	"covirt/internal/linuxhost"
 	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 )
 
 // shell holds the live simulation the commands operate on.
 type shell struct {
+	node    *testbed.Node
 	machine *hw.Machine
 	host    *linuxhost.Host
 	ctrl    *covirt.Controller
@@ -34,32 +36,27 @@ type shell struct {
 }
 
 func newShell() (*shell, error) {
-	machine, err := hw.NewMachine(hw.DefaultSpec())
-	if err != nil {
-		return nil, err
-	}
-	host, err := linuxhost.New(machine)
-	if err != nil {
-		return nil, err
-	}
-	// Offline everything except core 0 of each socket for the host.
+	// A guest-less testbed: everything except core 0 of each socket plus
+	// 24 GiB per node offlined for enclaves the operator creates later.
+	probe := hw.DefaultSpec()
 	var cores []int
-	for _, n := range machine.Topo.Nodes {
-		cores = append(cores, n.Cores[1:]...)
-	}
-	if err := host.OfflineCores(cores...); err != nil {
-		return nil, err
-	}
-	for _, n := range machine.Topo.Nodes {
-		if err := host.OfflineMemory(n.ID, 24<<30); err != nil {
-			return nil, err
+	offMem := make(map[int]uint64)
+	for node := 0; node < probe.NumNodes; node++ {
+		for c := 1; c < probe.CoresPerNode; c++ {
+			cores = append(cores, node*probe.CoresPerNode+c)
 		}
+		offMem[node] = 24 << 30
 	}
-	ctrl, err := covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesNone)
+	tb, err := testbed.Spec{
+		OfflineCores: cores,
+		OfflineMem:   offMem,
+		Covirt:       true,
+		Features:     covirt.FeaturesNone,
+	}.Build()
 	if err != nil {
 		return nil, err
 	}
-	return &shell{machine: machine, host: host, ctrl: ctrl, kernels: make(map[int]*kitten.Kernel)}, nil
+	return &shell{node: tb, machine: tb.M, host: tb.Host, ctrl: tb.Ctrl, kernels: make(map[int]*kitten.Kernel)}, nil
 }
 
 // featureSet parses a feature spec like "mem", "mem+ipi", "all", "none".
@@ -159,14 +156,11 @@ func (sh *shell) exec(line string) error {
 				return err
 			}
 		}
-		if _, err := sh.host.Pisces.Ioctl(covirt.IoctlSetFeatures, covirt.SetFeaturesArgs{EnclaveID: enc.ID, Features: feat}); err != nil {
+		be, err := sh.node.BootInto(enc, testbed.Guest{Name: enc.Name, Features: &feat})
+		if err != nil {
 			return err
 		}
-		k := kitten.New(kitten.Config{})
-		if err := sh.host.Pisces.Boot(enc, k); err != nil {
-			return err
-		}
-		sh.kernels[enc.ID] = k
+		sh.kernels[enc.ID] = be.Kitten
 		fmt.Printf("enclave %d booted under covirt %q\n", enc.ID, feat)
 
 	case "list":

@@ -13,10 +13,8 @@ import (
 	"log"
 
 	"covirt/internal/covirt"
-	"covirt/internal/hw"
 	"covirt/internal/kitten"
-	"covirt/internal/linuxhost"
-	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 )
 
 const (
@@ -27,43 +25,24 @@ const (
 )
 
 func main() {
-	machine, err := hw.NewMachine(hw.DefaultSpec())
+	// One core + 1 GiB on each NUMA node for the two components, both
+	// enclaves under Covirt's full protection feature set.
+	tb, err := testbed.Spec{
+		OfflineCores: []int{1, 7},
+		OfflineMem:   map[int]uint64{0: 1 << 30, 1: 1 << 30},
+		Covirt:       true,
+		Features:     covirt.FeaturesAll,
+		Guests: []testbed.Guest{
+			{Name: "sim", Cores: 1, Nodes: []int{0}, MemBytes: 512 << 20},
+			{Name: "analytics", Cores: 1, Nodes: []int{1}, MemBytes: 512 << 20},
+		},
+	}.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	host, err := linuxhost.New(machine)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// One core + 1 GiB on each NUMA node for the two components.
-	if err := host.OfflineCores(1, 7); err != nil {
-		log.Fatal(err)
-	}
-	for node := 0; node < 2; node++ {
-		if err := host.OfflineMemory(node, 1<<30); err != nil {
-			log.Fatal(err)
-		}
-	}
-	ctrl, err := covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesAll)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	boot := func(name string, node int) (*pisces.Enclave, *kitten.Kernel) {
-		enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
-			Name: name, NumCores: 1, Nodes: []int{node}, MemBytes: 512 << 20,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		k := kitten.New(kitten.Config{})
-		if err := host.Pisces.Boot(enc, k); err != nil {
-			log.Fatal(err)
-		}
-		return enc, k
-	}
-	simEnc, simK := boot("sim", 0)
-	anaEnc, anaK := boot("analytics", 1)
+	host, ctrl := tb.Host, tb.Ctrl
+	simEnc, simK := tb.Encs[0].Enc, tb.Encs[0].Kitten
+	anaEnc, anaK := tb.Encs[1].Enc, tb.Encs[1].Kitten
 	fmt.Printf("booted %s (core %v) and %s (core %v), features %q\n",
 		simEnc.Name, simEnc.Cores, anaEnc.Name, anaEnc.Cores, ctrl.FeaturesFor(simEnc.ID))
 
@@ -160,7 +139,6 @@ func main() {
 	fmt.Printf("errant IPI to host core dropped by whitelist: dropped=%d\n",
 		ctrl.StatusFor(simEnc.ID).DroppedIPIs)
 
-	_ = host.Pisces.Destroy(simEnc)
-	_ = host.Pisces.Destroy(anaEnc)
+	tb.Close()
 	fmt.Println("composition complete; both enclaves shut down cleanly")
 }

@@ -14,47 +14,36 @@ import (
 	"strings"
 
 	"covirt/internal/covirt"
-	"covirt/internal/hw"
 	"covirt/internal/kitten"
-	"covirt/internal/linuxhost"
 	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 	"covirt/internal/workloads"
 )
 
 func main() {
-	machine, err := hw.NewMachine(hw.DefaultSpec())
+	// Explicit offline overrides keep spare capacity beyond the enclave's
+	// initial footprint — the headroom the hot-adds below grow into.
+	tb, err := testbed.Spec{
+		OfflineCores: []int{1, 2, 3, 4},
+		OfflineMem:   map[int]uint64{0: 8 << 30},
+		Covirt:       true,
+		Features:     covirt.FeaturesMemIPIPIV,
+	}.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	host, err := linuxhost.New(machine)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Plenty of spare capacity for elasticity.
-	if err := host.OfflineCores(1, 2, 3, 4); err != nil {
-		log.Fatal(err)
-	}
-	if err := host.OfflineMemory(0, 8<<30); err != nil {
-		log.Fatal(err)
-	}
-	ctrl, err := covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesMemIPIPIV)
-	if err != nil {
-		log.Fatal(err)
-	}
+	host, ctrl := tb.Host, tb.Ctrl
 
-	// The operator stages the job description on the host.
+	// The operator stages the job description on the host, then boots the
+	// service into its enclave.
 	host.WriteFile("/jobs/cg.conf", []byte("grid=32\niters=12\n"))
-
-	enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
-		Name: "elastic", NumCores: 1, Nodes: []int{0}, MemBytes: 2 << 30,
+	be, err := tb.BootGuest(testbed.Guest{
+		Name: "elastic", Cores: 1, Nodes: []int{0}, MemBytes: 2 << 30,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	kernel := kitten.New(kitten.Config{})
-	if err := host.Pisces.Boot(enc, kernel); err != nil {
-		log.Fatal(err)
-	}
+	enc, kernel := be.Enc, be.Kitten
 	fmt.Printf("service booted: 1 core, %q\n", ctrl.FeaturesFor(enc.ID))
 
 	// Phase 1: the service reads its configuration (forwarded file I/O).
@@ -151,6 +140,6 @@ func main() {
 			}
 			return n
 		}())
-	_ = host.Pisces.Destroy(enc)
+	tb.Close()
 	fmt.Println("service shut down; resources reclaimed")
 }

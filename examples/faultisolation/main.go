@@ -27,41 +27,24 @@ import (
 	"covirt/internal/kitten"
 	"covirt/internal/linuxhost"
 	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 )
 
 // buildNode boots a host with one enclave, optionally protected by Covirt.
-func buildNode(protected bool) (*linuxhost.Host, *pisces.Enclave, *kitten.Kernel, *covirt.Controller) {
-	machine, err := hw.NewMachine(hw.DefaultSpec())
+func buildNode(protected bool) *testbed.Node {
+	tb, err := testbed.Spec{
+		OfflineCores: []int{1},
+		OfflineMem:   map[int]uint64{0: 1 << 30},
+		Covirt:       protected,
+		Features:     covirt.FeaturesMem,
+		Guests: []testbed.Guest{{
+			Name: "victim-of-its-own-bug", Cores: 1, Nodes: []int{0}, MemBytes: 512 << 20,
+		}},
+	}.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	host, err := linuxhost.New(machine)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := host.OfflineCores(1); err != nil {
-		log.Fatal(err)
-	}
-	if err := host.OfflineMemory(0, 1<<30); err != nil {
-		log.Fatal(err)
-	}
-	var ctrl *covirt.Controller
-	if protected {
-		if ctrl, err = covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesMem); err != nil {
-			log.Fatal(err)
-		}
-	}
-	enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
-		Name: "victim-of-its-own-bug", NumCores: 1, Nodes: []int{0}, MemBytes: 512 << 20,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	k := kitten.New(kitten.Config{})
-	if err := host.Pisces.Boot(enc, k); err != nil {
-		log.Fatal(err)
-	}
-	return host, enc, k, ctrl
+	return tb
 }
 
 // staleSegmentBug exports a host segment, attaches it in the enclave, then
@@ -98,7 +81,8 @@ func staleSegmentBug(host *linuxhost.Host, k *kitten.Kernel, seg hw.Extent, name
 func main() {
 	// ---- Run 1: unprotected; the host reuses the reclaimed memory. ----
 	fmt.Println("== run 1: no protection, host has reused the memory ==")
-	host, enc, k, _ := buildNode(false)
+	tb := buildNode(false)
+	host, k := tb.Host, tb.Kitten()
 	seg, _ := host.HostAlloc(0, 4<<20)
 	_ = host.PlantCanary(seg, 0xFEED) // the host's new data lives here
 	if _, err := host.Master.Reg.Make(hashName("stale.seg"), 0, []hw.Extent{seg}); err != nil {
@@ -111,23 +95,24 @@ func main() {
 	} else {
 		fmt.Println("  host data survived (this run got lucky)")
 	}
-	_ = host.Pisces.Destroy(enc)
+	tb.Close()
 
 	// ---- Run 2: unprotected; the stale page is no longer backed. ----
 	fmt.Println("== run 2: no protection, stale page unbacked ==")
-	host2, _, k2, _ := buildNode(false)
-	task, _ := k2.Spawn("wild", 0, func(e *kitten.Env) error {
+	tb2 := buildNode(false)
+	task, _ := tb2.Kitten().Spawn("wild", 0, func(e *kitten.Env) error {
 		// The stale mapping points into address space the host has since
 		// offlined — nothing is there any more.
 		return e.RawWrite64(0x20, 0xDEAD)
 	})
 	err = task.Wait()
 	fmt.Printf("  bug ran: err=%v\n  NODE CRASHED: %v (reason: %s)\n",
-		err, host2.M.Crashed(), host2.M.CrashReason())
+		err, tb2.M.Crashed(), tb2.M.CrashReason())
 
 	// ---- Run 3: the same bugs under Covirt memory protection. ----
 	fmt.Println("== run 3: covirt memory protection ==")
-	host3, enc3, k3, ctrl := buildNode(true)
+	tb3 := buildNode(true)
+	host3, enc3, k3 := tb3.Host, tb3.Enc(), tb3.Kitten()
 	seg3, _ := host3.HostAlloc(0, 4<<20)
 	_ = host3.PlantCanary(seg3, 0xFEED)
 	if _, err := host3.Master.Reg.Make(hashName("stale.seg"), 0, []hw.Extent{seg3}); err != nil {
@@ -145,7 +130,6 @@ func main() {
 	for _, f := range host3.M.Faults() {
 		fmt.Printf("  fault log: %s at %#x (cpu %d, write=%v)\n", f.Kind, f.Addr, f.CPU, f.Write)
 	}
-	_ = ctrl // state already reclaimed with the enclave
 	fmt.Println("  -> diagnosis takes minutes, not weeks: the first wild access is pinpointed")
 }
 

@@ -10,52 +10,35 @@ import (
 	"log"
 
 	"covirt/internal/covirt"
-	"covirt/internal/hw"
 	"covirt/internal/kitten"
-	"covirt/internal/linuxhost"
-	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 )
 
 func main() {
-	// 1. A simulated dual-socket node, booted by the host Linux OS.
-	machine, err := hw.NewMachine(hw.DefaultSpec())
+	// 1. Declare the testbed: a simulated dual-socket node with two cores
+	//    and 2 GiB offlined for the enclave, the Covirt controller loaded
+	//    with memory protection + abort handling, and one Kitten enclave.
+	//    Build assembles and boots the whole stack; Covirt interposes
+	//    transparently, so the co-kernel boots exactly as if Pisces had
+	//    launched it directly.
+	tb, err := testbed.Spec{
+		OfflineCores: []int{1, 2},
+		OfflineMem:   map[int]uint64{0: 2 << 30},
+		Covirt:       true,
+		Features:     covirt.FeaturesMem,
+		Guests: []testbed.Guest{{
+			Name: "quickstart", Cores: 2, Nodes: []int{0}, MemBytes: 1 << 30,
+		}},
+	}.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	host, err := linuxhost.New(machine)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 2. Offline resources for the enclave and load the Covirt controller
-	//    with memory protection + abort handling.
-	if err := host.OfflineCores(1, 2); err != nil {
-		log.Fatal(err)
-	}
-	if err := host.OfflineMemory(0, 2<<30); err != nil {
-		log.Fatal(err)
-	}
-	ctrl, err := covirt.Attach(machine, host.Pisces, host.Master, covirt.FeaturesMem)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 3. Create and boot the enclave. Covirt interposes transparently: the
-	//    co-kernel boots exactly as if Pisces had launched it directly.
-	enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
-		Name: "quickstart", NumCores: 2, Nodes: []int{0}, MemBytes: 1 << 30,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	kernel := kitten.New(kitten.Config{})
-	if err := host.Pisces.Boot(enc, kernel); err != nil {
-		log.Fatal(err)
-	}
+	machine, host, ctrl := tb.M, tb.Host, tb.Ctrl
+	enc, kernel := tb.Enc(), tb.Kitten()
 	fmt.Printf("enclave %d (%s) booted on cores %v under covirt features %q\n",
 		enc.ID, enc.Name, enc.Cores, ctrl.FeaturesFor(enc.ID))
 
-	// 4. Run a well-behaved guest application.
+	// 2. Run a well-behaved guest application.
 	task, err := kernel.Spawn("app", 0, func(e *kitten.Env) error {
 		buf := e.Alloc(0, 16<<20)
 		defer e.Free(buf)
@@ -72,7 +55,7 @@ func main() {
 	}
 	fmt.Printf("host console captured: %q\n", host.Console(enc.ID))
 
-	// 5. Plant a canary in host memory and inject the bug: the co-kernel's
+	// 3. Plant a canary in host memory and inject the bug: the co-kernel's
 	//    (simulated) memory map claims a host-owned region is its own.
 	victim, err := host.HostAlloc(0, 4<<20)
 	if err != nil {
@@ -87,7 +70,7 @@ func main() {
 	})
 	err = bug.Wait()
 
-	// 6. Containment report.
+	// 4. Containment report.
 	fmt.Printf("guest task result: %v\n", err)
 	fmt.Printf("node crashed: %v\n", machine.Crashed())
 	if addr, _ := host.CheckCanary(victim, 0xC0DE); addr == 0 {

@@ -17,6 +17,9 @@
 //     charged by some simulation code — dead entries drift from the paper.
 //   - queue-protocol: the controller↔hypervisor command-queue shared-memory
 //     layout is owned solely by cmdqueue.go.
+//   - ledger-conservation: resources carved from the Pisces ledger must be
+//     bound to an owner — a discarded AllocMemory/AllocCores result leaks
+//     memory or cores from the accounting.
 //
 // Vetted exceptions are annotated in the source with a directive comment
 // on (or immediately above) the offending line:
@@ -77,6 +80,7 @@ func Analyzers() []*Analyzer {
 		determinism,
 		costAccounting,
 		queueProtocol,
+		ledgerConservation,
 	}
 }
 
@@ -264,4 +268,5 @@ const (
 	checkDeterminism = "determinism"
 	checkCost        = "cost-accounting"
 	checkQueue       = "queue-protocol"
+	checkLedger      = "ledger-conservation"
 )

@@ -56,6 +56,16 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			fixture: "ledger",
+			checks:  []string{checkLedger},
+			want: []string{
+				"use/use.go:10", // allocation discarded entirely
+				"use/use.go:12", // extent blank-assigned
+				"use/use.go:17", // unobservable under go
+				// use/use.go:20 is suppressed by //covirt:allow
+			},
+		},
+		{
 			fixture: "queue",
 			checks:  []string{checkQueue},
 			want: []string{

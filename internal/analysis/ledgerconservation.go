@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ledgerConservation enforces the resource-conservation invariant on the
+// Pisces ledger: every extent or core set carved out by Ledger.AllocMemory
+// / Ledger.AllocCores transfers exclusive ownership to the caller, so the
+// allocated value must be bound to a name — handed to an enclave, stored,
+// or explicitly freed back. A call whose allocation is dropped (expression
+// statement, blank-assigned first result, or fired under go/defer) charges
+// the ledger without anyone holding the resource: memory or cores leak
+// from the accounting silently and later boots fail with spurious
+// exhaustion.
+var ledgerConservation = &Analyzer{
+	Name: checkLedger,
+	Doc:  "every Ledger.AllocMemory/AllocCores result must be bound, not discarded",
+	Run:  runLedgerConservation,
+}
+
+// ledgerAllocCall reports whether call resolves to an allocating method of
+// the pisces Ledger, returning the callee for diagnostics.
+func ledgerAllocCall(p *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := p.Unit.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, false
+	}
+	if fn.Name() != "AllocMemory" && fn.Name() != "AllocCores" {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	return fn, recvIsLedger(sig.Recv().Type())
+}
+
+// recvIsLedger reports whether t is pisces.Ledger (possibly behind a
+// pointer).
+func recvIsLedger(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Ledger" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/pisces")
+}
+
+func runLedgerConservation(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Unit.Files {
+		if isTestFile(p.Mod, file) {
+			continue // tests probe exhaustion paths on throwaway ledgers
+		}
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn, ok := ledgerAllocCall(p, call)
+			if !ok {
+				return
+			}
+			parent := ast.Node(nil)
+			if len(stack) >= 2 {
+				parent = stack[len(stack)-2]
+			}
+			switch st := parent.(type) {
+			case *ast.ExprStmt:
+				p.report(&out, checkLedger, call, "allocation from %s discarded: the ledger is charged but nothing owns the resource", fn.Name())
+			case *ast.GoStmt, *ast.DeferStmt:
+				p.report(&out, checkLedger, call, "allocation from %s unobservable under go/defer", fn.Name())
+			case *ast.AssignStmt:
+				if blankDiscardsAlloc(st, call) {
+					p.report(&out, checkLedger, call, "allocation from %s blank-assigned: charge it to an owner or don't allocate", fn.Name())
+				}
+			}
+		})
+	}
+	return out
+}
+
+// blankDiscardsAlloc reports whether assign drops call's first (resource)
+// result into the blank identifier: `_, err := l.AllocMemory(...)` leaks
+// the extent even though the error is checked.
+func blankDiscardsAlloc(assign *ast.AssignStmt, call *ast.CallExpr) bool {
+	if len(assign.Rhs) == 1 && assign.Rhs[0] == ast.Expr(call) {
+		return len(assign.Lhs) >= 1 && isBlank(assign.Lhs[0])
+	}
+	return false
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -269,9 +270,95 @@ func (ld *moduleLoader) check(path string, extra []*ast.File) (*types.Package, e
 	return pkg, nil
 }
 
+// importsOf returns the module-internal import paths of a package's base
+// (non-test) files.
+func (ld *moduleLoader) importsOf(d *pkgDir) []string {
+	var out []string
+	for _, f := range d.base {
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == ld.mod.Path || strings.HasPrefix(p, ld.mod.Path+"/") {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// dependsOn reports whether the base package at path (transitively)
+// imports target.
+func (ld *moduleLoader) dependsOn(path, target string) bool {
+	seen := make(map[string]bool)
+	var walk func(p string) bool
+	walk = func(p string) bool {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		d := ld.byPath[p]
+		if d == nil {
+			return false
+		}
+		for _, imp := range ld.importsOf(d) {
+			if imp == target || walk(imp) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(path)
+}
+
+// variantLoader is a types.Importer that resolves target to its test
+// variant (base + in-package _test.go files) and re-checks any module
+// package on the import path between the external test unit and target
+// against that variant — mirroring how the go tool builds external test
+// binaries, so export_test.go hooks are visible both directly and through
+// intermediate packages.
+type variantLoader struct {
+	ld     *moduleLoader
+	target string
+	cache  map[string]*types.Package
+}
+
+func (v *variantLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := v.cache[path]; ok {
+		return pkg, nil
+	}
+	if path != v.ld.mod.Path && !strings.HasPrefix(path, v.ld.mod.Path+"/") {
+		return v.ld.src.Import(path)
+	}
+	if path != v.target && !v.ld.dependsOn(path, v.target) {
+		return v.ld.check(path, nil)
+	}
+	d := v.ld.byPath[path]
+	if d == nil || len(d.base) == 0 {
+		return nil, fmt.Errorf("analysis: cannot find module package %q", path)
+	}
+	files := append([]*ast.File(nil), d.base...)
+	if path == v.target {
+		files = append(files, d.inTest...)
+	}
+	pkg, _, err := v.ld.typeCheckWith(v, path, files)
+	if err != nil {
+		return nil, err
+	}
+	v.cache[path] = pkg
+	return pkg, nil
+}
+
 // typeCheck runs go/types over files, collecting soft errors into the
 // module diagnostics.
 func (ld *moduleLoader) typeCheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	return ld.typeCheckWith(ld, path, files)
+}
+
+// typeCheckWith is typeCheck with an explicit importer (used for test
+// variant closures).
+func (ld *moduleLoader) typeCheckWith(imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -279,7 +366,7 @@ func (ld *moduleLoader) typeCheck(path string, files []*ast.File) (*types.Packag
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	cfg := &types.Config{
-		Importer: ld,
+		Importer: imp,
 		Error:    func(err error) { ld.mod.TypeErrors = append(ld.mod.TypeErrors, err) },
 	}
 	pkg, err := cfg.Check(path, ld.mod.Fset, files, info)
@@ -313,7 +400,13 @@ func (ld *moduleLoader) units(d *pkgDir) ([]*Pkg, error) {
 	}
 	if len(d.extTest) > 0 {
 		name := d.extTest[0].Name.Name
-		pkg, info, err := ld.typeCheck(d.path+".test", d.extTest)
+		var imp types.Importer = ld
+		if len(d.inTest) > 0 && len(d.base) > 0 {
+			// export_test.go-style hooks: build the external unit against
+			// the test variant of its package under test.
+			imp = &variantLoader{ld: ld, target: d.path, cache: make(map[string]*types.Package)}
+		}
+		pkg, info, err := ld.typeCheckWith(imp, d.path+".test", d.extTest)
 		if err != nil {
 			return nil, err
 		}

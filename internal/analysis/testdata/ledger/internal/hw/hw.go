@@ -1,0 +1,11 @@
+// Package hw is a fixture stub of the types the ledger hands out.
+package hw
+
+// Extent mimics the simulator's physical extent.
+type Extent struct {
+	Start, Size uint64
+	Node        int
+}
+
+// Topology mimics the machine topology consulted for core placement.
+type Topology struct{}

@@ -1,0 +1,13 @@
+// Package pisces is a fixture stub of the real resource ledger surface.
+package pisces
+
+import "covirt/internal/hw"
+
+// Ledger mimics the Pisces resource ledger.
+type Ledger struct{}
+
+func (l *Ledger) AllocMemory(node int, size uint64) (hw.Extent, error) { return hw.Extent{}, nil }
+
+func (l *Ledger) AllocCores(topo *hw.Topology, node, n int) ([]int, error) { return nil, nil }
+
+func (l *Ledger) FreeMemory(e hw.Extent) {}

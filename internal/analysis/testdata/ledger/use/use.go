@@ -1,0 +1,34 @@
+// Package use exercises the ledger-conservation analyzer.
+package use
+
+import (
+	"covirt/internal/hw"
+	"covirt/internal/pisces"
+)
+
+func bad(l *pisces.Ledger, topo *hw.Topology) (hw.Extent, error) {
+	l.AllocMemory(0, 1<<20) // want: allocation discarded entirely
+
+	_, err := l.AllocMemory(0, 1<<20) // want: extent blank-assigned
+	if err != nil {
+		return hw.Extent{}, err
+	}
+
+	go l.AllocCores(topo, 0, 2) // want: unobservable under go
+
+	//covirt:allow ledger-conservation fixture: vetted exception
+	l.AllocMemory(1, 1<<20) // suppressed
+
+	ext, err := l.AllocMemory(0, 2<<20) // ok: extent owned, freed below
+	if err != nil {
+		return hw.Extent{}, err
+	}
+	defer l.FreeMemory(ext)
+
+	cores, err := l.AllocCores(topo, 0, 1) // ok: cores bound
+	if err != nil {
+		return hw.Extent{}, err
+	}
+	_ = cores
+	return ext, nil
+}

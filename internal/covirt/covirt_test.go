@@ -1,70 +1,58 @@
-package covirt
+package covirt_test
 
 import (
 	"strings"
 	"testing"
 	"time"
 
+	"covirt/internal/covirt"
 	"covirt/internal/hw"
 	"covirt/internal/kitten"
 	"covirt/internal/linuxhost"
 	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 	"covirt/internal/vmx"
 )
 
 // rig is a full simulated node: host OS, Pisces, Hobbes, and the Covirt
-// controller.
+// controller, assembled through the declarative testbed layer.
 type rig struct {
+	node *testbed.Node
 	h    *linuxhost.Host
-	ctrl *Controller
+	ctrl *covirt.Controller
 }
 
-func newRig(t *testing.T, defaults Features) *rig {
+func newRig(t *testing.T, defaults covirt.Features) *rig {
 	t.Helper()
 	spec := hw.DefaultSpec()
 	spec.MemPerNode = 2 << 30
-	m, err := hw.NewMachine(spec)
+	node, err := testbed.Spec{
+		Machine:      spec,
+		OfflineCores: []int{1, 2, 3, 7, 8, 9},
+		OfflineMem:   map[int]uint64{0: 512 << 20, 1: 512 << 20},
+		Covirt:       true,
+		Features:     defaults,
+	}.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := linuxhost.New(m)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := h.OfflineCores(1, 2, 3, 7, 8, 9); err != nil {
-		t.Fatal(err)
-	}
-	if err := h.OfflineMemory(0, 512<<20); err != nil {
-		t.Fatal(err)
-	}
-	if err := h.OfflineMemory(1, 512<<20); err != nil {
-		t.Fatal(err)
-	}
-	ctrl, err := Attach(m, h.Pisces, h.Master, defaults)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return &rig{h: h, ctrl: ctrl}
+	return &rig{node: node, h: node.Host, ctrl: node.Ctrl}
 }
 
 func (r *rig) boot(t *testing.T, name string, cores int, nodes []int, mem uint64) (*pisces.Enclave, *kitten.Kernel) {
 	t.Helper()
-	enc, err := r.h.Pisces.CreateEnclave(pisces.EnclaveSpec{
-		Name: name, NumCores: cores, Nodes: nodes, MemBytes: mem,
+	be, err := r.node.BootGuest(testbed.Guest{
+		Name: name, Cores: cores, Nodes: nodes, MemBytes: mem,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := kitten.New(kitten.Config{})
-	if err := r.h.Pisces.Boot(enc, k); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { _ = r.h.Pisces.Destroy(enc) })
-	return enc, k
+	t.Cleanup(func() { _ = r.h.Pisces.Destroy(be.Enc) })
+	return be.Enc, be.Kitten
 }
 
 func TestBootTransparencyUnderCovirt(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, k := r.boot(t, "lwk", 2, []int{0}, 128<<20)
 
 	// The kernel sees its normal Pisces environment and works normally.
@@ -98,7 +86,7 @@ func TestBootTransparencyUnderCovirt(t *testing.T) {
 	}
 	// The boot-parameter chain is intact: Covirt block points back at the
 	// unmodified Pisces block.
-	cbp, err := decodeBootParams(r.h.M.Mem, enc.Base()+pisces.OffCovirtParams)
+	cbp, err := covirt.DecodeBootParams(r.h.M.Mem, enc.Base()+pisces.OffCovirtParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +99,7 @@ func TestBootTransparencyUnderCovirt(t *testing.T) {
 }
 
 func TestWildWriteContained(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	// A host-side buffer standing in for "someone else's memory".
 	victim, err := r.h.HostAlloc(0, 4<<20)
 	if err != nil {
@@ -160,24 +148,25 @@ func TestWildWriteWithoutCovirtCorrupts(t *testing.T) {
 	// Same bug, no protection: the canary is corrupted and nothing stops it.
 	spec := hw.DefaultSpec()
 	spec.MemPerNode = 2 << 30
-	m, err := hw.NewMachine(spec)
+	node, err := testbed.Spec{
+		Machine:      spec,
+		OfflineCores: []int{1},
+		OfflineMem:   map[int]uint64{0: 256 << 20},
+	}.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, _ := linuxhost.New(m)
-	_ = h.OfflineCores(1)
-	_ = h.OfflineMemory(0, 256<<20)
+	h := node.Host
 	victim, _ := h.HostAlloc(0, 4<<20)
 	_ = h.PlantCanary(victim, 0x5A5A)
 
-	enc, _ := h.Pisces.CreateEnclave(pisces.EnclaveSpec{Name: "buggy", NumCores: 1, Nodes: []int{0}, MemBytes: 128 << 20})
-	k := kitten.New(kitten.Config{})
-	if err := h.Pisces.Boot(enc, k); err != nil {
+	be, err := node.BootGuest(testbed.Guest{Name: "buggy", Cores: 1, Nodes: []int{0}, MemBytes: 128 << 20})
+	if err != nil {
 		t.Fatal(err)
 	}
-	defer h.Pisces.Destroy(enc)
+	defer node.Close()
 
-	task, _ := k.Spawn("wild", 0, func(e *kitten.Env) error {
+	task, _ := be.Kitten.Spawn("wild", 0, func(e *kitten.Env) error {
 		return e.RawWrite64(victim.Start+8192, 0xBAD)
 	})
 	if err := task.Wait(); err != nil {
@@ -194,7 +183,7 @@ func TestWildUnbackedAccessContainedVsCrash(t *testing.T) {
 	// violation (contained). Natively it is a bus error that takes the
 	// node down (covered in hw tests); with covirt-none it becomes an
 	// abort the hypervisor can still contain if Abort is enabled.
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	_, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	task, _ := k.Spawn("wild", 0, func(e *kitten.Env) error {
 		_, err := e.RawRead64(0x10) // legacy low memory: unbacked
@@ -210,7 +199,7 @@ func TestWildUnbackedAccessContainedVsCrash(t *testing.T) {
 }
 
 func TestAbortContainment(t *testing.T) {
-	r := newRig(t, Features{Abort: true})
+	r := newRig(t, covirt.Features{Abort: true})
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	task, _ := k.Spawn("df", 0, func(e *kitten.Env) error {
 		return e.CPU.RaiseDoubleFault("corrupted IST")
@@ -228,7 +217,7 @@ func TestAbortContainment(t *testing.T) {
 }
 
 func TestAbortWithoutFeatureCrashesNode(t *testing.T) {
-	r := newRig(t, FeaturesNone) // no abort handling
+	r := newRig(t, covirt.FeaturesNone) // no abort handling
 	_, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	task, _ := k.Spawn("df", 0, func(e *kitten.Env) error {
 		return e.CPU.RaiseDoubleFault("corrupted IST")
@@ -243,7 +232,7 @@ func TestAbortWithoutFeatureCrashesNode(t *testing.T) {
 }
 
 func TestMemoryAddRemoveUnderCovirt(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, k := r.boot(t, "lwk", 2, []int{0}, 128<<20)
 	st := r.ctrl.StatusFor(enc.ID)
 	baseBytes := st.EPT.Bytes
@@ -286,7 +275,7 @@ func TestMemoryAddRemoveUnderCovirt(t *testing.T) {
 }
 
 func TestXememUnderCovirt(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	_, kA := r.boot(t, "producer", 1, []int{0}, 128<<20)
 	encB, kB := r.boot(t, "consumer", 1, []int{1}, 128<<20)
 
@@ -338,7 +327,7 @@ func TestStaleXememSegmentBugContained(t *testing.T) {
 	// Reproduce the paper's §V anecdote: a cleanup-path bug leaves a stale
 	// shared-memory mapping in the co-kernel after the host reclaimed it.
 	// The co-kernel then touches it "legitimately" (its own map says yes).
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	_, kA := r.boot(t, "producer", 1, []int{0}, 128<<20)
 	_, kB := r.boot(t, "consumer", 1, []int{1}, 128<<20)
 
@@ -382,14 +371,14 @@ func TestStaleXememSegmentBugContained(t *testing.T) {
 }
 
 func TestIPIFilteringVAPIC(t *testing.T) {
-	testIPIFiltering(t, FeaturesMemIPIVAPIC)
+	testIPIFiltering(t, covirt.FeaturesMemIPIVAPIC)
 }
 
 func TestIPIFilteringPIV(t *testing.T) {
-	testIPIFiltering(t, FeaturesMemIPIPIV)
+	testIPIFiltering(t, covirt.FeaturesMemIPIPIV)
 }
 
-func testIPIFiltering(t *testing.T, feat Features) {
+func testIPIFiltering(t *testing.T, feat covirt.Features) {
 	r := newRig(t, feat)
 	enc, k := r.boot(t, "lwk", 2, []int{0}, 128<<20)
 
@@ -432,7 +421,7 @@ func testIPIFiltering(t *testing.T, feat Features) {
 }
 
 func TestIPIGrantAllowsCrossEnclave(t *testing.T) {
-	r := newRig(t, FeaturesMemIPIPIV)
+	r := newRig(t, covirt.FeaturesMemIPIPIV)
 	encA, kA := r.boot(t, "a", 1, []int{0}, 128<<20)
 	encB, kB := r.boot(t, "b", 1, []int{1}, 128<<20)
 	_ = encB
@@ -498,7 +487,7 @@ func TestIPIGrantAllowsCrossEnclave(t *testing.T) {
 }
 
 func TestMSRProtection(t *testing.T) {
-	r := newRig(t, Features{MSR: true, Abort: true})
+	r := newRig(t, covirt.Features{MSR: true, Abort: true})
 	_, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	// Permitted MSR write goes through.
 	t1, _ := k.Spawn("ok", 0, func(e *kitten.Env) error {
@@ -521,10 +510,10 @@ func TestMSRProtection(t *testing.T) {
 }
 
 func TestIOProtection(t *testing.T) {
-	r := newRig(t, Features{IO: true, Abort: true})
+	r := newRig(t, covirt.Features{IO: true, Abort: true})
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	// Grant the serial port via the Covirt ioctl ABI.
-	if _, err := r.h.Pisces.Ioctl(IoctlGrantIO, GrantIOArgs{EnclaveID: enc.ID, Port: hw.PortSerialCOM1}); err != nil {
+	if _, err := r.h.Pisces.Ioctl(covirt.IoctlGrantIO, covirt.GrantIOArgs{EnclaveID: enc.ID, Port: hw.PortSerialCOM1}); err != nil {
 		t.Fatal(err)
 	}
 	sink := &hw.SerialSink{}
@@ -554,44 +543,43 @@ func TestIOProtection(t *testing.T) {
 }
 
 func TestIoctlABI(t *testing.T) {
-	r := newRig(t, FeaturesNone)
+	r := newRig(t, covirt.FeaturesNone)
 	enc, err := r.h.Pisces.CreateEnclave(pisces.EnclaveSpec{Name: "x", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Select features pre-boot via ioctl.
-	if _, err := r.h.Pisces.Ioctl(IoctlSetFeatures, SetFeaturesArgs{EnclaveID: enc.ID, Features: FeaturesMemIPIPIV}); err != nil {
+	if _, err := r.h.Pisces.Ioctl(covirt.IoctlSetFeatures, covirt.SetFeaturesArgs{EnclaveID: enc.ID, Features: covirt.FeaturesMemIPIPIV}); err != nil {
 		t.Fatal(err)
 	}
-	k := kitten.New(kitten.Config{})
-	if err := r.h.Pisces.Boot(enc, k); err != nil {
+	if _, err := r.node.BootInto(enc, testbed.Guest{Name: "x"}); err != nil {
 		t.Fatal(err)
 	}
 	defer r.h.Pisces.Destroy(enc)
 
-	stAny, err := r.h.Pisces.Ioctl(IoctlStatus, enc.ID)
+	stAny, err := r.h.Pisces.Ioctl(covirt.IoctlStatus, enc.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := stAny.(*Status)
-	if !st.Features.Memory || !st.Features.IPI || st.Features.IPIMode != IPIPostedInterrupt {
+	st := stAny.(*covirt.Status)
+	if !st.Features.Memory || !st.Features.IPI || st.Features.IPIMode != covirt.IPIPostedInterrupt {
 		t.Errorf("features = %v", st.Features)
 	}
 	// Post-boot feature changes are rejected.
-	if err := r.ctrl.SetFeatures(enc.ID, FeaturesNone); err == nil {
+	if err := r.ctrl.SetFeatures(enc.ID, covirt.FeaturesNone); err == nil {
 		t.Error("post-boot SetFeatures accepted")
 	}
 	// Unknown ioctls and bad args fail cleanly.
 	if _, err := r.h.Pisces.Ioctl(0xDEAD, nil); err == nil {
 		t.Error("unknown ioctl accepted")
 	}
-	if _, err := r.h.Pisces.Ioctl(IoctlStatus, "nope"); err == nil {
+	if _, err := r.h.Pisces.Ioctl(covirt.IoctlStatus, "nope"); err == nil {
 		t.Error("bad ioctl arg accepted")
 	}
 }
 
 func TestCrashReclaimsResourcesAndCleansState(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	free0 := r.h.EnclaveLedger.FreeBytes(0)
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	task, _ := k.Spawn("wild", 0, func(e *kitten.Env) error {
@@ -614,7 +602,7 @@ func TestRebootAfterCrashReusesCores(t *testing.T) {
 	// After a contained crash the master reclaims the enclave's cores and
 	// memory; a new enclave booted on the same hardware must start clean
 	// (no kill latch, no stale hypervisor, no stale TLB entries).
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc1, k1 := r.boot(t, "first", 1, []int{0}, 128<<20)
 	firstCores := append([]int(nil), enc1.Cores...)
 
@@ -657,7 +645,7 @@ func TestRebootAfterCrashReusesCores(t *testing.T) {
 func TestNativeRebootAfterCovirtEnclave(t *testing.T) {
 	// A native (unprotected) enclave booted on cores previously managed
 	// by a Covirt hypervisor must not inherit the old VirtLayer.
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc1, _ := r.boot(t, "protected", 1, []int{0}, 128<<20)
 	if err := r.h.Pisces.Destroy(enc1); err != nil {
 		t.Fatal(err)
@@ -670,10 +658,11 @@ func TestNativeRebootAfterCovirtEnclave(t *testing.T) {
 	// covirt-none still interposes; to get a truly bare boot the rig
 	// would omit the controller — here we just verify the old enclave's
 	// EPT is gone and the new interposition is fresh.
-	k := kitten.New(kitten.Config{})
-	if err := r.h.Pisces.Boot(enc2, k); err != nil {
+	be, err := r.node.BootInto(enc2, testbed.Guest{Name: "bare"})
+	if err != nil {
 		t.Fatal(err)
 	}
+	k := be.Kitten
 	defer r.h.Pisces.Destroy(enc2)
 	if cpu := k.CPU(0); cpu.Virt == nil {
 		t.Fatal("controller did not interpose on reboot")
@@ -689,7 +678,7 @@ func TestNativeRebootAfterCovirtEnclave(t *testing.T) {
 }
 
 func TestExitStatisticsAccumulate(t *testing.T) {
-	r := newRig(t, FeaturesMemIPIVAPIC)
+	r := newRig(t, covirt.FeaturesMemIPIVAPIC)
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	task, _ := k.Spawn("loop", 0, func(e *kitten.Env) error {
 		buf := e.Alloc(0, 2<<20)

@@ -1,0 +1,22 @@
+package covirt
+
+import "covirt/internal/pisces"
+
+// Test-only exports for the external covirt_test package, which builds its
+// fixtures through internal/testbed (a package that imports covirt, so the
+// tests cannot live inside this package).
+
+// DecodeBootParams exposes decodeBootParams.
+var DecodeBootParams = decodeBootParams
+
+// HasState reports whether the controller holds live state for enc.
+func (c *Controller) HasState(enc *pisces.Enclave) bool { return c.stateFor(enc) != nil }
+
+// EPTMapped reports whether enc's EPT currently maps addr.
+func (c *Controller) EPTMapped(enc *pisces.Enclave, addr uint64) bool {
+	st := c.stateFor(enc)
+	return st != nil && st.ept.Mapped(addr)
+}
+
+// StackDepth exposes the hypervisor's current nested exit-handling depth.
+func (h *Hypervisor) StackDepth() int { return h.stackDepth }

@@ -1,14 +1,15 @@
-package covirt
+package covirt_test
 
 import (
 	"testing"
 
+	"covirt/internal/covirt"
 	"covirt/internal/hw"
 	"covirt/internal/kitten"
 )
 
 func TestCPUHotAddRunsProtectedWork(t *testing.T) {
-	r := newRig(t, FeaturesMemIPIPIV)
+	r := newRig(t, covirt.FeaturesMemIPIPIV)
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	if k.NumCores() != 1 {
 		t.Fatalf("cores = %d", k.NumCores())
@@ -58,7 +59,7 @@ func TestCPUHotAddRunsProtectedWork(t *testing.T) {
 }
 
 func TestCPUHotAddJoinsFlushProtocol(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	if _, err := r.h.Pisces.AddCPU(enc, 0); err != nil {
 		t.Fatal(err)
@@ -88,7 +89,7 @@ func TestCPUHotAddJoinsFlushProtocol(t *testing.T) {
 }
 
 func TestCPUHotRemove(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	core, err := r.h.Pisces.AddCPU(enc, 0)
 	if err != nil {
@@ -121,7 +122,7 @@ func TestCPUHotRemove(t *testing.T) {
 }
 
 func TestCPUHotRemoveRefusals(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, _ := r.boot(t, "lwk", 2, []int{0}, 128<<20)
 	// The boot core can never be removed.
 	if err := r.h.Pisces.RemoveCPU(enc, enc.Cores[0]); err == nil {

@@ -1,8 +1,9 @@
-package covirt
+package covirt_test
 
 import (
 	"testing"
 
+	"covirt/internal/covirt"
 	"covirt/internal/hobbes"
 	"covirt/internal/hw"
 	"covirt/internal/kitten"
@@ -12,7 +13,7 @@ import (
 // the time the mem-add event propagates (and hence before the enclave is
 // told about the memory), the extent is already present in the EPT.
 func TestMapBeforeNotifyOrdering(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, _ := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 
 	var sawMapped bool
@@ -20,9 +21,8 @@ func TestMapBeforeNotifyOrdering(t *testing.T) {
 	// the same event.
 	r.h.Master.Bus.Subscribe(func(ev *hobbes.Event) error {
 		if ev.Kind == hobbes.EvMemAddPre && ev.Enclave == enc {
-			st := r.ctrl.stateFor(enc)
 			for _, x := range ev.Extents {
-				if st.ept.Mapped(x.Start) && st.ept.Mapped(x.End()-hw.PageSize4K) {
+				if r.ctrl.EPTMapped(enc, x.Start) && r.ctrl.EPTMapped(enc, x.End()-hw.PageSize4K) {
 					sawMapped = true
 				}
 			}
@@ -42,7 +42,7 @@ func TestMapBeforeNotifyOrdering(t *testing.T) {
 // for the removed range — even cores that never ran a task during the
 // operation (their flush is NMI-driven in the idle loop).
 func TestUnmapFlushBeforeReclaim(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, k := r.boot(t, "lwk", 2, []int{0}, 128<<20)
 	ext, err := r.h.Pisces.AddMemory(enc, 0, 32<<20)
 	if err != nil {
@@ -81,7 +81,7 @@ func TestUnmapFlushBeforeReclaim(t *testing.T) {
 // (memory grant) does not stop a concurrently running guest: the update is
 // asynchronous with respect to the enclave's execution.
 func TestAsyncUpdateDoesNotPauseEnclave(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, k := r.boot(t, "lwk", 2, []int{0}, 256<<20)
 
 	stop := make(chan struct{})
@@ -127,7 +127,7 @@ func TestAsyncUpdateDoesNotPauseEnclave(t *testing.T) {
 // property: exit handling never exceeds the fixed 8 KiB stack and always
 // unwinds fully.
 func TestHypervisorStackBudget(t *testing.T) {
-	r := newRig(t, FeaturesAll)
+	r := newRig(t, covirt.FeaturesAll)
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
 	task, _ := k.Spawn("exits", 0, func(e *kitten.Env) error {
 		for i := 0; i < 50; i++ {
@@ -145,8 +145,8 @@ func TestHypervisorStackBudget(t *testing.T) {
 	if hv == nil {
 		t.Fatal("no hypervisor")
 	}
-	if hv.stackDepth != 0 {
-		t.Errorf("stack depth %d after exits; leak", hv.stackDepth)
+	if d := hv.StackDepth(); d != 0 {
+		t.Errorf("stack depth %d after exits; leak", d)
 	}
 	if exits, _ := hv.Stats().Total(); exits < 100 {
 		t.Errorf("exits = %d", exits)
@@ -156,15 +156,15 @@ func TestHypervisorStackBudget(t *testing.T) {
 // TestControllerRejectsDoubleAttachState exercises buildState error paths:
 // booting an enclave whose extents were (incorrectly) already mapped.
 func TestControllerStateLifecycle(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	enc, _ := r.boot(t, "lwk", 1, []int{0}, 128<<20)
-	if r.ctrl.stateFor(enc) == nil {
+	if !r.ctrl.HasState(enc) {
 		t.Fatal("no controller state while running")
 	}
 	if err := r.h.Pisces.Destroy(enc); err != nil {
 		t.Fatal(err)
 	}
-	if r.ctrl.stateFor(enc) != nil {
+	if r.ctrl.HasState(enc) {
 		t.Error("controller state survived destroy")
 	}
 	if r.ctrl.StatusFor(enc.ID) != nil {

@@ -1,15 +1,16 @@
-package covirt
+package covirt_test
 
 import (
 	"strings"
 	"testing"
 
+	"covirt/internal/covirt"
 	"covirt/internal/hw"
 	"covirt/internal/kitten"
 )
 
 func TestFlightRecorderCapturesDiagnosis(t *testing.T) {
-	r := newRig(t, FeaturesMem)
+	r := newRig(t, covirt.FeaturesMem)
 	buf := r.ctrl.EnableTracing(512)
 	if r.ctrl.EnableTracing(512) != buf {
 		t.Fatal("second EnableTracing returned a different buffer")

@@ -18,6 +18,9 @@ type Options struct {
 	// Full selects the paper's full problem sizes instead of the scaled
 	// simulation defaults.
 	Full bool
+	// Parallel caps the engine's concurrent jobs (<= 0 selects
+	// runtime.GOMAXPROCS(0)). Output is byte-identical at any setting.
+	Parallel int
 }
 
 func (o Options) reps() int {
@@ -26,6 +29,8 @@ func (o Options) reps() int {
 	}
 	return o.Reps
 }
+
+func (o Options) engine() Engine { return Engine{Workers: o.Parallel} }
 
 // Experiment regenerates one table or figure from the paper.
 type Experiment struct {
@@ -122,15 +127,20 @@ func RunFig3(opt Options, w io.Writer) error {
 		dur = 4e9
 	}
 	configs := append(append([]Config{}, StandardConfigs...), CfgCovirtAll)
+	jobs := make([]*Job, len(configs))
+	for i, cfg := range configs {
+		jobs[i] = &Job{Experiment: "fig3", Config: cfg, Layout: SingleCore,
+			Workload: &workloads.Selfish{DurationCycles: dur}}
+	}
+	results := opt.engine().Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "config\tdetours\tmax detour (us)\tlost time (%)\tseries (ms: us)")
-	for _, cfg := range configs {
-		sw := &workloads.Selfish{DurationCycles: dur}
-		results, err := RunWorkload(cfg, SingleCore, NodeOptions{}, sw, 1)
-		if err != nil {
-			return err
-		}
-		r := results[0]
+	for i, cfg := range configs {
+		sw := jobs[i].Workload.(*workloads.Selfish)
+		r := results[i].Res
 		// The figure's scatter: detour magnitude (us) at time offset (ms).
 		series := ""
 		for i, d := range sw.Detours {
@@ -158,50 +168,34 @@ func RunFig3(opt Options, w io.Writer) error {
 func RunFig4(opt Options, w io.Writer) error {
 	sizesMB := []uint64{1, 4, 16, 64, 256, 1024}
 	configs := []Config{CfgNative, CfgCovirtMem}
-	table := make(map[string]map[uint64]Stats)
+	reps := opt.reps()
 
+	var jobs []*Job
+	for _, cfg := range configs {
+		for _, mb := range sizesMB {
+			for rep := 0; rep < reps; rep++ {
+				mb := mb
+				jobs = append(jobs, &Job{
+					Experiment: "fig4", Config: cfg, Layout: SingleCore, Rep: rep,
+					Run: func(j *Job) (*workloads.Result, error) { return fig4Attach(j, mb) },
+				})
+			}
+		}
+	}
+	results := opt.engine().Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+
+	table := make(map[string]map[uint64]Stats)
+	i := 0
 	for _, cfg := range configs {
 		table[cfg.Name] = make(map[uint64]Stats)
 		for _, mb := range sizesMB {
-			size := mb << 20
 			var samples []float64
-			for rep := 0; rep < opt.reps(); rep++ {
-				n, err := NewNode(cfg, SingleCore, NodeOptions{})
-				if err != nil {
-					return err
-				}
-				// Host exports a segment of its own memory.
-				seg, err := n.Host.HostAlloc(0, size)
-				if err != nil {
-					n.Close()
-					return err
-				}
-				name := fmt.Sprintf("fig4.%d.%d", mb, rep)
-				if _, err := n.Host.Master.Reg.Make(hashName(name), 0, []hw.Extent{seg}); err != nil {
-					n.Close()
-					return err
-				}
-				var delay uint64
-				task, err := n.K.Spawn("attach", 0, func(e *kitten.Env) error {
-					segid, err := e.XemGet(name)
-					if err != nil {
-						return err
-					}
-					t0 := e.CPU.TSC
-					if _, err := e.XemAttach(segid); err != nil {
-						return err
-					}
-					delay = e.CPU.TSC - t0
-					return e.XemDetach(segid)
-				})
-				if err == nil {
-					err = task.Wait()
-				}
-				n.Close()
-				if err != nil {
-					return err
-				}
-				samples = append(samples, float64(delay)/workloads.CyclesPerSecond*1e6)
+			for rep := 0; rep < reps; rep++ {
+				samples = append(samples, results[i].Res.Metric("attach_us"))
+				i++
 			}
 			table[cfg.Name][mb] = Summarize(samples)
 		}
@@ -223,6 +217,48 @@ func RunFig4(opt Options, w io.Writer) error {
 	return tw.Flush()
 }
 
+// fig4Attach is Fig. 4's per-job measurement: the host exports a segment
+// of mb MiB and the guest samples the TSC around a full XEMEM attach.
+func fig4Attach(j *Job, mb uint64) (*workloads.Result, error) {
+	n, err := NewNode(j.Config, j.Layout, j.Opt)
+	if err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	// Host exports a segment of its own memory.
+	seg, err := n.Host.HostAlloc(0, mb<<20)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("fig4.%d.%d", mb, j.Rep)
+	if _, err := n.Host.Master.Reg.Make(hashName(name), 0, []hw.Extent{seg}); err != nil {
+		return nil, err
+	}
+	var delay uint64
+	task, err := n.K.Spawn("attach", 0, func(e *kitten.Env) error {
+		segid, err := e.XemGet(name)
+		if err != nil {
+			return err
+		}
+		t0 := e.CPU.TSC
+		if _, err := e.XemAttach(segid); err != nil {
+			return err
+		}
+		delay = e.CPU.TSC - t0
+		return e.XemDetach(segid)
+	})
+	if err == nil {
+		err = task.Wait()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &workloads.Result{
+		Name: "fig4-attach", Threads: 1, Cycles: delay,
+		Metrics: map[string]float64{"attach_us": float64(delay) / workloads.CyclesPerSecond * 1e6},
+	}, nil
+}
+
 // hashName mirrors the co-kernel side's FNV-1a name hashing.
 func hashName(s string) uint64 {
 	var h uint64 = 0xcbf29ce484222325
@@ -233,19 +269,59 @@ func hashName(s string) uint64 {
 	return h
 }
 
+// matrix enumerates reps jobs per (config, layout) cell in row-major
+// order: configs outermost, then layouts, then repetitions. mk builds a
+// fresh workload instance per job (workloads carry per-run state and must
+// never be shared across concurrently executing jobs).
+func matrix(exp string, opt Options, configs []Config, layouts []Layout, mk func() workloads.Runner) []*Job {
+	reps := opt.reps()
+	jobs := make([]*Job, 0, len(configs)*len(layouts)*reps)
+	for _, cfg := range configs {
+		for _, layout := range layouts {
+			for rep := 0; rep < reps; rep++ {
+				jobs = append(jobs, &Job{
+					Experiment: exp, Config: cfg, Layout: layout,
+					Workload: mk(), Rep: rep,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// cellMeans reduces an engine result slice produced from a matrix() job
+// list back to one value per (config, layout) cell: metric extracts the
+// figure from each repetition, and the per-cell repetitions are averaged.
+// The returned slice is cell-major in the same enumeration order.
+func cellMeans(results []JobResult, reps int, metric func(*workloads.Result) float64) []float64 {
+	means := make([]float64, 0, len(results)/reps)
+	for i := 0; i < len(results); i += reps {
+		var vals []float64
+		for r := 0; r < reps; r++ {
+			vals = append(vals, metric(results[i+r].Res))
+		}
+		means = append(means, Summarize(vals).Mean)
+	}
+	return means
+}
+
 // RunFig5a reproduces the STREAM comparison across configurations.
 func RunFig5a(opt Options, w io.Writer) error {
 	kernels := []string{"copy_GBs", "scale_GBs", "add_GBs", "triad_GBs"}
+	jobs := matrix("fig5a", opt, StandardConfigs, []Layout{SingleCore},
+		func() workloads.Runner { return mkStream(opt) })
+	results := opt.engine().Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "config\tcopy (GB/s)\tscale (GB/s)\tadd (GB/s)\ttriad (GB/s)\ttriad overhead (%)")
 	var baseTriad float64
-	for _, cfg := range StandardConfigs {
+	reps := opt.reps()
+	for ci, cfg := range StandardConfigs {
 		stats := make(map[string][]float64)
-		results, err := RunWorkload(cfg, SingleCore, NodeOptions{}, mkStream(opt), opt.reps())
-		if err != nil {
-			return err
-		}
-		for _, r := range results {
+		for rep := 0; rep < reps; rep++ {
+			r := results[ci*reps+rep].Res
 			for _, kn := range kernels {
 				stats[kn] = append(stats[kn], r.Metric(kn))
 			}
@@ -267,19 +343,18 @@ func RunFig5a(opt Options, w io.Writer) error {
 
 // RunFig5b reproduces the RandomAccess (GUPS) comparison.
 func RunFig5b(opt Options, w io.Writer) error {
+	jobs := matrix("fig5b", opt, StandardConfigs, []Layout{SingleCore},
+		func() workloads.Runner { return mkGUPS(opt) })
+	results := opt.engine().Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+	means := cellMeans(results, opt.reps(), func(r *workloads.Result) float64 { return r.Metric("GUPS") })
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "config\tGUPS\toverhead (%)")
 	var base float64
-	for _, cfg := range StandardConfigs {
-		results, err := RunWorkload(cfg, SingleCore, NodeOptions{}, mkGUPS(opt), opt.reps())
-		if err != nil {
-			return err
-		}
-		var vals []float64
-		for _, r := range results {
-			vals = append(vals, r.Metric("GUPS"))
-		}
-		gups := Summarize(vals).Mean
+	for ci, cfg := range StandardConfigs {
+		gups := means[ci]
 		if cfg.Name == CfgNative.Name {
 			base = gups
 		}
@@ -288,23 +363,37 @@ func RunFig5b(opt Options, w io.Writer) error {
 	return tw.Flush()
 }
 
-// runScaling shares the Fig. 6/7 structure: one workload over all hardware
-// layouts and configurations, reporting solve time and overhead vs native.
-func runScaling(opt Options, w io.Writer, mk func(Options) workloads.Runner) error {
+// runScaling shares the Fig. 6/7 structure: one workload over the given
+// hardware layouts and all configurations, reporting solve time and
+// overhead vs native.
+func runScaling(exp string, opt Options, w io.Writer, layouts []Layout, mk func(Options) workloads.Runner) error {
+	// Layouts outermost to preserve the historical row order; the engine
+	// preserves enumeration order either way.
+	var jobs []*Job
+	reps := opt.reps()
+	for _, layout := range layouts {
+		for _, cfg := range StandardConfigs {
+			for rep := 0; rep < reps; rep++ {
+				jobs = append(jobs, &Job{
+					Experiment: exp, Config: cfg, Layout: layout,
+					Workload: mk(opt), Rep: rep,
+				})
+			}
+		}
+	}
+	results := opt.engine().Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+	means := cellMeans(results, reps, func(r *workloads.Result) float64 { return workloads.Seconds(r.Cycles) })
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "layout\tconfig\ttime (s)\toverhead vs native (%)")
-	for _, layout := range Layouts {
+	cell := 0
+	for _, layout := range layouts {
 		var base float64
 		for _, cfg := range StandardConfigs {
-			results, err := RunWorkload(cfg, layout, NodeOptions{}, mk(opt), opt.reps())
-			if err != nil {
-				return err
-			}
-			var secs []float64
-			for _, r := range results {
-				secs = append(secs, workloads.Seconds(r.Cycles))
-			}
-			mean := Summarize(secs).Mean
+			mean := means[cell]
+			cell++
 			if cfg.Name == CfgNative.Name {
 				base = mean
 			}
@@ -316,32 +405,43 @@ func runScaling(opt Options, w io.Writer, mk func(Options) workloads.Runner) err
 
 // RunFig6 reproduces the MiniFE scaling comparison.
 func RunFig6(opt Options, w io.Writer) error {
-	return runScaling(opt, w, func(o Options) workloads.Runner { return mkMiniFE(o) })
+	return runScaling("fig6", opt, w, Layouts, func(o Options) workloads.Runner { return mkMiniFE(o) })
 }
 
 // RunFig7 reproduces the HPCG scaling comparison.
 func RunFig7(opt Options, w io.Writer) error {
-	return runScaling(opt, w, func(o Options) workloads.Runner { return mkHPCG(o) })
+	return runScaling("fig7", opt, w, Layouts, func(o Options) workloads.Runner { return mkHPCG(o) })
 }
 
 // RunFig8 reproduces the LAMMPS loop-time comparison (8 cores across 2
 // NUMA domains, the four stock problems).
 func RunFig8(opt Options, w io.Writer) error {
 	problems := []workloads.LammpsProblem{workloads.LJ, workloads.EAM, workloads.Chain, workloads.Chute}
+	reps := opt.reps()
+	var jobs []*Job
+	for _, p := range problems {
+		for _, cfg := range StandardConfigs {
+			for rep := 0; rep < reps; rep++ {
+				jobs = append(jobs, &Job{
+					Experiment: "fig8", Config: cfg, Layout: EightCore,
+					Workload: mkLammps(opt, p), Rep: rep,
+				})
+			}
+		}
+	}
+	results := opt.engine().Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+	means := cellMeans(results, reps, func(r *workloads.Result) float64 { return r.Metric("loop_time_s") })
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "problem\tconfig\tloop time (s)\toverhead vs native (%)")
+	cell := 0
 	for _, p := range problems {
 		var base float64
 		for _, cfg := range StandardConfigs {
-			results, err := RunWorkload(cfg, EightCore, NodeOptions{}, mkLammps(opt, p), opt.reps())
-			if err != nil {
-				return err
-			}
-			var secs []float64
-			for _, r := range results {
-				secs = append(secs, r.Metric("loop_time_s"))
-			}
-			mean := Summarize(secs).Mean
+			mean := means[cell]
+			cell++
 			if cfg.Name == CfgNative.Name {
 				base = mean
 			}

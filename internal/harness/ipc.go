@@ -33,90 +33,29 @@ type ipcCosts struct {
 // only the notification path (IPIs) pays for its protection, and posted
 // interrupts reclaim the receiver's share.
 func RunIPC(opt Options, w io.Writer) error {
-	const vector = 0x73
 	configs := []Config{CfgNative, CfgCovirtNone, CfgCovirtMem, CfgCovirtVAPIC, CfgCovirtPIV}
+	jobs := make([]*Job, len(configs))
+	for i, cfg := range configs {
+		jobs[i] = &Job{
+			Experiment: "ipc", Config: cfg,
+			Layout: Layout{Name: "2c/2n", Cores: 2, Nodes: []int{0, 1}},
+			Opt:    NodeOptions{EnclaveMem: 2 << 30},
+			Run:    ipcMeasure,
+		}
+	}
+	jres := opt.engine().Run(jobs)
+	if err := FirstErr(jres); err != nil {
+		return err
+	}
 	results := make(map[string]ipcCosts)
-
-	for _, cfg := range configs {
-		n, err := NewNode(cfg, Layout{Name: "2c/2n", Cores: 2, Nodes: []int{0, 1}}, NodeOptions{EnclaveMem: 2 << 30})
-		if err != nil {
-			return err
+	for i, cfg := range configs {
+		r := jres[i].Res
+		results[cfg.Name] = ipcCosts{
+			shmWrite: uint64(r.Metric("shm_write_cyc")),
+			shmRead:  uint64(r.Metric("shm_read_cyc")),
+			ipiSend:  uint64(r.Metric("ipi_send_cyc")),
+			ipiRecv:  uint64(r.Metric("ipi_recv_cyc")),
 		}
-		var c ipcCosts
-
-		// Receiver-side bookkeeping: average delivery cost measured on the
-		// receiving core across many notifications.
-		recvCore := n.K.CPU(1)
-		n.K.OnIPI(vector, func(*kitten.Env) {})
-
-		// Shared-memory data path: producer exports, same-enclave core
-		// attaches via the full XEMEM protocol. (Cross-enclave attach uses
-		// the identical path; one enclave keeps the measurement loop on a
-		// single clock.)
-		task, err := n.K.Spawn("ipc-measure", 0, func(e *kitten.Env) error {
-			seg := e.Alloc(0, 4<<20)
-			if _, err := e.XemMake("ipc.seg", seg); err != nil {
-				return err
-			}
-			// Warm the translation, then measure steady-state data ops.
-			e.Write64(seg.Start, 1)
-			const dataOps = 256
-			t0 := e.CPU.TSC
-			for i := 0; i < dataOps; i++ {
-				e.Write64(seg.Start+uint64(i%64)*8, uint64(i))
-			}
-			c.shmWrite = (e.CPU.TSC - t0) / dataOps
-			t0 = e.CPU.TSC
-			var sink uint64
-			for i := 0; i < dataOps; i++ {
-				sink += e.Read64(seg.Start + uint64(i%64)*8)
-			}
-			c.shmRead = (e.CPU.TSC - t0) / dataOps
-			_ = sink
-
-			// Notification path: send a burst of granted IPIs.
-			const sends = 64
-			t0 = e.CPU.TSC
-			for i := 0; i < sends; i++ {
-				e.SendIPI(1, vector)
-			}
-			c.ipiSend = (e.CPU.TSC - t0) / sends
-			return nil
-		})
-		if err != nil {
-			n.Close()
-			return err
-		}
-		if err := task.Wait(); err != nil {
-			n.Close()
-			return err
-		}
-
-		// Receiver cost: a self-notification on core 1 includes both the
-		// send and the delivery (recognized at the send's instruction
-		// boundary); subtracting the send-only cost measured on core 0
-		// isolates the receiver's share.
-		recv, err := n.K.Spawn("recv", 1, func(e *kitten.Env) error {
-			e.Compute(0) // drain anything pending before measuring
-			t0 := e.CPU.TSC
-			e.SendIPI(1, vector) // self-notification through the same path
-			total := e.CPU.TSC - t0
-			if total > c.ipiSend {
-				c.ipiRecv = total - c.ipiSend
-			}
-			return nil
-		})
-		if err != nil {
-			n.Close()
-			return err
-		}
-		if err := recv.Wait(); err != nil {
-			n.Close()
-			return err
-		}
-		_ = recvCore
-		results[cfg.Name] = c
-		n.Close()
 	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -129,6 +68,101 @@ func RunIPC(opt Options, w io.Writer) error {
 		return err
 	}
 	base := results[CfgNative.Name]
+	return ipcNarrative(w, results, base)
+}
+
+// ipcMeasure is the per-config engine job: it builds the node, runs the
+// data-path and notification-path measurement tasks, and reports the four
+// per-operation costs as result metrics.
+func ipcMeasure(j *Job) (*workloads.Result, error) {
+	const vector = 0x73
+	n, err := NewNode(j.Config, j.Layout, j.Opt)
+	if err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	var c ipcCosts
+
+	// Receiver-side bookkeeping: average delivery cost measured on the
+	// receiving core across many notifications.
+	recvCore := n.K.CPU(1)
+	n.K.OnIPI(vector, func(*kitten.Env) {})
+
+	// Shared-memory data path: producer exports, same-enclave core
+	// attaches via the full XEMEM protocol. (Cross-enclave attach uses
+	// the identical path; one enclave keeps the measurement loop on a
+	// single clock.)
+	task, err := n.K.Spawn("ipc-measure", 0, func(e *kitten.Env) error {
+		seg := e.Alloc(0, 4<<20)
+		if _, err := e.XemMake("ipc.seg", seg); err != nil {
+			return err
+		}
+		// Warm the translation, then measure steady-state data ops.
+		e.Write64(seg.Start, 1)
+		const dataOps = 256
+		t0 := e.CPU.TSC
+		for i := 0; i < dataOps; i++ {
+			e.Write64(seg.Start+uint64(i%64)*8, uint64(i))
+		}
+		c.shmWrite = (e.CPU.TSC - t0) / dataOps
+		t0 = e.CPU.TSC
+		var sink uint64
+		for i := 0; i < dataOps; i++ {
+			sink += e.Read64(seg.Start + uint64(i%64)*8)
+		}
+		c.shmRead = (e.CPU.TSC - t0) / dataOps
+		_ = sink
+
+		// Notification path: send a burst of granted IPIs.
+		const sends = 64
+		t0 = e.CPU.TSC
+		for i := 0; i < sends; i++ {
+			e.SendIPI(1, vector)
+		}
+		c.ipiSend = (e.CPU.TSC - t0) / sends
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := task.Wait(); err != nil {
+		return nil, err
+	}
+
+	// Receiver cost: a self-notification on core 1 includes both the
+	// send and the delivery (recognized at the send's instruction
+	// boundary); subtracting the send-only cost measured on core 0
+	// isolates the receiver's share.
+	recv, err := n.K.Spawn("recv", 1, func(e *kitten.Env) error {
+		e.Compute(0) // drain anything pending before measuring
+		t0 := e.CPU.TSC
+		e.SendIPI(1, vector) // self-notification through the same path
+		total := e.CPU.TSC - t0
+		if total > c.ipiSend {
+			c.ipiRecv = total - c.ipiSend
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := recv.Wait(); err != nil {
+		return nil, err
+	}
+	_ = recvCore
+	return &workloads.Result{
+		Name: "ipc", Threads: 2,
+		Metrics: map[string]float64{
+			"shm_write_cyc": float64(c.shmWrite),
+			"shm_read_cyc":  float64(c.shmRead),
+			"ipi_send_cyc":  float64(c.ipiSend),
+			"ipi_recv_cyc":  float64(c.ipiRecv),
+		},
+	}, nil
+}
+
+// ipcNarrative prints the paper-facing interpretation under the table.
+func ipcNarrative(w io.Writer, results map[string]ipcCosts, base ipcCosts) error {
 	worst := results[CfgCovirtVAPIC.Name]
 	fmt.Fprintf(w, "\ndata path: identical across configurations (%d-cycle stores) — no\n", base.shmWrite)
 	fmt.Fprintf(w, "virtualization-layer invocation on loads/stores to shared mappings.\n")

@@ -8,6 +8,7 @@ import (
 	"covirt/internal/kitten"
 	"covirt/internal/linuxhost"
 	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 	"covirt/internal/workloads"
 )
 
@@ -35,82 +36,50 @@ type Node struct {
 	Ctrl *covirt.Controller
 	Enc  *pisces.Enclave
 	K    *kitten.Kernel
+
+	tb *testbed.Node
 }
 
-// NewNode builds and boots a node for the given configuration and layout.
+// NewNode builds and boots a node for the given configuration and layout
+// through the declarative testbed layer.
 func NewNode(cfg Config, layout Layout, opt NodeOptions) (*Node, error) {
-	spec := opt.MachineSpec
-	if spec.NumNodes == 0 {
-		spec = hw.DefaultSpec()
-	}
-	m, err := hw.NewMachine(spec)
-	if err != nil {
-		return nil, err
-	}
-	host, err := linuxhost.New(m)
-	if err != nil {
-		return nil, err
-	}
-
-	// Offline the enclave's resources: cores round-robin from the layout's
-	// nodes (leaving core 0 of node 0 for the host), plus memory.
-	perNode := make(map[int]int)
-	for i := 0; i < layout.Cores; i++ {
-		perNode[layout.Nodes[i%len(layout.Nodes)]]++
-	}
-	for node, want := range perNode {
-		cores := m.Topo.Nodes[node].Cores
-		avail := cores[1:] // keep the first core of each node for the host
-		if want > len(avail) {
-			return nil, fmt.Errorf("harness: layout %s wants %d cores on node %d, machine has %d offline-able", layout.Name, want, node, len(avail))
-		}
-		if err := host.OfflineCores(avail[:want]...); err != nil {
-			return nil, err
-		}
-	}
 	encMem := opt.EnclaveMem
 	if encMem == 0 {
 		encMem = 14 << 30 // the paper's enclave size
 	}
-	per := encMem / uint64(len(layout.Nodes))
-	for _, node := range layout.Nodes {
-		if err := host.OfflineMemory(node, per); err != nil {
-			return nil, err
-		}
+	spec := testbed.Spec{
+		Machine:  opt.MachineSpec,
+		Covirt:   cfg.Covirt,
+		Features: cfg.Features,
+		Guests: []testbed.Guest{{
+			Name:          "bench-" + cfg.Name,
+			Kind:          testbed.Kitten,
+			Cores:         layout.Cores,
+			Nodes:         layout.Nodes,
+			MemBytes:      encMem,
+			TimerInterval: opt.TimerInterval,
+		}},
 	}
-
-	n := &Node{Cfg: cfg, Layout: layout, M: m, Host: host}
-	if cfg.Covirt {
-		ctrl, err := covirt.Attach(m, host.Pisces, host.Master, cfg.Features)
-		if err != nil {
-			return nil, err
-		}
-		n.Ctrl = ctrl
-	}
-
-	enc, err := host.Pisces.CreateEnclave(pisces.EnclaveSpec{
-		Name:     "bench-" + cfg.Name,
-		NumCores: layout.Cores,
-		Nodes:    layout.Nodes,
-		MemBytes: encMem,
-	})
+	tb, err := spec.Build()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("harness: layout %s: %w", layout.Name, err)
 	}
-	n.Enc = enc
-
-	k := kitten.New(kitten.Config{TimerInterval: opt.TimerInterval})
-	if err := host.Pisces.Boot(enc, k); err != nil {
-		return nil, err
-	}
-	n.K = k
-	return n, nil
+	return &Node{
+		Cfg:    cfg,
+		Layout: layout,
+		M:      tb.M,
+		Host:   tb.Host,
+		Ctrl:   tb.Ctrl,
+		Enc:    tb.Enc(),
+		K:      tb.Kitten(),
+		tb:     tb,
+	}, nil
 }
 
 // Close tears the enclave down.
 func (n *Node) Close() {
-	if n.Enc != nil {
-		_ = n.Host.Pisces.Destroy(n.Enc)
+	if n.tb != nil {
+		n.tb.Close()
 	}
 }
 
@@ -125,12 +94,12 @@ func RunWorkload(cfg Config, layout Layout, opt NodeOptions, w workloads.Runner,
 	for rep := 0; rep < reps; rep++ {
 		n, err := NewNode(cfg, layout, opt)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", cfg.Name, layout.Name, err)
+			return nil, fmt.Errorf("%s/%s rep %d/%d: %w", cfg.Name, layout.Name, rep+1, reps, err)
 		}
 		res, err := w.Run(n.K, layout.Cores)
 		n.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", cfg.Name, layout.Name, err)
+			return nil, fmt.Errorf("%s/%s rep %d/%d: %w", cfg.Name, layout.Name, rep+1, reps, err)
 		}
 		out = append(out, res)
 	}

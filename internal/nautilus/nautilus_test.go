@@ -8,59 +8,46 @@ import (
 
 	"covirt/internal/covirt"
 	"covirt/internal/hw"
-	"covirt/internal/linuxhost"
 	"covirt/internal/nautilus"
 	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 )
 
 // stack boots a host, optionally with Covirt, ready for one enclave.
-func stack(t *testing.T, protected bool) (*linuxhost.Host, *covirt.Controller) {
+func stack(t *testing.T, protected bool) (*testbed.Node, *covirt.Controller) {
 	t.Helper()
 	spec := hw.DefaultSpec()
 	spec.MemPerNode = 2 << 30
-	m, err := hw.NewMachine(spec)
+	node, err := testbed.Spec{
+		Machine:      spec,
+		OfflineCores: []int{1, 2},
+		OfflineMem:   map[int]uint64{0: 512 << 20},
+		Covirt:       protected,
+		Features:     covirt.FeaturesMem,
+	}.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := linuxhost.New(m)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := h.OfflineCores(1, 2); err != nil {
-		t.Fatal(err)
-	}
-	if err := h.OfflineMemory(0, 512<<20); err != nil {
-		t.Fatal(err)
-	}
-	var ctrl *covirt.Controller
-	if protected {
-		if ctrl, err = covirt.Attach(m, h.Pisces, h.Master, covirt.FeaturesMem); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return h, ctrl
+	return node, node.Ctrl
 }
 
-func bootNautilus(t *testing.T, h *linuxhost.Host, cores int, entry nautilus.ThreadFn) (*pisces.Enclave, *nautilus.Kernel) {
+func bootNautilus(t *testing.T, n *testbed.Node, cores int, entry nautilus.ThreadFn) (*pisces.Enclave, *nautilus.Kernel) {
 	t.Helper()
-	enc, err := h.Pisces.CreateEnclave(pisces.EnclaveSpec{
-		Name: "aero", NumCores: cores, Nodes: []int{0}, MemBytes: 256 << 20,
+	be, err := n.BootGuest(testbed.Guest{
+		Name: "aero", Kind: testbed.Nautilus, Cores: cores, Nodes: []int{0},
+		MemBytes: 256 << 20, Entry: entry,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := nautilus.New(entry)
-	if err := h.Pisces.Boot(enc, k); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { _ = h.Pisces.Destroy(enc) })
-	return enc, k
+	t.Cleanup(func() { _ = n.Host.Pisces.Destroy(be.Enc) })
+	return be.Enc, be.Nautilus
 }
 
 func TestNautilusBootsAndComputes(t *testing.T) {
-	h, _ := stack(t, false)
+	n, _ := stack(t, false)
 	var sum atomic.Uint64
-	_, k := bootNautilus(t, h, 2, func(e *nautilus.Env, rank int) error {
+	_, k := bootNautilus(t, n, 2, func(e *nautilus.Env, rank int) error {
 		if err := e.Compute(10_000); err != nil {
 			return err
 		}
@@ -89,18 +76,18 @@ func TestNautilusBootsAndComputes(t *testing.T) {
 }
 
 func TestNautilusControlProtocol(t *testing.T) {
-	h, _ := stack(t, false)
-	enc, _ := bootNautilus(t, h, 1, func(e *nautilus.Env, rank int) error {
+	n, _ := stack(t, false)
+	enc, _ := bootNautilus(t, n, 1, func(e *nautilus.Env, rank int) error {
 		return e.Compute(100)
 	})
-	if err := h.Pisces.Ping(enc); err != nil {
+	if err := n.Host.Pisces.Ping(enc); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
 	// Nautilus rejects dynamic memory growth (static runtime kernel).
-	if _, err := h.Pisces.AddMemory(enc, 0, 16<<20); err == nil {
+	if _, err := n.Host.Pisces.AddMemory(enc, 0, 16<<20); err == nil {
 		t.Error("aerokernel accepted mem-add")
 	}
-	if err := h.Pisces.Destroy(enc); err != nil {
+	if err := n.Host.Pisces.Destroy(enc); err != nil {
 		t.Fatalf("destroy: %v", err)
 	}
 	if enc.State() != pisces.StateStopped {
@@ -112,12 +99,12 @@ func TestRejectedMemAddRollsBackEPT(t *testing.T) {
 	// Nautilus refuses mem-add; the controller's map-before-notify EPT
 	// entry must be rolled back, or the enclave would retain hardware
 	// access to memory it never accepted.
-	h, ctrl := stack(t, true)
-	enc, _ := bootNautilus(t, h, 1, func(e *nautilus.Env, rank int) error {
+	n, ctrl := stack(t, true)
+	enc, _ := bootNautilus(t, n, 1, func(e *nautilus.Env, rank int) error {
 		return e.Compute(100)
 	})
 	before := ctrl.StatusFor(enc.ID).EPT.Bytes
-	if _, err := h.Pisces.AddMemory(enc, 0, 16<<20); err == nil {
+	if _, err := n.Host.Pisces.AddMemory(enc, 0, 16<<20); err == nil {
 		t.Fatal("aerokernel accepted mem-add")
 	}
 	if after := ctrl.StatusFor(enc.ID).EPT.Bytes; after != before {
@@ -129,8 +116,8 @@ func TestNautilusBringupFaultContainedUnderCovirt(t *testing.T) {
 	// The §V porting story: early-bringup code touches hardware it was
 	// never assigned. Under Covirt, development proceeds on "real
 	// hardware" because the fault cannot leave the enclave.
-	h, ctrl := stack(t, true)
-	enc, k := bootNautilus(t, h, 1, func(e *nautilus.Env, rank int) error {
+	n, ctrl := stack(t, true)
+	enc, k := bootNautilus(t, n, 1, func(e *nautilus.Env, rank int) error {
 		// Bringup bug: probe legacy low memory that isn't ours.
 		_, err := e.Read64(0x8000)
 		return err
@@ -140,7 +127,7 @@ func TestNautilusBringupFaultContainedUnderCovirt(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("fault never surfaced")
 	}
-	if h.M.Crashed() {
+	if n.M.Crashed() {
 		t.Fatal("node crashed; Covirt should contain aerokernel bringup faults")
 	}
 	if enc.State() != pisces.StateCrashed {
@@ -165,13 +152,13 @@ func TestNautilusBringupFaultContainedUnderCovirt(t *testing.T) {
 }
 
 func TestNautilusBringupFaultCrashesNodeBare(t *testing.T) {
-	h, _ := stack(t, false)
-	enc, _ := bootNautilus(t, h, 1, func(e *nautilus.Env, rank int) error {
+	n, _ := stack(t, false)
+	enc, _ := bootNautilus(t, n, 1, func(e *nautilus.Env, rank int) error {
 		_, err := e.Read64(0x8000) // unbacked: native abort
 		return err
 	})
 	deadline := time.After(5 * time.Second)
-	for !h.M.Crashed() {
+	for !n.M.Crashed() {
 		select {
 		case <-deadline:
 			t.Fatal("node survived; expected the unprotected bringup crash")
@@ -183,10 +170,10 @@ func TestNautilusBringupFaultCrashesNodeBare(t *testing.T) {
 }
 
 func TestNautilusIPIBetweenRanks(t *testing.T) {
-	h, _ := stack(t, false)
+	n, _ := stack(t, false)
 	var got atomic.Int32
 	ready := make(chan *nautilus.Kernel, 2) // entry threads fetch the kernel
-	_, k := bootNautilus(t, h, 2, func(e *nautilus.Env, rank int) error {
+	_, k := bootNautilus(t, n, 2, func(e *nautilus.Env, rank int) error {
 		kn := <-ready
 		if rank == 0 {
 			kn.OnIPI(0x55, func(*nautilus.Env) { got.Store(1) })

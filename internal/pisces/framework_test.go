@@ -1,4 +1,4 @@
-package pisces
+package pisces_test
 
 import (
 	"errors"
@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"covirt/internal/hw"
+	"covirt/internal/pisces"
+	"covirt/internal/testbed"
 )
 
 // stubKernel is a minimal Bootable that services the control ring from an
@@ -14,7 +16,7 @@ import (
 type stubKernel struct {
 	acceptMem bool
 
-	bc     *BootContext
+	bc     *pisces.BootContext
 	done   chan struct{}
 	stop   sync.Once
 	wg     sync.WaitGroup
@@ -28,13 +30,13 @@ func newStubKernel(acceptMem bool) *stubKernel {
 	return &stubKernel{acceptMem: acceptMem, done: make(chan struct{})}
 }
 
-func (s *stubKernel) Boot(bc *BootContext) error {
+func (s *stubKernel) Boot(bc *pisces.BootContext) error {
 	s.bc = bc
 	s.booted = true
 	for _, id := range bc.Params.Cores {
 		cpu := bc.Machine.CPU(id)
 		cpu.SetIRQHandler(func(c *hw.CPU, vector uint8, external bool) {
-			if vector == VectorCtl {
+			if vector == pisces.VectorCtl {
 				s.drainCtl(c)
 			}
 		})
@@ -57,32 +59,32 @@ func (s *stubKernel) Boot(bc *BootContext) error {
 }
 
 func (s *stubKernel) drainCtl(c *hw.CPU) {
-	io := CPUMemIO{CPU: c}
+	io := pisces.CPUMemIO{CPU: c}
 	for {
-		var m Msg
+		var m pisces.Msg
 		ok, err := s.bc.Enclave.CtlReq.TryPop(io, &m)
 		if err != nil || !ok {
 			return
 		}
-		resp := Msg{Type: AckOK, Seq: m.Seq}
+		resp := pisces.Msg{Type: pisces.AckOK, Seq: m.Seq}
 		switch m.Type {
-		case CmdPing:
-		case CmdMemAdd:
+		case pisces.CmdPing:
+		case pisces.CmdMemAdd:
 			if s.acceptMem {
 				s.recordMemAdd()
 			} else {
-				resp.Type = AckErr
+				resp.Type = pisces.AckErr
 			}
-		case CmdMemRemove:
+		case pisces.CmdMemRemove:
 			if !s.acceptMem {
-				resp.Type = AckErr
+				resp.Type = pisces.AckErr
 			}
-		case CmdShutdown:
+		case pisces.CmdShutdown:
 			_ = s.bc.Enclave.CtlResp.Push(io, &resp)
 			go s.Shutdown()
 			return
 		default:
-			resp.Type = AckErr
+			resp.Type = pisces.AckErr
 		}
 		if err := s.bc.Enclave.CtlResp.Push(io, &resp); err != nil {
 			return
@@ -109,44 +111,47 @@ func (s *stubKernel) recordMemAdd() {
 	s.memAdd = append(s.memAdd, hw.Extent{})
 }
 
-// fwFixture builds a machine + framework with donated resources.
-func fwFixture(t *testing.T) (*hw.Machine, *Framework) {
+// fwFixture builds a host with donated resources via the testbed layer and
+// hands back the machine plus its Pisces framework.
+func fwFixture(t *testing.T) (*hw.Machine, *pisces.Framework) {
 	t.Helper()
 	spec := hw.DefaultSpec()
 	spec.MemPerNode = 2 << 30
-	m, err := hw.NewMachine(spec)
+	var cores []int
+	offMem := make(map[int]uint64)
+	for n := 0; n < spec.NumNodes; n++ {
+		for c := 1; c < spec.CoresPerNode; c++ {
+			cores = append(cores, n*spec.CoresPerNode+c)
+		}
+		offMem[n] = 1 << 30
+	}
+	node, err := testbed.Spec{
+		Machine:      spec,
+		OfflineCores: cores,
+		OfflineMem:   offMem,
+	}.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ledger := NewLedger()
-	for _, n := range m.Topo.Nodes {
-		start := hw.AlignUp(n.MemBase, hw.PageSize2M)
-		if err := ledger.DonateMemory(hw.Extent{Start: start, Size: 1 << 30, Node: n.ID}); err != nil {
-			t.Fatal(err)
-		}
-		for _, c := range n.Cores[1:] {
-			ledger.DonateCore(c)
-		}
-	}
-	return m, NewFramework(m, ledger)
+	return node.M, node.Host.Pisces
 }
 
 func TestCreateEnclaveValidation(t *testing.T) {
 	_, fw := fwFixture(t)
-	if _, err := fw.CreateEnclave(EnclaveSpec{Name: "x", NumCores: 0, MemBytes: 1 << 20}); err == nil {
+	if _, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "x", NumCores: 0, MemBytes: 1 << 20}); err == nil {
 		t.Error("zero cores accepted")
 	}
-	if _, err := fw.CreateEnclave(EnclaveSpec{Name: "x", NumCores: 1}); err == nil {
+	if _, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "x", NumCores: 1}); err == nil {
 		t.Error("zero memory accepted")
 	}
-	if _, err := fw.CreateEnclave(EnclaveSpec{Name: "x", NumCores: 50, MemBytes: 1 << 20}); err == nil {
+	if _, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "x", NumCores: 50, MemBytes: 1 << 20}); err == nil {
 		t.Error("impossible core count accepted")
 	}
-	if _, err := fw.CreateEnclave(EnclaveSpec{Name: "x", NumCores: 1, MemBytes: 1 << 45}); err == nil {
+	if _, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "x", NumCores: 1, MemBytes: 1 << 45}); err == nil {
 		t.Error("impossible memory accepted")
 	}
 	// Resources from failed creations were rolled back.
-	enc, err := fw.CreateEnclave(EnclaveSpec{Name: "ok", NumCores: 5, Nodes: []int{0}, MemBytes: 1 << 30})
+	enc, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "ok", NumCores: 5, Nodes: []int{0}, MemBytes: 1 << 30})
 	if err != nil {
 		t.Fatalf("rollback leaked resources: %v", err)
 	}
@@ -160,11 +165,11 @@ func TestCreateEnclaveValidation(t *testing.T) {
 
 func TestBootStateMachine(t *testing.T) {
 	_, fw := fwFixture(t)
-	enc, err := fw.CreateEnclave(EnclaveSpec{Name: "sm", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	enc, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "sm", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if enc.State() != StateCreated {
+	if enc.State() != pisces.StateCreated {
 		t.Fatalf("state = %v", enc.State())
 	}
 	// Operations on a non-running enclave fail.
@@ -178,7 +183,7 @@ func TestBootStateMachine(t *testing.T) {
 	if err := fw.Boot(enc, k); err != nil {
 		t.Fatal(err)
 	}
-	if enc.State() != StateRunning {
+	if enc.State() != pisces.StateRunning {
 		t.Fatalf("state = %v", enc.State())
 	}
 	// Double boot is rejected.
@@ -191,7 +196,7 @@ func TestBootStateMachine(t *testing.T) {
 	if err := fw.Destroy(enc); err != nil {
 		t.Fatal(err)
 	}
-	if enc.State() != StateStopped {
+	if enc.State() != pisces.StateStopped {
 		t.Fatalf("state = %v", enc.State())
 	}
 	// Idempotent destroy.
@@ -208,20 +213,20 @@ func TestBootStateMachine(t *testing.T) {
 func TestBootPreEventAbortsBoot(t *testing.T) {
 	_, fw := fwFixture(t)
 	sentinel := errors.New("veto")
-	fw.Subscribe(func(ev *Event) error {
-		if ev.Kind == EvBootPre {
+	fw.Subscribe(func(ev *pisces.Event) error {
+		if ev.Kind == pisces.EvBootPre {
 			return sentinel
 		}
 		return nil
 	})
-	enc, err := fw.CreateEnclave(EnclaveSpec{Name: "veto", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	enc, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "veto", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := fw.Boot(enc, newStubKernel(true)); !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
 	}
-	if enc.State() != StateCreated {
+	if enc.State() != pisces.StateCreated {
 		t.Errorf("state after vetoed boot = %v", enc.State())
 	}
 }
@@ -229,36 +234,36 @@ func TestBootPreEventAbortsBoot(t *testing.T) {
 // failingInterposer rejects interposition on a specific core.
 type failingInterposer struct{}
 
-func (failingInterposer) InterposeBoot(enc *Enclave, cpu *hw.CPU, bpAddr uint64) error {
+func (failingInterposer) InterposeBoot(enc *pisces.Enclave, cpu *hw.CPU, bpAddr uint64) error {
 	return fmt.Errorf("no VMX on core %d", cpu.ID)
 }
 
 func TestInterposerFailureAbortsBoot(t *testing.T) {
 	_, fw := fwFixture(t)
 	fw.SetInterposer(failingInterposer{})
-	enc, err := fw.CreateEnclave(EnclaveSpec{Name: "novmx", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	enc, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "novmx", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := fw.Boot(enc, newStubKernel(true)); err == nil {
 		t.Fatal("boot succeeded despite interposer failure")
 	}
-	if enc.State() != StateCreated {
+	if enc.State() != pisces.StateCreated {
 		t.Errorf("state = %v", enc.State())
 	}
 }
 
 func TestMemAddRejectionRollsBack(t *testing.T) {
 	_, fw := fwFixture(t)
-	enc, _ := fw.CreateEnclave(EnclaveSpec{Name: "nomem", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	enc, _ := fw.CreateEnclave(pisces.EnclaveSpec{Name: "nomem", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
 	if err := fw.Boot(enc, newStubKernel(false)); err != nil { // rejects mem ops
 		t.Fatal(err)
 	}
 	defer fw.Destroy(enc)
 	free := fw.Ledger.FreeBytes(0)
 	var sawRollback bool
-	fw.Subscribe(func(ev *Event) error {
-		if ev.Kind == EvMemRemovePost {
+	fw.Subscribe(func(ev *pisces.Event) error {
+		if ev.Kind == pisces.EvMemRemovePost {
 			sawRollback = true
 		}
 		return nil
@@ -279,7 +284,7 @@ func TestMemAddRejectionRollsBack(t *testing.T) {
 
 func TestRemoveMemoryValidation(t *testing.T) {
 	_, fw := fwFixture(t)
-	enc, _ := fw.CreateEnclave(EnclaveSpec{Name: "rm", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
+	enc, _ := fw.CreateEnclave(pisces.EnclaveSpec{Name: "rm", NumCores: 1, Nodes: []int{0}, MemBytes: 64 << 20})
 	if err := fw.Boot(enc, newStubKernel(true)); err != nil {
 		t.Fatal(err)
 	}
@@ -297,14 +302,14 @@ func TestRemoveMemoryValidation(t *testing.T) {
 func TestReportCrashIsIdempotentAndReclaims(t *testing.T) {
 	m, fw := fwFixture(t)
 	free := fw.Ledger.FreeBytes(0)
-	enc, _ := fw.CreateEnclave(EnclaveSpec{Name: "crash", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
+	enc, _ := fw.CreateEnclave(pisces.EnclaveSpec{Name: "crash", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
 	k := newStubKernel(true)
 	if err := fw.Boot(enc, k); err != nil {
 		t.Fatal(err)
 	}
 	var crashes int
-	fw.Subscribe(func(ev *Event) error {
-		if ev.Kind == EvCrashed {
+	fw.Subscribe(func(ev *pisces.Event) error {
+		if ev.Kind == pisces.EvCrashed {
 			crashes++
 		}
 		return nil
@@ -322,7 +327,7 @@ func TestReportCrashIsIdempotentAndReclaims(t *testing.T) {
 		t.Errorf("free bytes = %d, want %d", got, free)
 	}
 	// The cores really came back: a new enclave can use them.
-	enc2, err := fw.CreateEnclave(EnclaveSpec{Name: "next", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
+	enc2, err := fw.CreateEnclave(pisces.EnclaveSpec{Name: "next", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +361,7 @@ func TestIoctlRegistry(t *testing.T) {
 
 func TestEnclaveAccessors(t *testing.T) {
 	_, fw := fwFixture(t)
-	enc, _ := fw.CreateEnclave(EnclaveSpec{Name: "acc", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
+	enc, _ := fw.CreateEnclave(pisces.EnclaveSpec{Name: "acc", NumCores: 2, Nodes: []int{0}, MemBytes: 64 << 20})
 	if !enc.OwnsAddr(enc.Base()) || !enc.OwnsAddr(enc.Mem()[0].End()-1) {
 		t.Error("OwnsAddr false for own memory")
 	}
@@ -366,7 +371,7 @@ func TestEnclaveAccessors(t *testing.T) {
 	if enc.BootCPU() == nil || len(enc.CPUs()) != 2 {
 		t.Error("CPU accessors wrong")
 	}
-	for _, s := range []State{StateCreated, StateBooting, StateRunning, StateCrashed, StateStopped, State(99)} {
+	for _, s := range []pisces.State{pisces.StateCreated, pisces.StateBooting, pisces.StateRunning, pisces.StateCrashed, pisces.StateStopped, pisces.State(99)} {
 		if s.String() == "" {
 			t.Errorf("state %d unnamed", s)
 		}

@@ -13,10 +13,15 @@ import (
 type HPCG struct {
 	NX, NY, NZ int
 	Iters      int
+	// Seed displaces the gather streams (0 = legacy fixed stream).
+	Seed uint64
 }
 
 // Name implements Runner.
 func (h *HPCG) Name() string { return "hpcg" }
+
+// SetSeed implements Seeder.
+func (h *HPCG) SetSeed(s uint64) { h.Seed = s }
 
 // Run implements Runner.
 func (h *HPCG) Run(k *kitten.Kernel, threads int) (*Result, error) {
@@ -34,7 +39,7 @@ func (h *HPCG) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	// independent virtualization penalty the paper measures.
 	cg := &cgSolver{
 		s: stencil27{nx, ny, nz}, precond: true, iters: iters,
-		gatherFrac: 0.08, scatterBytes: 256 << 20,
+		gatherFrac: 0.08, scatterBytes: 256 << 20, seed: h.Seed,
 	}
 	var residual float64
 	fn := cg.makeRankFn(threads, &residual)

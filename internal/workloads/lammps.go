@@ -53,7 +53,13 @@ type Lammps struct {
 	AtomsPerRank int
 	// Steps is the number of timesteps (default 40).
 	Steps int
+	// Seed displaces the initial condition and neighbor-churn streams
+	// (0 = legacy fixed streams).
+	Seed uint64
 }
+
+// SetSeed implements Seeder.
+func (l *Lammps) SetSeed(s uint64) { l.Seed = s }
 
 // Name implements Runner.
 func (l *Lammps) Name() string { return "lammps-" + l.Problem.String() }
@@ -107,7 +113,7 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	drift := make([]float64, threads)
 
 	res, err := runParallel(k, l.Name(), threads, func(e *kitten.Env, rank int) error {
-		md := newLJBox(atoms, uint64(rank+1))
+		md := newLJBox(atoms, l.Seed^uint64(rank+1))
 		posExt := allocSpread(e, hw.AlignUp(uint64(atoms)*48, hw.PageSize4K))     // x,v per atom
 		neighExt := allocSpread(e, hw.AlignUp(uint64(atoms)*40*8, hw.PageSize4K)) // neighbor lists
 		defer e.Free(posExt)
@@ -117,7 +123,7 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 			lookupExt = allocSpread(e, prof.lookupBytes)
 			defer e.Free(lookupExt)
 		}
-		rng := hw.NewRand(0xA5A5A5A5 ^ uint64(rank+7))
+		rng := hw.NewRand(0xA5A5A5A5 ^ l.Seed ^ uint64(rank+7))
 
 		md.buildCells()
 		e0 := md.totalEnergy()

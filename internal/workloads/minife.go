@@ -14,10 +14,15 @@ import (
 type MiniFE struct {
 	NX, NY, NZ int
 	Iters      int
+	// Seed displaces the gather streams (0 = legacy fixed stream).
+	Seed uint64
 }
 
 // Name implements Runner.
 func (m *MiniFE) Name() string { return "minife" }
+
+// SetSeed implements Seeder.
+func (m *MiniFE) SetSeed(s uint64) { m.Seed = s }
 
 // Run implements Runner.
 func (m *MiniFE) Run(k *kitten.Kernel, threads int) (*Result, error) {
@@ -39,7 +44,7 @@ func (m *MiniFE) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	assembleCycles := make([]uint64, threads)
 	bar := NewBarrier(threads)
 	var residual float64
-	cg := &cgSolver{s: s, precond: false, iters: iters}
+	cg := &cgSolver{s: s, precond: false, iters: iters, seed: m.Seed}
 	solveFn := cg.makeRankFn(threads, &residual)
 
 	res, err := runParallel(k, m.Name(), threads, func(e *kitten.Env, rank int) error {

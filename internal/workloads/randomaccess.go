@@ -26,10 +26,15 @@ type RandomAccess struct {
 	// every OMPChunk updates, the runtime performs one APIC ICR write
 	// (work-distribution check) — traffic that traps under IPI protection.
 	OMPChunk int
+	// Seed displaces the per-rank update streams (0 = legacy fixed stream).
+	Seed uint64
 }
 
 // Name implements Runner.
 func (r *RandomAccess) Name() string { return "randomaccess" }
+
+// SetSeed implements Seeder.
+func (r *RandomAccess) SetSeed(s uint64) { r.Seed = s }
 
 // Run implements Runner.
 func (r *RandomAccess) Run(k *kitten.Kernel, threads int) (*Result, error) {
@@ -62,7 +67,7 @@ func (r *RandomAccess) Run(k *kitten.Kernel, threads int) (*Result, error) {
 		ext := allocSpread(e, logicalWords*8)
 		defer e.Free(ext)
 
-		rng := hw.NewRand(0x243F6A8885A308D3 ^ uint64(rank+1))
+		rng := hw.NewRand(0x243F6A8885A308D3 ^ r.Seed ^ uint64(rank+1))
 		for u := 0; u < updates; u++ {
 			v := rng.Next()
 			idx := v & (logicalWords - 1)
@@ -78,7 +83,7 @@ func (r *RandomAccess) Run(k *kitten.Kernel, threads int) (*Result, error) {
 
 		// Verify by replaying the same update stream: XOR is self-inverse,
 		// so the table must return to its initial state.
-		rng = hw.NewRand(0x243F6A8885A308D3 ^ uint64(rank+1))
+		rng = hw.NewRand(0x243F6A8885A308D3 ^ r.Seed ^ uint64(rank+1))
 		for u := 0; u < updates; u++ {
 			v := rng.Next()
 			idx := v & (logicalWords - 1)

@@ -156,14 +156,15 @@ const matrixBytesPerRow = 27*12 + 8
 
 // newSparseCharger sizes the simulated storage for a rank owning `rows` of
 // a problem with `totalRows`. gatherFrac and scatterBytes configure the
-// random-gather model (see the field docs).
-func newSparseCharger(e *kitten.Env, rank, rows, totalRows int, gatherFrac float64, scatterBytes uint64) *sparseCharger {
+// random-gather model (see the field docs); seed displaces the gather
+// stream (0 = legacy fixed stream).
+func newSparseCharger(e *kitten.Env, rank, rows, totalRows int, gatherFrac float64, scatterBytes, seed uint64) *sparseCharger {
 	c := &sparseCharger{
 		env:            e,
 		matrix:         allocSpread(e, hw.AlignUp(uint64(rows)*matrixBytesPerRow, hw.PageSize4K)),
 		vec:            allocSpread(e, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K)),
 		rows:           uint64(rows),
-		rng:            hw.NewRand(0x9E3779B97F4A7C15 ^ uint64(rank+1)),
+		rng:            hw.NewRand(0x9E3779B97F4A7C15 ^ seed ^ uint64(rank+1)),
 		gatherMissFrac: gatherFrac,
 		scatterBytes:   scatterBytes,
 	}
@@ -256,6 +257,8 @@ type cgSolver struct {
 	// field docs); zero values select MiniFE-like cache-friendly gathers.
 	gatherFrac   float64
 	scatterBytes uint64
+	// seed displaces the charger's gather streams (0 = legacy fixed).
+	seed uint64
 }
 
 // run executes the solve; fn is invoked per rank by runParallel's caller.
@@ -294,7 +297,7 @@ func (cg *cgSolver) makeRankFn(threads int, finalRes *float64) func(e *kitten.En
 		if gf == 0 {
 			gf = 0.02
 		}
-		ch := newSparseCharger(e, rank, hi-lo, n, gf, cg.scatterBytes)
+		ch := newSparseCharger(e, rank, hi-lo, n, gf, cg.scatterBytes, cg.seed)
 		defer ch.free()
 
 		// r = b (x = 0), z = precond(r) or r, p = z.

@@ -62,6 +62,14 @@ type Runner interface {
 	Run(k *kitten.Kernel, threads int) (*Result, error)
 }
 
+// Seeder is implemented by workloads whose internal pseudo-random streams
+// can be displaced per run. The experiment engine derives one deterministic
+// seed per job (a hash of experiment/config/layout/repetition passed
+// through the hw.Rand seam) so repetitions decorrelate without consulting
+// any ambient randomness. A zero seed leaves the workload's legacy fixed
+// streams untouched.
+type Seeder interface{ SetSeed(uint64) }
+
 // Barrier is an OpenMP-style spin barrier for guest tasks. Rendezvous is
 // Go-level; the charged footprint matches a shared-memory spin barrier
 // (atomic arrival update plus sense-reversal spinning) — like real OpenMP

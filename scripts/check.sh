@@ -5,27 +5,43 @@
 #
 # It must pass with zero findings; vetted exceptions are annotated in the
 # source with //covirt:allow (see DESIGN.md "Static analysis & invariants").
+# Each stage reports its wall-clock seconds so CI regressions are visible
+# per gate, not just in the job total.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "==> go build ./..."
+stage_start=0
+begin() {
+    echo "==> $1"
+    stage_start=$(date +%s)
+}
+end() {
+    echo "    ($(( $(date +%s) - stage_start ))s)"
+}
+
+begin "go build ./..."
 go build ./...
+end
 
-echo "==> go vet ./..."
+begin "go vet ./..."
 go vet ./...
+end
 
-echo "==> covirt-vet ./..."
+begin "covirt-vet ./..."
 go run ./cmd/covirt-vet ./...
+end
 
-echo "==> covirt-vet negative fixtures (must fail)"
+begin "covirt-vet negative fixtures (must fail)"
 for fixture in internal/analysis/testdata/*/; do
     if go run ./cmd/covirt-vet -q "./$fixture" 2>/dev/null; then
         echo "check.sh: fixture $fixture produced no findings" >&2
         exit 1
     fi
 done
+end
 
-echo "==> go test -race ./..."
+begin "go test -race ./..."
 go test -race ./...
+end
 
 echo "check.sh: all gates passed"
