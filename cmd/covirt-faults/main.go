@@ -3,14 +3,23 @@
 // under Covirt — and the blast radius is reported.
 //
 //	go run ./cmd/covirt-faults
+//
+// With -recover the campaign continues past containment: faults are
+// injected into supervised enclaves and the watchdog drives detection,
+// backed-off restarts, and quarantine escalation, reporting detection
+// latency and mean time to recovery per restart policy.
+//
+//	go run ./cmd/covirt-faults -recover
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
 	"covirt/internal/covirt"
+	"covirt/internal/harness"
 	"covirt/internal/hw"
 	"covirt/internal/kitten"
 	"covirt/internal/pisces"
@@ -141,6 +150,17 @@ func inject(inj injection, protected bool) outcome {
 }
 
 func main() {
+	recoverMode := flag.Bool("recover", false, "supervised-recovery campaign: inject faults under a watchdog and report detection latency and MTTR per restart policy")
+	reps := flag.Int("reps", 3, "repetitions per cell in -recover mode")
+	parallel := flag.Int("parallel", 0, "concurrent jobs in -recover mode (0 = GOMAXPROCS); output is byte-identical at any setting")
+	flag.Parse()
+	if *recoverMode {
+		if err := harness.RunMTTR(harness.Options{Reps: *reps, Parallel: *parallel}, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "covirt-faults:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "fault injected\tunprotected\tcovirt (all features)")
 	for _, inj := range injections {

@@ -1,13 +1,23 @@
 // Command enclavectl is an interactive control shell for the simulated
 // co-kernel node: create, boot, inspect, grow/shrink and destroy enclaves,
-// toggle Covirt protection features, and inject faults — the management
-// workflow a Pisces/Hobbes operator would drive with the real tools.
+// toggle Covirt protection features, inject faults, and put enclaves under
+// watchdog supervision — the management workflow a Pisces/Hobbes operator
+// would drive with the real tools.
 //
 //	go run ./cmd/enclavectl
 //
 // Type "help" at the prompt for commands, or pipe a script:
 //
 //	printf 'create lwk 2 0 1024\nboot 1 mem\nstatus 1\nquit\n' | go run ./cmd/enclavectl
+//
+// A supervised crash-and-recover session:
+//
+//	create lwk 1 0 512 hb
+//	boot 1 all
+//	supervise 1 3
+//	inject 1 df
+//	scan 3
+//	status 2
 package main
 
 import (
@@ -23,7 +33,9 @@ import (
 	"covirt/internal/kitten"
 	"covirt/internal/linuxhost"
 	"covirt/internal/pisces"
+	"covirt/internal/supervisor"
 	"covirt/internal/testbed"
+	"covirt/internal/trace"
 )
 
 // shell holds the live simulation the commands operate on.
@@ -33,6 +45,13 @@ type shell struct {
 	host    *linuxhost.Host
 	ctrl    *covirt.Controller
 	kernels map[int]*kitten.Kernel
+	encs    map[int]*testbed.Enclave
+	specs   map[int]pisces.EnclaveSpec // create-time specs, the restart recipe
+
+	// sup and buf come up lazily on the first "supervise"; the buffer
+	// doubles as the node-wide flight recorder from that point on.
+	sup *supervisor.Supervisor
+	buf *trace.Buffer
 }
 
 func newShell() (*shell, error) {
@@ -56,7 +75,12 @@ func newShell() (*shell, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &shell{node: tb, machine: tb.M, host: tb.Host, ctrl: tb.Ctrl, kernels: make(map[int]*kitten.Kernel)}, nil
+	return &shell{
+		node: tb, machine: tb.M, host: tb.Host, ctrl: tb.Ctrl,
+		kernels: make(map[int]*kitten.Kernel),
+		encs:    make(map[int]*testbed.Enclave),
+		specs:   make(map[int]pisces.EnclaveSpec),
+	}, nil
 }
 
 // featureSet parses a feature spec like "mem", "mem+ipi", "all", "none".
@@ -77,10 +101,10 @@ func featureSet(s string) (covirt.Features, error) {
 }
 
 const helpText = `commands:
-  create <name> <cores> <node|0,1> <MB>   allocate an enclave
+  create <name> <cores> <node|0,1> <MB> [hb]  allocate an enclave ("hb" adds a heartbeat page)
   boot <id> [none|mem|mem+ipi|all]        boot Kitten under covirt features
   list                                    list enclaves
-  status <id>                             covirt status (exits, EPT, IPIs)
+  status <id>                             covirt status (exits, EPT, IPIs) + supervision
   ping <id>                               control-channel liveness check
   addmem <id> <node> <MB>                 hot-add memory
   addcpu <id> <node>                      hot-add a core
@@ -88,6 +112,8 @@ const helpText = `commands:
   run <id>                                run a demo computation task
   console <id>                            dump the enclave's console
   inject <id> wild|df|ipi                 inject a fault
+  supervise <id> [maxRestarts]            put the enclave under watchdog supervision
+  scan [n]                                run n watchdog scans (default 1) and report
   destroy <id>                            tear an enclave down
   help                                    this text
   quit                                    exit`
@@ -134,13 +160,21 @@ func (sh *shell) exec(line string) error {
 		if err != nil {
 			return err
 		}
-		enc, err := sh.host.Pisces.CreateEnclave(pisces.EnclaveSpec{
+		heartbeat := len(args) > 4 && args[4] == "hb"
+		spec := pisces.EnclaveSpec{
 			Name: args[0], NumCores: ncores, Nodes: nodes, MemBytes: uint64(mb) << 20,
-		})
+			Heartbeat: heartbeat,
+		}
+		enc, err := sh.host.Pisces.CreateEnclave(spec)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("enclave %d created: cores %v, %s\n", enc.ID, enc.Cores, fmtExtents(enc.Mem()))
+		sh.specs[enc.ID] = spec
+		extra := ""
+		if heartbeat {
+			extra = ", heartbeat page armed"
+		}
+		fmt.Printf("enclave %d created: cores %v, %s%s\n", enc.ID, enc.Cores, fmtExtents(enc.Mem()), extra)
 
 	case "boot":
 		if len(args) < 1 {
@@ -156,11 +190,19 @@ func (sh *shell) exec(line string) error {
 				return err
 			}
 		}
-		be, err := sh.node.BootInto(enc, testbed.Guest{Name: enc.Name, Features: &feat})
+		// The Guest declaration doubles as the restart recipe: ReplaceGuest
+		// reboots from it verbatim, so carry the create-time spec over.
+		spec := sh.specs[enc.ID]
+		g := testbed.Guest{
+			Name: enc.Name, Cores: spec.NumCores, Nodes: spec.Nodes,
+			MemBytes: spec.MemBytes, Features: &feat, Heartbeat: spec.Heartbeat,
+		}
+		be, err := sh.node.BootInto(enc, g)
 		if err != nil {
 			return err
 		}
 		sh.kernels[enc.ID] = be.Kitten
+		sh.encs[enc.ID] = be
 		fmt.Printf("enclave %d booted under covirt %q\n", enc.ID, feat)
 
 	case "list":
@@ -183,14 +225,33 @@ func (sh *shell) exec(line string) error {
 			return err
 		}
 		stAny, err := sh.host.Pisces.Ioctl(covirt.IoctlStatus, enc.ID)
-		if err != nil {
+		if err == nil {
+			st := stAny.(*covirt.Status)
+			fmt.Printf("features: %q\nEPT: %d bytes in %d mappings (4K=%d 2M=%d 1G=%d)\n",
+				st.Features, st.EPT.Bytes, st.EPT.Pages(), st.EPT.Mapped4K, st.EPT.Mapped2M, st.EPT.Mapped1G)
+			fmt.Printf("exits: %v (cycles %d)\ndropped IPIs: %d, map/unmap/flush: %d/%d/%d\n",
+				st.Exits, st.ExitCycles, st.DroppedIPIs, st.MapOps, st.UnmapOps, st.FlushCmds)
+		}
+		// A quarantined or torn-down enclave has no covirt state left, but
+		// its supervision record explains what happened to it.
+		supervised := false
+		if sh.sup != nil {
+			for _, ss := range sh.sup.Statuses() {
+				if ss.EnclaveID != enc.ID {
+					continue
+				}
+				supervised = true
+				fmt.Printf("supervision: %s, failures=%d restarts=%d lastBeat=%d",
+					ss.State, ss.Failures, ss.Restarts, ss.LastBeat)
+				if ss.LastReason != "" {
+					fmt.Printf(", last failure: %s", ss.LastReason)
+				}
+				fmt.Println()
+			}
+		}
+		if err != nil && !supervised {
 			return err
 		}
-		st := stAny.(*covirt.Status)
-		fmt.Printf("features: %q\nEPT: %d bytes in %d mappings (4K=%d 2M=%d 1G=%d)\n",
-			st.Features, st.EPT.Bytes, st.EPT.Pages(), st.EPT.Mapped4K, st.EPT.Mapped2M, st.EPT.Mapped1G)
-		fmt.Printf("exits: %v (cycles %d)\ndropped IPIs: %d, map/unmap/flush: %d/%d/%d\n",
-			st.Exits, st.ExitCycles, st.DroppedIPIs, st.MapOps, st.UnmapOps, st.FlushCmds)
 
 	case "ping":
 		if len(args) < 1 {
@@ -317,6 +378,78 @@ func (sh *shell) exec(line string) error {
 		werr := task.Wait()
 		fmt.Printf("fault result: %v\nenclave: %v, node crashed: %v\n", werr, enc.State(), sh.machine.Crashed())
 
+	case "supervise":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: supervise <id> [maxRestarts]")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		be := sh.encs[enc.ID]
+		if be == nil {
+			return fmt.Errorf("enclave %d not booted by this shell", enc.ID)
+		}
+		maxRestarts := 3
+		if len(args) > 1 {
+			if maxRestarts, err = strconv.Atoi(args[1]); err != nil {
+				return err
+			}
+		}
+		if sh.sup == nil {
+			sh.buf = sh.node.EnableTracing(4096)
+			sh.sup = supervisor.New(sh.node, supervisor.Options{Seed: 1, Tracer: sh.buf})
+		}
+		pol := supervisor.Policy{MaxRestarts: maxRestarts, JitterPct: 10}
+		if err := sh.sup.Watch(be, pol); err != nil {
+			return err
+		}
+		hbNote := "crash supervision only (no heartbeat page)"
+		if be.Guest.Heartbeat {
+			hbNote = "crash + hang supervision (heartbeat armed)"
+		}
+		fmt.Printf("enclave %d supervised: restart budget %d, %s\n", enc.ID, maxRestarts, hbNote)
+
+	case "scan":
+		if sh.sup == nil {
+			return fmt.Errorf("nothing supervised yet (try supervise <id>)")
+		}
+		n := 1
+		if len(args) > 0 {
+			var err error
+			if n, err = strconv.Atoi(args[0]); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < n; i++ {
+			if err := sh.sup.Scan(); err != nil {
+				return err
+			}
+		}
+		// Restarted enclaves come back under fresh IDs: re-sync the
+		// shell's per-ID maps from the node's authoritative list.
+		sh.resync()
+		for _, st := range sh.sup.Statuses() {
+			fmt.Printf("%-12s id=%-3d %-15s failures=%d restarts=%d lastBeat=%d",
+				st.Name, st.EnclaveID, st.State, st.Failures, st.Restarts, st.LastBeat)
+			if st.LastReason != "" {
+				fmt.Printf("  last: %s", st.LastReason)
+			}
+			fmt.Println()
+		}
+		if counts := sh.buf.KindCounts("sup:"); len(counts) > 0 {
+			kinds := make([]string, 0, len(counts))
+			for k := range counts {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			var parts []string
+			for _, k := range kinds {
+				parts = append(parts, fmt.Sprintf("%s=%d", strings.TrimPrefix(k, "sup:"), counts[k]))
+			}
+			fmt.Printf("supervision events: %s\n", strings.Join(parts, " "))
+		}
+
 	case "destroy":
 		if len(args) < 1 {
 			return fmt.Errorf("usage: destroy <id>")
@@ -329,12 +462,30 @@ func (sh *shell) exec(line string) error {
 			return err
 		}
 		delete(sh.kernels, enc.ID)
+		delete(sh.encs, enc.ID)
+		delete(sh.specs, enc.ID)
 		fmt.Printf("enclave %d destroyed, resources reclaimed\n", enc.ID)
 
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
 	return nil
+}
+
+// resync rebuilds the shell's per-enclave-ID maps from the node's
+// authoritative enclave list. A supervised restart replaces a dead enclave
+// with a fresh one under a new ID, so the old keys go stale after a scan.
+// Create-time specs stay keyed by the original ID; restarts reboot from
+// the Guest declaration, which already carries the spec.
+func (sh *shell) resync() {
+	sh.kernels = make(map[int]*kitten.Kernel)
+	sh.encs = make(map[int]*testbed.Enclave)
+	for _, be := range sh.node.Encs {
+		sh.encs[be.Enc.ID] = be
+		if be.Kitten != nil {
+			sh.kernels[be.Enc.ID] = be.Kitten
+		}
+	}
 }
 
 // fmtExtents renders a memory assignment compactly.

@@ -20,6 +20,9 @@
 //   - ledger-conservation: resources carved from the Pisces ledger must be
 //     bound to an owner — a discarded AllocMemory/AllocCores result leaks
 //     memory or cores from the accounting.
+//   - trace-coverage: every VM-exit reason and Hobbes event kind must reach
+//     a trace emission site — the enum needs a Record call fed by its
+//     String method, and each constant must be used by non-test code.
 //
 // Vetted exceptions are annotated in the source with a directive comment
 // on (or immediately above) the offending line:
@@ -81,6 +84,7 @@ func Analyzers() []*Analyzer {
 		costAccounting,
 		queueProtocol,
 		ledgerConservation,
+		traceCoverage,
 	}
 }
 
@@ -269,4 +273,5 @@ const (
 	checkCost        = "cost-accounting"
 	checkQueue       = "queue-protocol"
 	checkLedger      = "ledger-conservation"
+	checkTrace       = "trace-coverage"
 )

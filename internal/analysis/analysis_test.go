@@ -66,6 +66,14 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			fixture: "tracecov",
+			checks:  []string{checkTrace},
+			want: []string{
+				"internal/hobbes/hobbes.go:7", // EventKind has no Record emission site
+				"internal/vmx/exit.go:13",     // ExitDead never used outside String
+			},
+		},
+		{
 			fixture: "queue",
 			checks:  []string{checkQueue},
 			want: []string{

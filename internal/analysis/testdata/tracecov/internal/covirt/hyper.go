@@ -1,0 +1,16 @@
+// Package covirt holds the fixture's exit-reason emission site: ExitA and
+// ExitB are matched here and the reason flows into a Record call, so only
+// the dead constant in internal/vmx should be reported.
+package covirt
+
+import (
+	"covirt/internal/trace"
+	"covirt/internal/vmx"
+)
+
+// HandleExit records every handled exit by reason.
+func HandleExit(t *trace.Buffer, r vmx.ExitReason) {
+	if r == vmx.ExitA || r == vmx.ExitB {
+		t.Record(0, 0, "exit:"+r.String(), "handled")
+	}
+}

@@ -1,0 +1,27 @@
+// Package vmx: ExitReason has an emission site (internal/covirt records
+// "exit:"+String()), but ExitDead is only ever named by String — no code
+// produces or matches it, so trace-coverage must flag the constant.
+package vmx
+
+// ExitReason identifies why a VM exit occurred.
+type ExitReason int
+
+// Exit reasons.
+const (
+	ExitA ExitReason = iota
+	ExitB
+	ExitDead // want: never used outside String
+)
+
+// String names the exit reason.
+func (r ExitReason) String() string {
+	switch r {
+	case ExitA:
+		return "A"
+	case ExitB:
+		return "B"
+	case ExitDead:
+		return "DEAD"
+	}
+	return "?"
+}

@@ -583,6 +583,7 @@ func (c *Controller) teardown(enc *pisces.Enclave) {
 		for _, q := range st.queues {
 			q.wake()
 		}
+		c.Trace().Record(-1, 0, "ctl:teardown", "enclave %d state dropped (%d cores)", enc.ID, len(st.vmcs))
 	}
 }
 

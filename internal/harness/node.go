@@ -22,6 +22,9 @@ type NodeOptions struct {
 	TimerInterval int64
 	// MachineSpec overrides the simulated hardware (zero = paper platform).
 	MachineSpec hw.MachineSpec
+	// Heartbeat enables the guest's supervision heartbeat (fault-injection
+	// campaigns that attach a supervisor set this).
+	Heartbeat bool
 }
 
 // Node is one fully assembled evaluation setup: the simulated machine, the
@@ -58,6 +61,7 @@ func NewNode(cfg Config, layout Layout, opt NodeOptions) (*Node, error) {
 			Nodes:         layout.Nodes,
 			MemBytes:      encMem,
 			TimerInterval: opt.TimerInterval,
+			Heartbeat:     opt.Heartbeat,
 		}},
 	}
 	tb, err := spec.Build()
@@ -75,6 +79,10 @@ func NewNode(cfg Config, layout Layout, opt NodeOptions) (*Node, error) {
 		tb:     tb,
 	}, nil
 }
+
+// Testbed exposes the underlying testbed node (supervision and other
+// management-plane extensions attach there).
+func (n *Node) Testbed() *testbed.Node { return n.tb }
 
 // Close tears the enclave down.
 func (n *Node) Close() {

@@ -10,6 +10,7 @@ import (
 
 	"covirt/internal/hw"
 	"covirt/internal/pisces"
+	"covirt/internal/trace"
 	"covirt/internal/xemem"
 )
 
@@ -34,6 +35,13 @@ const (
 	EvXememDetachPost
 	EvIPIGrant
 	EvIPIRevoke
+	// Supervision lifecycle (emitted by internal/supervisor): a watchdog
+	// hang verdict, a restart attempt beginning, a successful re-admission,
+	// and the terminal escalation when the restart budget is exhausted.
+	EvEnclaveHung
+	EvEnclaveRestarting
+	EvEnclaveRecovered
+	EvEnclaveQuarantined
 )
 
 // String names the event kind.
@@ -44,6 +52,8 @@ func (k EventKind) String() string {
 		"mem-remove-post", "cpu-add-pre", "cpu-remove-post",
 		"xemem-attach-pre", "xemem-detach-post",
 		"ipi-grant", "ipi-revoke",
+		"enclave-hung", "enclave-restarting",
+		"enclave-recovered", "enclave-quarantined",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -74,6 +84,7 @@ type Handler func(ev *Event) error
 type Bus struct {
 	mu       sync.Mutex
 	handlers []Handler
+	tracer   *trace.Buffer
 }
 
 // Subscribe appends h; handlers run in subscription order.
@@ -83,17 +94,33 @@ func (b *Bus) Subscribe(h Handler) {
 	b.handlers = append(b.handlers, h)
 }
 
-// snapshot copies the handler list under the lock so Emit can run the
-// handlers (which may Subscribe re-entrantly) without holding it.
-func (b *Bus) snapshot() []Handler {
+// SetTracer routes every emitted event into the flight recorder as an
+// "ev:<kind>" record. A nil buffer disables bus tracing.
+func (b *Bus) SetTracer(t *trace.Buffer) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return append([]Handler(nil), b.handlers...)
+	b.tracer = t
+}
+
+// snapshot copies the handler list and tracer under the lock so Emit can
+// run the handlers (which may Subscribe re-entrantly) without holding it.
+func (b *Bus) snapshot() ([]Handler, *trace.Buffer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Handler(nil), b.handlers...), b.tracer
 }
 
 // Emit delivers ev to all handlers, stopping at the first error.
 func (b *Bus) Emit(ev *Event) error {
-	for _, h := range b.snapshot() {
+	handlers, tracer := b.snapshot()
+	if tracer != nil {
+		encID := -1
+		if ev.Enclave != nil {
+			encID = ev.Enclave.ID
+		}
+		tracer.Record(-1, 0, "ev:"+ev.Kind.String(), "enclave %d %s", encID, ev.Reason)
+	}
+	for _, h := range handlers {
 		if err := h(ev); err != nil {
 			return err
 		}

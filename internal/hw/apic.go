@@ -150,6 +150,17 @@ func (a *APIC) WaitEvent(done <-chan struct{}) {
 	}
 }
 
+// WaitSignal blocks until the next wakeup signal or done closes, ignoring
+// already-pending events. Lockup modeling (StallNoIRQ) uses it: with
+// interrupts disabled, pending vectors must not wake the core, but a Kill
+// (which signals) must still be noticed.
+func (a *APIC) WaitSignal(done <-chan struct{}) {
+	select {
+	case <-a.notify:
+	case <-done:
+	}
+}
+
 // ArmTimer programs the local timer to fire vector every interval cycles,
 // starting from now (the caller's current TSC).
 func (a *APIC) ArmTimer(now, interval uint64, vector uint8) {

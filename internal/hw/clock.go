@@ -1,0 +1,33 @@
+package hw
+
+import "sync"
+
+// Clock is a virtual-time seam for management-plane subsystems that need a
+// node-wide notion of elapsed time without consulting the wall clock. It is
+// a monotonic cycle counter advanced only by explicit Advance calls — the
+// supervision watchdog advances it once per scan pass, using intervals
+// derived from the cost model — so every timestamp read from it is a pure
+// function of the simulation's own progress. Per-CPU TSCs advance
+// asynchronously with the work each core performs and cannot serve as a
+// node-wide timeline; the Clock fills that role deterministically.
+//
+// The zero value is a valid clock starting at cycle 0.
+type Clock struct {
+	mu  sync.Mutex
+	now uint64
+}
+
+// Now returns the current virtual time in cycles.
+func (c *Clock) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward by cycles and returns the new time.
+func (c *Clock) Advance(cycles uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += cycles
+	return c.now
+}

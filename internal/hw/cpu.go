@@ -552,6 +552,29 @@ func (c *CPU) Idle(done <-chan struct{}) error {
 	return c.poll()
 }
 
+// StallNoIRQ models a core locking up with interrupts disabled — the
+// soft-hang failure mode a watchdog must catch, since the core still owns
+// its hardware but no longer takes timer ticks or doorbells. The stall
+// charges cycles up front (the lockup's simulated duration, immediately
+// visible to cross-goroutine TSC readers) and then blocks without servicing
+// interrupts until the guest context is killed or the machine crashes.
+// Pending and newly raised vectors stay pending, exactly as they would with
+// IF clear.
+func (c *CPU) StallNoIRQ(cycles uint64) error {
+	c.Instret++
+	c.charge(cycles)
+	c.tscShadow.Store(c.TSC)
+	for {
+		if c.M.Crashed() {
+			return &Fault{Kind: FaultMachineCrashed, CPU: c.ID, Msg: c.M.CrashReason()}
+		}
+		if c.killed.Load() {
+			return &Fault{Kind: FaultEnclaveKilled, CPU: c.ID}
+		}
+		c.APIC.WaitSignal(c.M.CrashedCh())
+	}
+}
+
 // ReadTSC samples the simulated time-stamp counter (rdtsc).
 func (c *CPU) ReadTSC() uint64 {
 	c.Instret++

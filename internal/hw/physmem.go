@@ -38,25 +38,31 @@ func (r *Region) Contains(addr, size uint64) bool {
 	return addr >= r.Start && addr+size >= addr && addr+size <= r.End()
 }
 
-// chunkFor returns the backing slice covering addr, allocating it if needed.
-func (r *Region) chunkFor(addr uint64) []byte {
-	idx := (addr - r.Start) / regionChunk
+// copyChunk moves bytes between p and the chunk covering addr, allocating
+// the chunk if needed, and returns the count moved. The copy runs under the
+// region lock: cores and the host legitimately share pages (rings, the
+// heartbeat page), so the backing itself must serialize access — an aligned
+// 64-bit load can then observe a stale word but never a torn one.
+func (r *Region) copyChunk(addr uint64, p []byte, write bool) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	idx := (addr - r.Start) / regionChunk
 	c, ok := r.chunks[idx]
 	if !ok {
 		c = make([]byte, regionChunk)
 		r.chunks[idx] = c
 	}
-	return c
+	off := (addr - r.Start) % regionChunk
+	if write {
+		return copy(c[off:], p)
+	}
+	return copy(p, c[off:])
 }
 
 // read copies backed bytes at addr into p. addr must be inside the region.
 func (r *Region) read(addr uint64, p []byte) {
 	for len(p) > 0 {
-		c := r.chunkFor(addr)
-		off := (addr - r.Start) % regionChunk
-		n := copy(p, c[off:])
+		n := r.copyChunk(addr, p, false)
 		p = p[n:]
 		addr += uint64(n)
 	}
@@ -65,9 +71,7 @@ func (r *Region) read(addr uint64, p []byte) {
 // write copies p into the region's backing at addr.
 func (r *Region) write(addr uint64, p []byte) {
 	for len(p) > 0 {
-		c := r.chunkFor(addr)
-		off := (addr - r.Start) % regionChunk
-		n := copy(c[off:], p)
+		n := r.copyChunk(addr, p, true)
 		p = p[n:]
 		addr += uint64(n)
 	}

@@ -56,6 +56,12 @@ type Kernel struct {
 
 	// Ticks counts timer interrupts taken (noise accounting).
 	Ticks atomic.Uint64
+
+	// hbAddr is the supervisor heartbeat page (0 = unsupervised); hbCount
+	// is the monotonic beat counter, written by the boot core's timer
+	// interrupt only.
+	hbAddr  uint64
+	hbCount atomic.Uint64
 }
 
 // coreCtx is the per-core execution context: exactly one goroutine runs a
@@ -108,6 +114,7 @@ func (k *Kernel) Boot(bc *pisces.BootContext) error {
 	k.mach = bc.Machine
 	k.enc = bc.Enclave
 	k.bp = bc.Params
+	k.hbAddr = bc.Params.Heartbeat
 
 	// Build the memory map from the boot parameters and hand the
 	// non-reserved portions to the physical allocator.
@@ -140,6 +147,12 @@ func (k *Kernel) Boot(bc *pisces.BootContext) error {
 			return fmt.Errorf("kitten: no such core %d", id)
 		}
 		cpu.StreamSharers = sharers[cpu.Node]
+		if k.hbAddr != 0 && id == k.bp.Cores[0] {
+			// Initial beat, written before the core loop starts: the
+			// watchdog's reference stamp is this boot's TSC from the first
+			// scan on, never a stale value from the core's prior history.
+			k.beat(cpu)
+		}
 		k.onlineCore(cpu, interval)
 	}
 	k.booted.Store(true)
@@ -371,6 +384,9 @@ func (k *Kernel) handleIRQ(cpu *hw.CPU, vector uint8, external bool) {
 	switch vector {
 	case pisces.VectorTimer:
 		k.Ticks.Add(1)
+		if k.hbAddr != 0 && cpu.ID == k.bp.Cores[0] {
+			k.beat(cpu)
+		}
 	case VectorResched, pisces.VectorLcResp:
 		// Nothing: the wakeup itself is the point.
 	case VectorTLBFlush:
@@ -383,6 +399,21 @@ func (k *Kernel) handleIRQ(cpu *hw.CPU, vector uint8, external bool) {
 				h(&Env{K: k, CPU: cpu, Core: cc.local})
 			}
 		}
+	}
+}
+
+// beat publishes one liveness heartbeat: bump the monotonic counter and
+// stamp the boot core's current TSC into the shared heartbeat page. Runs in
+// timer-interrupt context on the boot core; the writes go through the
+// guest's own protection path, so a supervised enclave pays for its beats.
+func (k *Kernel) beat(cpu *hw.CPU) {
+	io := pisces.CPUMemIO{CPU: cpu}
+	n := k.hbCount.Add(1)
+	if err := io.Write64(k.hbAddr+pisces.HbCount, n); err != nil {
+		return // teardown race: the enclave is already being killed
+	}
+	if err := io.Write64(k.hbAddr+pisces.HbTSC, cpu.TSC); err != nil {
+		return
 	}
 }
 

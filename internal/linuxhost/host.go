@@ -126,6 +126,37 @@ func (h *Host) OfflineMemory(node int, size uint64) error {
 	return h.EnclaveLedger.DonateMemory(ext)
 }
 
+// QuarantineResources permanently withdraws a dead enclave's hardware from
+// the enclave pool and returns it to the host — the supervisor's terminal
+// escalation when an enclave has exhausted its restart budget. The caller
+// must pass resources that have already been reclaimed into the enclave
+// ledger (wait for the enclave's Reclaimed channel first); the exact cores
+// and extents are pulled back out and onlined for the host.
+func (h *Host) QuarantineResources(cores []int, mem []hw.Extent) error {
+	for _, c := range cores {
+		if !h.EnclaveLedger.WithdrawCore(c) {
+			return fmt.Errorf("linuxhost: core %d not reclaimable for quarantine", c)
+		}
+	}
+	h.onlineCores(cores)
+	for _, e := range mem {
+		if err := h.EnclaveLedger.Reserve(e); err != nil {
+			return fmt.Errorf("linuxhost: quarantine memory: %w", err)
+		}
+		h.HostLedger.FreeMemory(e)
+	}
+	return nil
+}
+
+// onlineCores marks cores as host-owned again under the lock.
+func (h *Host) onlineCores(cores []int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range cores {
+		h.hostCores[c] = true
+	}
+}
+
 // HostAlloc allocates host-private memory (buffers, canaries, host-side
 // shared segments).
 func (h *Host) HostAlloc(node int, size uint64) (hw.Extent, error) {

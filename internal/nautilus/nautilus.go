@@ -83,6 +83,13 @@ type Kernel struct {
 	wg     sync.WaitGroup
 	booted atomic.Bool
 
+	// hbAddr is the supervisor heartbeat page (0 = unsupervised). Nautilus
+	// is tickless by design, so supervision arms a timer on the boot core
+	// only, solely to drive beats; hbCount is written from that core's
+	// timer interrupt.
+	hbAddr  uint64
+	hbCount atomic.Uint64
+
 	errMu    sync.Mutex
 	errs     []error
 	handlers sync.Map // vector -> func(*Env)
@@ -110,6 +117,7 @@ func (k *Kernel) Boot(bc *pisces.BootContext) error {
 		Node:  first.Node,
 	}
 
+	k.hbAddr = bc.Params.Heartbeat
 	for i, id := range bc.Params.Cores {
 		cpu := k.mach.CPU(id)
 		if cpu == nil {
@@ -117,6 +125,13 @@ func (k *Kernel) Boot(bc *pisces.BootContext) error {
 		}
 		k.cores = append(k.cores, cpu)
 		cpu.SetIRQHandler(k.handleIRQ)
+		if i == 0 && k.hbAddr != 0 {
+			cpu.APIC.ArmTimer(cpu.TSC, k.mach.Costs.TimerIntervalCycles, pisces.VectorTimer)
+			// Initial beat before the boot thread starts, so the watchdog
+			// measures hangs against this boot's TSC even if the thread
+			// locks up instantly.
+			k.beat(cpu)
+		}
 		rank := i
 		k.wg.Add(1)
 		go k.threadLoop(cpu, rank)
@@ -156,6 +171,10 @@ func (k *Kernel) recordErr(err error) {
 // plus registered runtime vectors.
 func (k *Kernel) handleIRQ(cpu *hw.CPU, vector uint8, external bool) {
 	switch vector {
+	case pisces.VectorTimer:
+		if k.hbAddr != 0 && cpu.ID == k.cores[0].ID {
+			k.beat(cpu)
+		}
 	case pisces.VectorCtl:
 		k.drainCtl(cpu)
 	default:
@@ -168,6 +187,20 @@ func (k *Kernel) handleIRQ(cpu *hw.CPU, vector uint8, external bool) {
 			}
 			h.(func(*Env))(&Env{K: k, CPU: cpu, Rank: rank})
 		}
+	}
+}
+
+// beat publishes one liveness heartbeat (boot core timer-interrupt
+// context): bump the monotonic counter and stamp the current TSC into the
+// shared heartbeat page through the guest's protection path.
+func (k *Kernel) beat(cpu *hw.CPU) {
+	io := pisces.CPUMemIO{CPU: cpu}
+	n := k.hbCount.Add(1)
+	if err := io.Write64(k.hbAddr+pisces.HbCount, n); err != nil {
+		return // teardown race: the enclave is already being killed
+	}
+	if err := io.Write64(k.hbAddr+pisces.HbTSC, cpu.TSC); err != nil {
+		return
 	}
 }
 
@@ -206,7 +239,8 @@ func (k *Kernel) Shutdown() {
 	k.stop.Do(func() {
 		close(k.done)
 		for _, c := range k.cores {
-			c.APIC.RaiseNMI() // wake idle loops
+			c.APIC.DisarmTimer() // only armed when supervised
+			c.APIC.RaiseNMI()    // wake idle loops
 		}
 	})
 }

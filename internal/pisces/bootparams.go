@@ -25,7 +25,18 @@ const (
 	OffLcRespRing   = 0x4000
 	OffCovirtParams = 0x5000 // Covirt boot-parameter block (hypervisor-owned)
 	OffCovirtCmdQ   = 0x6000 // Covirt controller->hypervisor command queue
+	OffHeartbeat    = 0x7000 // liveness heartbeat page (supervisor-watched)
 	ReservedBytes   = 0x10000
+)
+
+// Heartbeat page layout: two 64-bit words the supervised co-kernel writes
+// from its boot core's timer interrupt and the host-side watchdog reads
+// natively. The count is monotonic; the TSC records the boot core's cycle
+// counter at the moment of the beat, so "missed beats" can be judged
+// against the core's own elapsed cycles rather than any wall clock.
+const (
+	HbCount = 0 // offset of the monotonic beat counter
+	HbTSC   = 8 // offset of the boot core's TSC at the last beat
 )
 
 // Interrupt vectors used by the co-kernel control plane.
@@ -52,10 +63,15 @@ type BootParams struct {
 	// the enclave boots bare. The co-kernel itself never reads this; it is
 	// consumed by the interposed hypervisor.
 	CovirtParams uint64
+
+	// Heartbeat points at the liveness heartbeat page the co-kernel must
+	// beat from its boot core's timer interrupt, or 0 when the enclave is
+	// unsupervised (no beats, no extra cycles charged).
+	Heartbeat uint64
 }
 
 // bootParamsBytes is the serialized size (fits well inside one 4K page).
-const bootParamsBytes = 8 + 8 + 8 + MaxBootCores*8 + 8 + MaxBootExtents*24 + 5*8
+const bootParamsBytes = 8 + 8 + 8 + MaxBootCores*8 + 8 + MaxBootExtents*24 + 6*8
 
 // EncodeBootParams writes bp at addr via io.
 func EncodeBootParams(io MemIO, addr uint64, bp *BootParams) error {
@@ -95,6 +111,7 @@ func EncodeBootParams(io MemIO, addr uint64, bp *BootParams) error {
 	w(bp.LcReqRing)
 	w(bp.LcRespRing)
 	w(bp.CovirtParams)
+	w(bp.Heartbeat)
 	return io.WriteBytes(addr, buf)
 }
 
@@ -136,5 +153,6 @@ func DecodeBootParams(io MemIO, addr uint64) (*BootParams, error) {
 	bp.LcReqRing = r()
 	bp.LcRespRing = r()
 	bp.CovirtParams = r()
+	bp.Heartbeat = r()
 	return bp, nil
 }

@@ -85,6 +85,11 @@ type EnclaveSpec struct {
 	Nodes []int
 	// MemBytes of memory, split evenly across Nodes.
 	MemBytes uint64
+	// Heartbeat enables the liveness heartbeat protocol: the boot
+	// parameters point the co-kernel at the reserved heartbeat page, and
+	// it must beat from its boot core's timer interrupt. Off by default —
+	// unsupervised enclaves charge no heartbeat cycles.
+	Heartbeat bool
 }
 
 // Control command message types.
@@ -293,6 +298,16 @@ func (fw *Framework) CreateEnclave(spec EnclaveSpec) (*Enclave, error) {
 		CtlRespRing: base + OffCtlRespRing,
 		LcReqRing:   base + OffLcReqRing,
 		LcRespRing:  base + OffLcRespRing,
+	}
+	if spec.Heartbeat {
+		bp.Heartbeat = base + OffHeartbeat
+		// The extent may be recycled from a previous enclave; a stale beat
+		// record would look like instant liveness to the watchdog.
+		for _, off := range []uint64{HbCount, HbTSC} {
+			if err := fw.hostIO.Write64(bp.Heartbeat+off, 0); err != nil {
+				return nil, fmt.Errorf("pisces: heartbeat init: %w", err)
+			}
+		}
 	}
 	if err := EncodeBootParams(fw.hostIO, base+OffBootParams, bp); err != nil {
 		return nil, fmt.Errorf("pisces: boot params: %w", err)

@@ -117,6 +117,20 @@ func (l *Ledger) FreeCores(cores []int) {
 	}
 }
 
+// WithdrawCore removes an offline core from the pool entirely (it is no
+// longer allocatable to enclaves), reporting whether the core was free.
+// Quarantine uses it to return hardware to the host for good: the exact
+// counterpart of Reserve for cores.
+func (l *Ledger) WithdrawCore(core int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.cores[core] {
+		return false
+	}
+	delete(l.cores, core)
+	return true
+}
+
 // Reserve removes exactly the given extent from the free lists, failing if
 // any part of it is not currently free. A co-kernel uses this to pull a
 // specific range (e.g. memory the host asked it to relinquish) out of its

@@ -19,6 +19,7 @@ import (
 	"covirt/internal/linuxhost"
 	"covirt/internal/nautilus"
 	"covirt/internal/pisces"
+	"covirt/internal/trace"
 )
 
 // Kind selects the co-kernel booted into an enclave.
@@ -62,6 +63,23 @@ type Guest struct {
 	// Features, when non-nil, overrides the controller's default feature
 	// set for this enclave (IoctlSetFeatures before boot).
 	Features *covirt.Features
+	// Heartbeat enables the supervisor liveness protocol: the co-kernel
+	// beats a shared heartbeat page from its boot core's timer interrupt.
+	Heartbeat bool
+	// IPIGrants are Hobbes IPI permissions established after boot — and
+	// re-established identically when a supervisor reboots the guest.
+	IPIGrants []IPIGrant
+	// OnBoot, when set, runs after the kernel is up (every boot, including
+	// supervised restarts). Guests use it to re-establish state the spec
+	// cannot express structurally, e.g. XEMEM attaches.
+	OnBoot func(n *Node, e *Enclave) error
+}
+
+// IPIGrant is one declarative Hobbes IPI permission: the guest may send
+// Vector to machine core DestCore.
+type IPIGrant struct {
+	DestCore int
+	Vector   uint8
 }
 
 // Spec declares a full testbed: hardware, host carve-out, Covirt, guests.
@@ -206,10 +224,11 @@ func deriveOfflineMem(guests []Guest) map[int]uint64 {
 // BootGuest creates g's enclave on the built node and boots its kernel.
 func (n *Node) BootGuest(g Guest) (*Enclave, error) {
 	enc, err := n.Host.Pisces.CreateEnclave(pisces.EnclaveSpec{
-		Name:     g.Name,
-		NumCores: g.Cores,
-		Nodes:    g.Nodes,
-		MemBytes: g.MemBytes,
+		Name:      g.Name,
+		NumCores:  g.Cores,
+		Nodes:     g.Nodes,
+		MemBytes:  g.MemBytes,
+		Heartbeat: g.Heartbeat,
 	})
 	if err != nil {
 		return nil, err
@@ -246,8 +265,56 @@ func (n *Node) BootInto(enc *pisces.Enclave, g Guest) (*Enclave, error) {
 	default:
 		return nil, fmt.Errorf("testbed: guest %s has unknown kind %v", g.Name, g.Kind)
 	}
+	for _, gr := range g.IPIGrants {
+		if err := n.Host.Master.GrantIPI(enc, gr.DestCore, gr.Vector); err != nil {
+			return nil, err
+		}
+	}
+	if g.OnBoot != nil {
+		if err := g.OnBoot(n, be); err != nil {
+			return nil, fmt.Errorf("testbed: guest %s on-boot hook: %w", g.Name, err)
+		}
+	}
 	n.Encs = append(n.Encs, be)
 	return be, nil
+}
+
+// ReplaceGuest reboots a dead guest from its original declaration: a fresh
+// enclave is created and the spec's kernel, feature set, IPI grants and
+// OnBoot hook are re-established exactly as at first boot. The old entry in
+// the node's enclave list is replaced. Supervised recovery uses this as the
+// single reboot path, so a restarted stack cannot drift from its spec.
+func (n *Node) ReplaceGuest(old *Enclave) (*Enclave, error) {
+	be, err := n.BootGuest(old.Guest)
+	if err != nil {
+		return nil, err
+	}
+	// BootGuest appended the new entry; drop it and splice it over the old
+	// slot so enumeration order keeps matching the spec.
+	n.Encs = n.Encs[:len(n.Encs)-1]
+	for i, e := range n.Encs {
+		if e == old {
+			n.Encs[i] = be
+			return be, nil
+		}
+	}
+	n.Encs = append(n.Encs, be)
+	return be, nil
+}
+
+// EnableTracing turns on the node-wide flight recorder: the Covirt
+// controller's tracer when the controller is attached (so exits, controller
+// commands and bus events interleave in one timeline), else a standalone
+// buffer. Hobbes bus events are routed into it either way.
+func (n *Node) EnableTracing(capacity int) *trace.Buffer {
+	var buf *trace.Buffer
+	if n.Ctrl != nil {
+		buf = n.Ctrl.EnableTracing(capacity)
+	} else {
+		buf = trace.New(capacity)
+	}
+	n.Host.Master.Bus.SetTracer(buf)
+	return buf
 }
 
 // Enc returns the first guest's Pisces enclave (single-enclave specs).

@@ -98,6 +98,19 @@ func (b *Buffer) Filter(kindPrefix string) []Event {
 	return out
 }
 
+// KindCounts tallies the retained events by Kind, restricted to kinds
+// with the given prefix ("" tallies everything). Tools use it to render
+// one-line summaries of supervision and exit activity.
+func (b *Buffer) KindCounts(kindPrefix string) map[string]int {
+	out := make(map[string]int)
+	for _, e := range b.Events() {
+		if strings.HasPrefix(e.Kind, kindPrefix) {
+			out[e.Kind]++
+		}
+	}
+	return out
+}
+
 // Dump renders the retained events, one per line.
 func (b *Buffer) Dump() string {
 	var sb strings.Builder

@@ -64,6 +64,25 @@ func TestFilter(t *testing.T) {
 	}
 }
 
+func TestKindCounts(t *testing.T) {
+	b := New(16)
+	b.Record(0, 1, "sup:detect", "a")
+	b.Record(0, 2, "sup:restart", "b")
+	b.Record(0, 3, "sup:detect", "c")
+	b.Record(0, 4, "ctl:map", "d")
+	got := b.KindCounts("sup:")
+	if len(got) != 2 || got["sup:detect"] != 2 || got["sup:restart"] != 1 {
+		t.Errorf("sup counts = %v", got)
+	}
+	if all := b.KindCounts(""); len(all) != 3 || all["ctl:map"] != 1 {
+		t.Errorf("all counts = %v", all)
+	}
+	var nilBuf *Buffer
+	if n := len(nilBuf.KindCounts("")); n != 0 {
+		t.Errorf("nil buffer counts = %d", n)
+	}
+}
+
 func TestConcurrentRecording(t *testing.T) {
 	b := New(128)
 	var wg sync.WaitGroup

@@ -112,16 +112,24 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	red := NewAllreduce(threads)
 	drift := make([]float64, threads)
 
+	ord := NewRankOrder(threads)
 	res, err := runParallel(k, l.Name(), threads, func(e *kitten.Env, rank int) error {
 		md := newLJBox(atoms, l.Seed^uint64(rank+1))
-		posExt := allocSpread(e, hw.AlignUp(uint64(atoms)*48, hw.PageSize4K))     // x,v per atom
-		neighExt := allocSpread(e, hw.AlignUp(uint64(atoms)*40*8, hw.PageSize4K)) // neighbor lists
+		var posExt, neighExt, lookupExt hw.Extent
+		hasLookup := prof.lookupBytes > 0
+		ord.Do(rank, func() {
+			posExt = allocSpread(e, hw.AlignUp(uint64(atoms)*48, hw.PageSize4K))     // x,v per atom
+			neighExt = allocSpread(e, hw.AlignUp(uint64(atoms)*40*8, hw.PageSize4K)) // neighbor lists
+			if hasLookup {
+				lookupExt = allocSpread(e, prof.lookupBytes)
+			}
+		})
 		defer e.Free(posExt)
 		defer e.Free(neighExt)
-		lookupExt := neighExt
-		if prof.lookupBytes > 0 {
-			lookupExt = allocSpread(e, prof.lookupBytes)
+		if hasLookup {
 			defer e.Free(lookupExt)
+		} else {
+			lookupExt = neighExt
 		}
 		rng := hw.NewRand(0xA5A5A5A5 ^ l.Seed ^ uint64(rank+7))
 

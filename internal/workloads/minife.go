@@ -47,13 +47,17 @@ func (m *MiniFE) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	cg := &cgSolver{s: s, precond: false, iters: iters, seed: m.Seed}
 	solveFn := cg.makeRankFn(threads, &residual)
 
+	ord := NewRankOrder(threads)
 	res, err := runParallel(k, m.Name(), threads, func(e *kitten.Env, rank int) error {
 		lo := rank * n / threads
 		hi := (rank + 1) * n / threads
 		rows := uint64(hi - lo)
 
 		t0 := e.CPU.TSC
-		matrix := allocSpread(e, hw.AlignUp(rows*matrixBytesPerRow, hw.PageSize4K))
+		var matrix hw.Extent
+		ord.Do(rank, func() {
+			matrix = allocSpread(e, hw.AlignUp(rows*matrixBytesPerRow, hw.PageSize4K))
+		})
 		// Element loop: ~1 element per row; 8x8 stiffness, ~500 flops each.
 		var acc float64
 		elems := int(rows)
@@ -72,7 +76,10 @@ func (m *MiniFE) Run(k *kitten.Kernel, threads int) (*Result, error) {
 		for b := uint64(0); b < rows/64; b++ {
 			e.Access(matrix.Start+(b*4099*matrixBytesPerRow)%matrix.Size, true, hw.AccessDRAM)
 		}
-		e.Free(matrix)
+		// The assembly matrix is freed mid-run, while slower ranks may
+		// still be allocating theirs: rank-order the free too so the
+		// ledger sees one deterministic mutation sequence.
+		ord.Do(rank, func() { e.Free(matrix) })
 		assembleCycles[rank] = e.CPU.TSC - t0
 		bar.Wait(e, rank)
 

@@ -59,12 +59,14 @@ func (r *RandomAccess) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	}
 	realWords := uint64(1) << realLog
 
+	ord := NewRankOrder(threads)
 	res, err := runParallel(k, r.Name(), threads, func(e *kitten.Env, rank int) error {
 		table := make([]uint64, realWords)
 		for i := range table {
 			table[i] = uint64(i)
 		}
-		ext := allocSpread(e, logicalWords*8)
+		var ext hw.Extent
+		ord.Do(rank, func() { ext = allocSpread(e, logicalWords*8) })
 		defer e.Free(ext)
 
 		rng := hw.NewRand(0x243F6A8885A308D3 ^ r.Seed ^ uint64(rank+1))

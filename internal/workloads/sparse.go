@@ -157,26 +157,29 @@ const matrixBytesPerRow = 27*12 + 8
 // newSparseCharger sizes the simulated storage for a rank owning `rows` of
 // a problem with `totalRows`. gatherFrac and scatterBytes configure the
 // random-gather model (see the field docs); seed displaces the gather
-// stream (0 = legacy fixed stream).
-func newSparseCharger(e *kitten.Env, rank, rows, totalRows int, gatherFrac float64, scatterBytes, seed uint64) *sparseCharger {
+// stream (0 = legacy fixed stream). ord serializes the carve-out in rank
+// order so concurrent ranks see a scheduling-independent layout.
+func newSparseCharger(e *kitten.Env, ord *RankOrder, rank, rows, totalRows int, gatherFrac float64, scatterBytes, seed uint64) *sparseCharger {
 	c := &sparseCharger{
 		env:            e,
-		matrix:         allocSpread(e, hw.AlignUp(uint64(rows)*matrixBytesPerRow, hw.PageSize4K)),
-		vec:            allocSpread(e, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K)),
 		rows:           uint64(rows),
 		rng:            hw.NewRand(0x9E3779B97F4A7C15 ^ seed ^ uint64(rank+1)),
 		gatherMissFrac: gatherFrac,
 		scatterBytes:   scatterBytes,
 	}
-	if scatterBytes > 0 {
-		c.scatter = allocSpread(e, scatterBytes)
-	}
-	for _, node := range e.K.Nodes() {
-		if node != e.CPU.Node {
-			c.remote = e.Alloc(node, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K))
-			break
+	ord.Do(rank, func() {
+		c.matrix = allocSpread(e, hw.AlignUp(uint64(rows)*matrixBytesPerRow, hw.PageSize4K))
+		c.vec = allocSpread(e, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K))
+		if scatterBytes > 0 {
+			c.scatter = allocSpread(e, scatterBytes)
 		}
-	}
+		for _, node := range e.K.Nodes() {
+			if node != e.CPU.Node {
+				c.remote = e.Alloc(node, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K))
+				break
+			}
+		}
+	})
 	return c
 }
 
@@ -279,6 +282,7 @@ func (cg *cgSolver) makeRankFn(threads int, finalRes *float64) func(e *kitten.En
 	cg.s.spmv(b, ones, 0, n)
 
 	bar := NewBarrier(threads)
+	ord := NewRankOrder(threads)
 	redRR := NewAllreduce(threads)
 	redPAp := NewAllreduce(threads)
 	var bNorm float64
@@ -297,7 +301,7 @@ func (cg *cgSolver) makeRankFn(threads int, finalRes *float64) func(e *kitten.En
 		if gf == 0 {
 			gf = 0.02
 		}
-		ch := newSparseCharger(e, rank, hi-lo, n, gf, cg.scatterBytes, cg.seed)
+		ch := newSparseCharger(e, ord, rank, hi-lo, n, gf, cg.scatterBytes, cg.seed)
 		defer ch.free()
 
 		// r = b (x = 0), z = precond(r) or r, p = z.

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"covirt/internal/hw"
 	"covirt/internal/kitten"
 )
 
@@ -36,6 +37,7 @@ func (s *Stream) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	bytesPer := uint64(n * 8)
 	type kernelTime struct{ copyC, scaleC, addC, triadC uint64 }
 	times := make([]kernelTime, threads)
+	ord := NewRankOrder(threads)
 
 	res, err := runParallel(k, s.Name(), threads, func(e *kitten.Env, rank int) error {
 		// Real data.
@@ -46,10 +48,14 @@ func (s *Stream) Run(k *kitten.Kernel, threads int) (*Result, error) {
 			a[i] = 1.0
 			b[i] = 2.0
 		}
-		// Simulated placement: three arrays on the rank's NUMA node.
-		aX := allocSpread(e, bytesPer)
-		bX := allocSpread(e, bytesPer)
-		cX := allocSpread(e, bytesPer)
+		// Simulated placement: three arrays on the rank's NUMA node,
+		// carved in rank order so the layout is scheduling-independent.
+		var aX, bX, cX hw.Extent
+		ord.Do(rank, func() {
+			aX = allocSpread(e, bytesPer)
+			bX = allocSpread(e, bytesPer)
+			cX = allocSpread(e, bytesPer)
+		})
 		defer e.Free(aX)
 		defer e.Free(bX)
 		defer e.Free(cX)

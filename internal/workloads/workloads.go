@@ -125,6 +125,50 @@ func (b *Barrier) Wait(e *kitten.Env, rank int) {
 	}
 }
 
+// RankOrder serializes ledger-mutating sections (Alloc/Free) in rank
+// order. The Pisces ledger hands out extents first-fit from an
+// address-sorted free list, so the layout each rank receives — and with
+// it NUMA placement and page-walk behaviour — depends on the order
+// concurrent ranks reach the allocator. Left to goroutine scheduling,
+// that order shifts under external CPU load or -race instrumentation
+// (the multi-rank jitter caveat formerly in EXPERIMENTS.md). Rendezvous
+// here is pure Go synchronization: ledger operations charge no simulated
+// cycles, so imposing rank order costs nothing on the simulated clock
+// while making address-space layouts reproducible.
+//
+// Do is a collective: every rank must call it once per round, in any
+// arrival order; sections run strictly rank 0..n-1 within a round, and
+// rounds do not overlap.
+type RankOrder struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+	turn int // monotonically increasing; rank = turn mod n
+}
+
+// NewRankOrder returns an ordering collective for n ranks.
+func NewRankOrder(n int) *RankOrder {
+	r := &RankOrder{n: n}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Do runs fn when it becomes rank's turn in the current round.
+func (r *RankOrder) Do(rank int, fn func()) {
+	if r == nil || r.n <= 1 {
+		fn()
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.turn%r.n != rank {
+		r.cond.Wait()
+	}
+	fn()
+	r.turn++
+	r.cond.Broadcast()
+}
+
 // Allreduce sums per-rank values across all ranks (two barriers plus the
 // combine work on rank 0, as a tree reduction would cost).
 type Allreduce struct {
