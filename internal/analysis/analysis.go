@@ -85,6 +85,7 @@ func Analyzers() []*Analyzer {
 		queueProtocol,
 		ledgerConservation,
 		traceCoverage,
+		genInvalidation,
 	}
 }
 
@@ -274,4 +275,5 @@ const (
 	checkQueue       = "queue-protocol"
 	checkLedger      = "ledger-conservation"
 	checkTrace       = "trace-coverage"
+	checkGenInval    = "gen-invalidation"
 )

@@ -2,7 +2,10 @@ package analysis
 
 import (
 	"fmt"
+	"go/parser"
+	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"testing"
 )
@@ -81,6 +84,16 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 				"internal/covirt/other.go:7", // raw read at layout address
 			},
 		},
+		{
+			fixture: "geninvalidation",
+			checks:  []string{checkGenInval},
+			want: []string{
+				"internal/hw/cache.go:22", // cache read, no gen consulted
+				// validatedRead mentions gens, fill only writes, drop
+				// invalidates, vetted carries //covirt:allow, and the
+				// harness package is not a sim package
+			},
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -112,6 +125,36 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestBuildConstraintExclusion pins the loader's default-build file
+// selection: custom tags (race, integration) exclude a file, their
+// negations and platform/release tags keep it. Without this, a
+// //go:build race + !race twin pair type-checks as a redeclaration.
+func TestBuildConstraintExclusion(t *testing.T) {
+	cases := []struct {
+		src      string
+		excluded bool
+	}{
+		{"//go:build race\n\npackage p\n", true},
+		{"//go:build !race\n\npackage p\n", false},
+		{"//go:build integration && linux\n\npackage p\n", true},
+		{"//go:build " + runtime.GOOS + "\n\npackage p\n", false},
+		{"//go:build " + runtime.GOARCH + " && go1.18\n\npackage p\n", false},
+		{"//go:build !" + runtime.GOOS + "\n\npackage p\n", true},
+		{"package p\n\n//go:build race\n", false}, // after package clause: not a constraint
+		{"package p\n", false},
+	}
+	fset := token.NewFileSet()
+	for _, c := range cases {
+		f, err := parser.ParseFile(fset, "x.go", c.src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := buildExcluded(f); got != c.excluded {
+			t.Errorf("buildExcluded(%q) = %v, want %v", c.src, got, c.excluded)
+		}
 	}
 }
 

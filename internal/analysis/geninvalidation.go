@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// genInvalidation guards the hot-path caching protocol: the simulation's
+// software caches (translation caches, cached regions/extents — any struct
+// field whose name contains "cache") are validated by generation counters,
+// not by shootdown alone. A function that reads such a field without
+// consulting a generation anywhere in its body is one remap away from
+// serving stale state, so every read must sit in a function that also
+// references a gen/Gen identifier. Writes are exempt (filling a cache is
+// harmless), as are invalidation-style calls (invalidate/clear/flush/
+// reset) — dropping entries never needs validation — and functions whose
+// own name marks them as invalidators.
+var genInvalidation = &Analyzer{
+	Name: checkGenInval,
+	Doc:  "cache-named fields must only be read in functions that consult a generation counter",
+	Run:  runGenInvalidation,
+}
+
+// invalidationVerbs are method-name markers for operations that drop cache
+// state rather than consume it.
+var invalidationVerbs = []string{"invalidate", "clear", "flush", "reset"}
+
+func isInvalidationName(name string) bool {
+	l := strings.ToLower(name)
+	for _, v := range invalidationVerbs {
+		if strings.Contains(l, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsGen reports whether any identifier in the body references a
+// generation (contains "gen", case-insensitive): a Gen() accessor, a
+// cached gen field, a local holding one.
+func mentionsGen(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "gen") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func runGenInvalidation(p *Pass) []Finding {
+	if !isSimPackage(p.Unit.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Unit.Files {
+		if isTestFile(p.Mod, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isInvalidationName(fd.Name.Name) || mentionsGen(fd.Body) {
+				continue
+			}
+			out = append(out, p.cacheReads(fd)...)
+		}
+	}
+	return out
+}
+
+// cacheReads reports reads of cache-named struct fields within fd, which
+// has already been established to contain no generation reference.
+func (p *Pass) cacheReads(fd *ast.FuncDecl) []Finding {
+	// Selector expressions appearing as assignment targets (cache fills)
+	// or as receivers of invalidation calls are exempt.
+	exempt := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					exempt[sel] = true
+				}
+			}
+		case *ast.CallExpr:
+			// x.cache.invalidate(): the method selector's receiver is the
+			// cache field selector itself.
+			if m, ok := n.Fun.(*ast.SelectorExpr); ok && isInvalidationName(m.Sel.Name) {
+				if recv, ok := m.X.(*ast.SelectorExpr); ok {
+					exempt[recv] = true
+				}
+			}
+		}
+		return true
+	})
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || exempt[sel] {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(sel.Sel.Name), "cache") {
+			return true
+		}
+		// Only struct-field reads count; selecting a method (e.g. an
+		// InvalidateFooCache call) is not cache-state consumption.
+		s, ok := p.Unit.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		p.report(&out, checkGenInval, sel,
+			"%s is read without generation validation: function %s never consults a gen counter",
+			sel.Sel.Name, fd.Name.Name)
+		return true
+	})
+	return out
+}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -170,6 +172,39 @@ func parseTree(fset *token.FileSet, modRoot, modPath string) ([]*pkgDir, error) 
 	return dirs, nil
 }
 
+// buildExcluded reports whether a //go:build constraint before the
+// package clause rules the file out of a default build. The analyzer
+// loads what `go build` with no extra tags would compile: GOOS, GOARCH,
+// the gc toolchain, "unix", and go1.x release tags satisfy; anything
+// else (race, integration, ...) does not.
+func buildExcluded(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			ok := expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+					return true
+				}
+				return strings.HasPrefix(tag, "go1")
+			})
+			if !ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // parseDir parses the .go files of one directory, or returns nil if it
 // holds none.
 func parseDir(fset *token.FileSet, dir, modRoot, modPath string) (*pkgDir, error) {
@@ -193,6 +228,12 @@ func parseDir(fset *token.FileSet, dir, modRoot, modPath string) (*pkgDir, error
 		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if buildExcluded(file) {
+			// e.g. a //go:build race file: loading it alongside its
+			// !race twin would redeclare symbols the real toolchain
+			// never compiles together.
+			continue
 		}
 		name := file.Name.Name
 		switch {

@@ -1,0 +1,6 @@
+// Package harness is not a sim package: cache reads here are exempt.
+package harness
+
+type stats struct{ hitCache uint64 }
+
+func (s *stats) hits() uint64 { return s.hitCache }

@@ -1,0 +1,49 @@
+// Package hw exercises the gen-invalidation analyzer inside a sim package.
+package hw
+
+// world is the cached state's source of truth.
+type world struct{ gen uint64 }
+
+func (w *world) Gen() uint64 { return w.gen }
+
+type entry struct{ base, size uint64 }
+
+func (e entry) covers(a uint64) bool { return a-e.base < e.size }
+
+// box holds a generation-validated software cache.
+type box struct {
+	w          *world
+	transCache entry
+	cacheGen   uint64
+}
+
+// staleRead consumes the cache without ever consulting a generation.
+func (b *box) staleRead(a uint64) bool {
+	return b.transCache.covers(a) // want: read without gen validation
+}
+
+// validatedRead checks the generation first — the sanctioned pattern.
+func (b *box) validatedRead(a uint64) bool {
+	if b.cacheGen != b.w.Gen() {
+		return false
+	}
+	return b.transCache.covers(a)
+}
+
+// fill only writes the cache; filling needs no validation.
+func (b *box) fill(e entry) {
+	b.transCache = e
+}
+
+// drop calls an invalidation-style method on the cache field.
+func (b *box) drop() {
+	b.transCache.clear()
+}
+
+func (e *entry) clear() { *e = entry{} }
+
+// vetted reads the cache gen-free but carries a reviewed justification.
+func (b *box) vetted(a uint64) bool {
+	//covirt:allow gen-invalidation caller validated the generation this tick
+	return b.transCache.covers(a)
+}

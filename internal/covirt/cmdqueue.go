@@ -5,7 +5,18 @@ import (
 	"sync"
 
 	"covirt/internal/hw"
+	"covirt/internal/vmx"
 )
+
+// invalidateTransCache drops the VCPU's cached nested walks alongside a TLB
+// shootdown, keeping both translation caches on the same doorbell. The
+// drain runs on the guest CPU's own execution goroutine (NMI handler), so
+// touching the VCPU-owned cache is safe.
+func invalidateTransCache(cpu *hw.CPU) {
+	if v, ok := cpu.Virt.(*vmx.VCPU); ok {
+		v.InvalidateTransCache()
+	}
+}
 
 // Hypervisor command types carried on the command queue.
 const (
@@ -137,9 +148,11 @@ func (q *cmdQueue) drain(cpu *hw.CPU) uint64 {
 		switch rec[0] {
 		case CmdFlushAll:
 			cpu.TLB.FlushAll()
+			invalidateTransCache(cpu)
 			spent += cs.TLBFlushAll
 		case CmdFlushRange:
 			cpu.TLB.FlushRange(rec[1], rec[2])
+			invalidateTransCache(cpu)
 			spent += cs.TLBFlushPage
 		case CmdReloadVMCS:
 			spent += cs.VMEntry / 2

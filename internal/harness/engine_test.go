@@ -70,6 +70,9 @@ func TestEngineContinuesPastFailures(t *testing.T) {
 // byte-identical whether the engine runs jobs serially or on 8 workers.
 
 func TestFig5aOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig5a matrix twice; TestTransCacheOutputEquivalence covers the short tier")
+	}
 	run := func(parallel int) string {
 		var buf bytes.Buffer
 		if err := RunFig5a(Options{Reps: 2, Parallel: parallel}, &buf); err != nil {
@@ -84,6 +87,9 @@ func TestFig5aOutputDeterministic(t *testing.T) {
 }
 
 func TestFig7OutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full HPCG scaling passes; dominates the race suite")
+	}
 	// The fig7 path (runScaling matrix) with a test-sized HPCG so two full
 	// passes stay fast. Single-core cells only: within one simulated
 	// machine, concurrent ranks race on ledger-allocation order, which can

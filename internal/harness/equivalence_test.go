@@ -1,0 +1,48 @@
+package harness_test
+
+import (
+	"bytes"
+	"testing"
+
+	"covirt/internal/harness"
+	"covirt/internal/vmx"
+)
+
+// TestTransCacheOutputEquivalence is the determinism gate on the hot-path
+// caches: regenerating experiments with the VCPU translation cache
+// force-disabled and enabled must produce byte-identical output. The cache
+// memoizes completed nested walks (and their charged depth), so any
+// divergence means a cached translation charged different cycles or masked
+// a fault the slow path would have raised. The mttr experiment covers the
+// supervised crash/recovery path; fig5a the streaming path; fig7 the
+// TLB-missing gather path. The fig7 leg only runs in full, uninstrumented
+// suites: two complete HPCG scaling matrices are too slow for -short, and
+// under -race they would blow the package's test timeout on a small host
+// (the race tier still diffs fig5a and mttr).
+func TestTransCacheOutputEquivalence(t *testing.T) {
+	ids := []string{"fig5a", "mttr"}
+	if !testing.Short() && !raceDetectorEnabled {
+		ids = append(ids, "fig7")
+	}
+	defer vmx.SetTransCacheEnabled(true)
+	for _, id := range ids {
+		e := harness.ByID(id)
+		if e == nil {
+			t.Fatalf("no experiment %q", id)
+		}
+		opt := harness.Options{Reps: 1, Parallel: 4}
+		var off, on bytes.Buffer
+		vmx.SetTransCacheEnabled(false)
+		if err := e.Run(opt, &off); err != nil {
+			t.Fatalf("%s (cache off): %v", id, err)
+		}
+		vmx.SetTransCacheEnabled(true)
+		if err := e.Run(opt, &on); err != nil {
+			t.Fatalf("%s (cache on): %v", id, err)
+		}
+		if !bytes.Equal(off.Bytes(), on.Bytes()) {
+			t.Errorf("%s output diverges with translation cache disabled vs enabled:\n--- off ---\n%s\n--- on ---\n%s",
+				id, off.String(), on.String())
+		}
+	}
+}

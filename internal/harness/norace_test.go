@@ -1,0 +1,7 @@
+//go:build !race
+
+package harness_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; see race_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package harness_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The full fig7 equivalence pass is skipped under the race
+// detector (see equivalence_test.go): on a small CI host the
+// instrumented run would blow the per-package test timeout, and the
+// uninstrumented full suite already covers it.
+const raceDetectorEnabled = true

@@ -8,11 +8,25 @@ import (
 // MaxVectors is the size of the interrupt vector space.
 const MaxVectors = 256
 
-// pending-event flag bits used for the fast-path poll check.
+// pending-event flag bits used for the fast-path poll check. pendingIntr
+// and pendingNMI track deliverable events; pendingKill and pendingCrash
+// mirror the CPU kill latch and machine crash flag so CPU.poll's fast path
+// can rule out every slow-path condition with a single atomic load.
 const (
 	pendingIntr uint32 = 1 << iota
 	pendingNMI
+	pendingKill
+	pendingCrash
 )
+
+// pendingEvents masks the bits that mean an interrupt or NMI awaits
+// delivery (as opposed to the kill/crash fast-path mirrors).
+const pendingEvents = pendingIntr | pendingNMI
+
+// timerDisarmed is the deadline sentinel meaning "timer not armed"; it lets
+// checkTimer's common case (armed or not, deadline not reached) decide with
+// one atomic load.
+const timerDisarmed = ^uint64(0)
 
 // APIC simulates a local Advanced Programmable Interrupt Controller: an
 // interrupt request register (IRR) fed by IPIs and device interrupts, an NMI
@@ -32,8 +46,7 @@ type APIC struct {
 
 	// Timer state. The owning CPU advances the deadline; ArmTimer and
 	// DisarmTimer may be called from management contexts, so the fields
-	// are atomics.
-	timerArmed    atomic.Bool
+	// are atomics. A deadline of timerDisarmed means the timer is off.
 	timerDeadline atomic.Uint64
 	timerInterval atomic.Uint64
 	timerVector   atomic.Uint32
@@ -45,7 +58,9 @@ type APIC struct {
 
 // newAPIC returns an APIC for the given CPU id.
 func newAPIC(cpuID int) *APIC {
-	return &APIC{cpuID: cpuID, notify: make(chan struct{}, 1)}
+	a := &APIC{cpuID: cpuID, notify: make(chan struct{}, 1)}
+	a.timerDeadline.Store(timerDisarmed)
+	return a
 }
 
 // signal wakes anything blocked in WaitEvent.
@@ -136,7 +151,15 @@ func (a *APIC) takeIntr() (vector uint8, external, ok bool) {
 }
 
 // HasPending reports whether any interrupt or NMI awaits delivery.
-func (a *APIC) HasPending() bool { return a.pending.Load() != 0 }
+func (a *APIC) HasPending() bool { return a.pending.Load()&pendingEvents != 0 }
+
+// setKillPending and clearKillPending mirror the owning CPU's kill latch
+// into the pending word (set by Kill, cleared by Revive).
+func (a *APIC) setKillPending()   { a.pending.Or(pendingKill) }
+func (a *APIC) clearKillPending() { a.pending.And(^pendingKill) }
+
+// setCrashPending mirrors the machine crash flag; it is never cleared.
+func (a *APIC) setCrashPending() { a.pending.Or(pendingCrash) }
 
 // WaitEvent blocks until an event may be pending or done is closed. It is
 // used by idle loops so halted CPUs still notice NMI doorbells.
@@ -162,33 +185,59 @@ func (a *APIC) WaitSignal(done <-chan struct{}) {
 }
 
 // ArmTimer programs the local timer to fire vector every interval cycles,
-// starting from now (the caller's current TSC).
+// starting from now (the caller's current TSC). A zero interval disarms.
 func (a *APIC) ArmTimer(now, interval uint64, vector uint8) {
 	a.timerInterval.Store(interval)
-	a.timerDeadline.Store(now + interval)
 	a.timerVector.Store(uint32(vector))
-	a.timerArmed.Store(interval > 0)
+	if interval == 0 {
+		a.timerDeadline.Store(timerDisarmed)
+		return
+	}
+	a.timerDeadline.Store(now + interval)
 }
 
 // DisarmTimer stops the local timer.
-func (a *APIC) DisarmTimer() { a.timerArmed.Store(false) }
+func (a *APIC) DisarmTimer() { a.timerDeadline.Store(timerDisarmed) }
 
 // checkTimer raises the timer vector if now has passed the deadline,
 // rearming for the next period. Called from the owning CPU only.
 func (a *APIC) checkTimer(now uint64) {
-	if !a.timerArmed.Load() {
-		return
-	}
 	deadline := a.timerDeadline.Load()
-	if now < deadline {
+	if now < deadline { // also covers the disarmed sentinel
 		return
 	}
 	// Catch up without raising a storm if the CPU slept through many
 	// periods: one interrupt per poll, deadline advanced past now.
 	interval := a.timerInterval.Load()
+	if interval == 0 {
+		a.timerDeadline.Store(timerDisarmed)
+		return
+	}
 	for deadline <= now {
 		deadline += interval
 	}
 	a.timerDeadline.Store(deadline)
 	a.Raise(uint8(a.timerVector.Load()), true) // the LAPIC timer is an external interrupt source
+}
+
+// pollsUntilTimer returns how many charges of step cycles a batched access
+// path may apply, starting from now, before the poll that would observe the
+// timer deadline — i.e. the smallest j ≥ 1 with now + j*step ≥ deadline.
+// Per-page loops poll after every page, so a batched path that splits its
+// charge at this boundary delivers the timer tick at exactly the same page
+// as the element-at-a-time path. Returns MaxUint64 when no split is needed.
+func (a *APIC) pollsUntilTimer(now, step uint64) uint64 {
+	deadline := a.timerDeadline.Load()
+	if deadline == timerDisarmed || step == 0 {
+		return ^uint64(0)
+	}
+	if now >= deadline {
+		return 1
+	}
+	d := deadline - now
+	j := d / step
+	if d%step != 0 {
+		j++
+	}
+	return j
 }

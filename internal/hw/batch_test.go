@@ -1,0 +1,203 @@
+package hw
+
+import "testing"
+
+// referenceStream is the element-at-a-time streaming loop MemStream batches:
+// one translation lookup, one per-page cost, one poll per 4K page. Kept as
+// the oracle the batched implementation must match cycle-for-cycle.
+func referenceStream(c *CPU, addr, length uint64, write bool) error {
+	if length == 0 {
+		return c.poll()
+	}
+	cs := c.Costs()
+	end := addr + length
+	for page := AlignDown(addr, PageSize4K); page < end; page += PageSize4K {
+		if !c.TLB.Lookup(page) {
+			if err := c.translate(page, write); err != nil {
+				return err
+			}
+		}
+		lo, hi := page, page+PageSize4K
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		lines := (hi - lo + 63) / 64
+		cost := lines * cs.MemLinePerStream
+		if s := uint64(c.StreamSharers); s > 3 {
+			cost = cost * 3 * s / 10
+		}
+		if r := c.findRegion(page); r != nil && r.Node != c.Node {
+			cost = cs.remoteScale(cost)
+		}
+		c.Instret += lines
+		c.charge(cost)
+		if err := c.poll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// twinCPUs returns one CPU on each of two identically configured machines.
+func twinCPUs(t *testing.T) (batched, reference *CPU) {
+	t.Helper()
+	mk := func() *CPU {
+		spec := DefaultSpec()
+		spec.MemPerNode = 1 << 30
+		m, err := NewMachine(spec)
+		if err != nil {
+			t.Fatalf("NewMachine: %v", err)
+		}
+		return m.CPU(0)
+	}
+	return mk(), mk()
+}
+
+func assertSameState(t *testing.T, what string, batched, reference *CPU) {
+	t.Helper()
+	if batched.TSC != reference.TSC {
+		t.Errorf("%s: TSC diverged: batched %d reference %d", what, batched.TSC, reference.TSC)
+	}
+	if batched.Instret != reference.Instret {
+		t.Errorf("%s: Instret diverged: batched %d reference %d", what, batched.Instret, reference.Instret)
+	}
+	if batched.IRQsTaken != reference.IRQsTaken {
+		t.Errorf("%s: IRQsTaken diverged: batched %d reference %d", what, batched.IRQsTaken, reference.IRQsTaken)
+	}
+}
+
+func TestMemStreamMatchesReference(t *testing.T) {
+	base := uint64(1 << 21)
+	remote := uint64(1<<38) + 4<<20 // node-1 memory: remote-scaled costs
+	cases := []struct {
+		name    string
+		addr    uint64
+		length  uint64
+		sharers int
+	}{
+		{"aligned", base, 1 << 20, 0},
+		{"partial-edges", base + 100, 3*PageSize4K + 700, 0},
+		{"sub-page", base + 5000, 100, 0},
+		{"contended", base, 1 << 20, 5},
+		{"remote", remote, 1 << 19, 0},
+		{"huge", base, 64 << 20, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, r := twinCPUs(t)
+			b.StreamSharers = tc.sharers
+			r.StreamSharers = tc.sharers
+			if err := b.MemStream(tc.addr, tc.length, true); err != nil {
+				t.Fatalf("batched: %v", err)
+			}
+			if err := referenceStream(r, tc.addr, tc.length, true); err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			assertSameState(t, tc.name, b, r)
+		})
+	}
+}
+
+func TestMemStreamTimerTickLandsOnSamePage(t *testing.T) {
+	b, r := twinCPUs(t)
+	const vec = 0x40
+	// Interval small enough that several ticks land inside one stream.
+	interval := uint64(50_000)
+	b.APIC.ArmTimer(b.TSC, interval, vec)
+	r.APIC.ArmTimer(r.TSC, interval, vec)
+	if err := b.MemStream(1<<21, 16<<20, false); err != nil {
+		t.Fatalf("batched: %v", err)
+	}
+	if err := referenceStream(r, 1<<21, 16<<20, false); err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	assertSameState(t, "timer", b, r)
+	if b.IRQsTaken == 0 {
+		t.Fatalf("timer never fired; interval too large for the stream")
+	}
+}
+
+func TestAccessRunMatchesMemAccessLoop(t *testing.T) {
+	base := uint64(1 << 21)
+	remote := uint64(1<<38) + 4<<20
+	cases := []struct {
+		name   string
+		addr   uint64
+		n      int
+		stride uint64
+		kind   AccessKind
+	}{
+		{"dense-hot", base, 4096, 8, AccessHot},
+		{"dense-dram", base, 4096, 8, AccessDRAM},
+		{"page-stride", base, 512, PageSize4K, AccessDRAM},
+		{"large-stride", base, 64, 3 << 20, AccessDRAM},
+		{"zero-stride", base, 1000, 0, AccessDRAM},
+		{"remote", remote, 2048, 64, AccessDRAM},
+		{"unaligned-stride", base + 13, 997, 4099, AccessDRAM},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, r := twinCPUs(t)
+			if err := b.AccessRun(tc.addr, tc.n, tc.stride, true, tc.kind); err != nil {
+				t.Fatalf("batched: %v", err)
+			}
+			for i := uint64(0); i < uint64(tc.n); i++ {
+				if err := r.MemAccess(tc.addr+i*tc.stride, true, tc.kind); err != nil {
+					t.Fatalf("reference: %v", err)
+				}
+			}
+			assertSameState(t, tc.name, b, r)
+		})
+	}
+}
+
+func TestAccessRunTimerTickLandsOnSameElement(t *testing.T) {
+	b, r := twinCPUs(t)
+	const vec = 0x41
+	interval := uint64(9_973) // prime, lands mid-chunk
+	b.APIC.ArmTimer(b.TSC, interval, vec)
+	r.APIC.ArmTimer(r.TSC, interval, vec)
+	if err := b.AccessRun(1<<21, 100_000, 8, false, AccessDRAM); err != nil {
+		t.Fatalf("batched: %v", err)
+	}
+	for i := uint64(0); i < 100_000; i++ {
+		if err := r.MemAccess(1<<21+i*8, false, AccessDRAM); err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+	}
+	assertSameState(t, "timer", b, r)
+	if b.IRQsTaken == 0 {
+		t.Fatalf("timer never fired")
+	}
+}
+
+func TestAccessRunFaultChargesExactPrefix(t *testing.T) {
+	// Walk off the end of node 0's memory natively: the access that leaves
+	// backed space aborts, and the prefix before it must charge exactly
+	// what the per-element loop charged.
+	b, r := twinCPUs(t)
+	nodeEnd := uint64(1)<<30 + 1<<20 // MemBase 1M + MemPerNode-1M... region end
+	reg := b.M.Mem.Find(1 << 21)
+	if reg == nil {
+		t.Fatalf("no backing region")
+	}
+	nodeEnd = reg.End()
+	start := nodeEnd - 64*PageSize4K
+	berr := b.AccessRun(start, 1<<20, PageSize4K, false, AccessDRAM)
+	var rerr error
+	for i := uint64(0); i < 1<<20; i++ {
+		if rerr = r.MemAccess(start+i*PageSize4K, false, AccessDRAM); rerr != nil {
+			break
+		}
+	}
+	if berr == nil || rerr == nil {
+		t.Fatalf("expected faults, got batched=%v reference=%v", berr, rerr)
+	}
+	if bf, rf := berr.(*Fault), rerr.(*Fault); bf.Kind != rf.Kind {
+		t.Fatalf("fault kinds diverged: batched %v reference %v", bf.Kind, rf.Kind)
+	}
+	assertSameState(t, "fault-prefix", b, r)
+}

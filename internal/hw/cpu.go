@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"encoding/binary"
 	"sync/atomic"
 )
 
@@ -112,9 +113,11 @@ type CPU struct {
 
 	tscShadow atomic.Uint64 // published copy of TSC for cross-goroutine reads
 
-	// regionCache memoizes the last PhysMem region this core touched
+	// regionCache memoizes the last two PhysMem regions this core touched
 	// (single-goroutine owned; revalidated against the layout generation).
-	regionCache    *Region
+	// Two ways, not one: halo-exchange patterns alternate local/remote
+	// targets every access, which a single slot thrashes on.
+	regionCache    [2]*Region
 	regionCacheGen uint64
 
 	// Counters.
@@ -125,15 +128,19 @@ type CPU struct {
 // findRegion resolves addr to its backing region through a per-core cache.
 func (c *CPU) findRegion(addr uint64) *Region {
 	if gen := c.M.Mem.Gen(); gen != c.regionCacheGen {
-		c.regionCache = nil
+		c.regionCache = [2]*Region{}
 		c.regionCacheGen = gen
 	}
-	if r := c.regionCache; r != nil && r.Contains(addr, 1) {
+	if r := c.regionCache[0]; r != nil && r.Contains(addr, 1) {
+		return r
+	}
+	if r := c.regionCache[1]; r != nil && r.Contains(addr, 1) {
+		c.regionCache[0], c.regionCache[1] = r, c.regionCache[0]
 		return r
 	}
 	r := c.M.Mem.Find(addr)
 	if r != nil {
-		c.regionCache = r
+		c.regionCache[0], c.regionCache[1] = r, c.regionCache[0]
 	}
 	return r
 }
@@ -167,6 +174,7 @@ func (c *CPU) TSCSnapshot() uint64 { return c.tscShadow.Load() }
 // goroutine; Covirt's hypervisor uses it to stop an enclave's cores.
 func (c *CPU) Kill() {
 	c.killed.Store(true)
+	c.APIC.setKillPending()
 	c.APIC.signal()
 }
 
@@ -178,6 +186,7 @@ func (c *CPU) Killed() bool { return c.killed.Load() }
 func (c *CPU) Revive() {
 	c.killed.Store(false)
 	c.halted.Store(false)
+	c.APIC.clearKillPending()
 }
 
 // SetIRQHandler installs the guest interrupt handler invoked (on the
@@ -193,10 +202,14 @@ func (c *CPU) SetNMIHandler(h func(c *CPU)) { c.nmiHandler = h }
 // recognized at instruction retirement.
 func (c *CPU) poll() error {
 	c.tscShadow.Store(c.TSC)
-	if c.M.Crashed() {
+	// One atomic load covers the kill/crash mirror bits, keeping the
+	// overwhelmingly common "nothing pending" case down to four atomic
+	// ops (shadow store, pending word, timer deadline, pending recheck).
+	w := c.APIC.pending.Load()
+	if w&pendingCrash != 0 && c.M.Crashed() {
 		return &Fault{Kind: FaultMachineCrashed, CPU: c.ID, Msg: c.M.CrashReason()}
 	}
-	if c.killed.Load() {
+	if w&pendingKill != 0 && c.killed.Load() {
 		return &Fault{Kind: FaultEnclaveKilled, CPU: c.ID}
 	}
 	c.APIC.checkTimer(c.TSC)
@@ -270,7 +283,9 @@ func (c *CPU) translate(addr uint64, write bool) error {
 			return c.abort(f)
 		}
 	}
-	c.TLB.Insert(addr, pageSize)
+	// translate only runs after a TLB miss on addr, so the entry is known
+	// absent and the presence scan can be skipped.
+	c.TLB.InsertFresh(addr, pageSize)
 	return nil
 }
 
@@ -317,42 +332,181 @@ func (c *CPU) MemAccess(addr uint64, write bool, kind AccessKind) error {
 	return c.poll()
 }
 
+// streamChunkPages bounds how many full pages a batched stream charges
+// between polls, so the published TSC shadow and async event delivery keep
+// page-scale granularity even under giant translation spans.
+const streamChunkPages = 512
+
+// streamPageCost computes the per-page streaming cost the element-at-a-time
+// path charges for the byte range [lo, hi) of one 4K page. The integer
+// scaling must happen per page, in this order, for batched charging to stay
+// byte-identical (charge n pages as n*cost, never recompute on n*lines).
+func (c *CPU) streamPageCost(lo, hi uint64, remote bool) (lines, cost uint64) {
+	cs := c.Costs()
+	lines = (hi - lo + 63) / 64
+	cost = lines * cs.MemLinePerStream
+	// Bandwidth contention: one core uses roughly 30% of a socket's
+	// bandwidth, so beyond ~3 streaming cores the per-core rate drops.
+	if s := uint64(c.StreamSharers); s > 3 {
+		cost = cost * 3 * s / 10
+	}
+	if remote {
+		cost = cs.remoteScale(cost)
+	}
+	return lines, cost
+}
+
+// streamSpan resolves the translation and region span covering page,
+// translating on a TLB miss. It returns the first page-start past which the
+// (translation, region) pair may change, and whether the region is remote.
+func (c *CPU) streamSpan(page, end uint64, write bool) (limit uint64, remote bool, err error) {
+	base, span, ok := c.TLB.Cover(page)
+	if !ok {
+		if err := c.translate(page, write); err != nil {
+			return 0, false, err
+		}
+		if base, span, ok = c.TLB.Cover(page); !ok {
+			base, span = page, PageSize4K // unreachable: translate inserts
+		}
+	}
+	r, bound := c.M.Mem.Span(page)
+	limit = base + span
+	if bound < limit {
+		limit = bound
+	}
+	if end < limit {
+		limit = end
+	}
+	return limit, r != nil && r.Node != c.Node, nil
+}
+
 // MemStream models a sequential streaming access over [addr, addr+length),
 // charging per-line bandwidth costs and simulating per-page translations.
+//
+// Charging is batched per translation span: the per-4K-page cost is computed
+// once and multiplied by the page count, which is byte-identical to the
+// per-page loop because the cost is constant within one (TLB entry, region)
+// span. Timer interrupts still land on the exact page boundary the per-page
+// loop would have delivered them on (see pollsUntilTimer).
 func (c *CPU) MemStream(addr, length uint64, write bool) error {
 	if length == 0 {
 		return c.poll()
 	}
-	cs := c.Costs()
 	end := addr + length
-	for page := AlignDown(addr, PageSize4K); page < end; page += PageSize4K {
-		if !c.TLB.Lookup(page) {
-			if err := c.translate(page, write); err != nil {
+	page := AlignDown(addr, PageSize4K)
+	for page < end {
+		limit, remote, err := c.streamSpan(page, end, write)
+		if err != nil {
+			return err
+		}
+		// Partial leading/trailing pages charge alone (the per-page loop
+		// polls after every page, so an extra poll here changes nothing).
+		if page < addr || page+PageSize4K > end {
+			lo, hi := page, page+PageSize4K
+			if lo < addr {
+				lo = addr
+			}
+			if hi > end {
+				hi = end
+			}
+			lines, cost := c.streamPageCost(lo, hi, remote)
+			c.Instret += lines
+			c.charge(cost)
+			if err := c.poll(); err != nil {
 				return err
 			}
+			page += PageSize4K
+			continue
 		}
-		lo, hi := page, page+PageSize4K
-		if lo < addr {
-			lo = addr
+		// Full pages with identical cost up to limit: charge as one batch,
+		// splitting where the per-page loop would have taken a timer tick.
+		full := (limit - page) / PageSize4K
+		if full == 0 {
+			full = 1 // region boundary inside this page; cost still from its start
 		}
-		if hi > end {
-			hi = end
+		if full > streamChunkPages {
+			full = streamChunkPages
 		}
-		lines := (hi - lo + 63) / 64
-		cost := lines * cs.MemLinePerStream
-		// Bandwidth contention: one core uses roughly 30% of a socket's
-		// bandwidth, so beyond ~3 streaming cores the per-core rate drops.
-		if s := uint64(c.StreamSharers); s > 3 {
-			cost = cost * 3 * s / 10
+		lines, cost := c.streamPageCost(page, page+PageSize4K, remote)
+		if j := c.APIC.pollsUntilTimer(c.TSC, cost); j < full {
+			full = j
 		}
-		if r := c.findRegion(page); r != nil && r.Node != c.Node {
-			cost = cs.remoteScale(cost)
-		}
-		c.Instret += lines
-		c.charge(cost)
+		c.Instret += full * lines
+		c.charge(full * cost)
 		if err := c.poll(); err != nil {
 			return err
 		}
+		page += full * PageSize4K
+	}
+	return nil
+}
+
+// accessRunChunk bounds how many elements AccessRun charges between polls.
+const accessRunChunk = 1024
+
+// AccessRun models n data accesses of the given kind at addr, addr+stride,
+// addr+2*stride, ... — the strided sweeps of STREAM/HPCG-style kernels. It
+// charges exactly what the equivalent MemAccess loop would: one translation
+// per TLB span, the same per-element data cost, the same Instret count, and
+// identical fault behaviour (a fault mid-run charges the exact prefix the
+// per-element loop would have charged). It is the batched fast path: cost
+// is computed once per (translation, region) span and multiplied, instead
+// of per element.
+func (c *CPU) AccessRun(addr uint64, n int, stride uint64, write bool, kind AccessKind) error {
+	cs := c.Costs()
+	remaining := uint64(n)
+	cur := addr
+	for remaining > 0 {
+		base, span, ok := c.TLB.Cover(cur)
+		translated := false
+		if !ok {
+			// The per-element loop retires the element before the miss.
+			c.Instret++
+			if err := c.translate(cur, write); err != nil {
+				return err
+			}
+			translated = true
+			if base, span, ok = c.TLB.Cover(cur); !ok {
+				base, span = AlignDown(cur, PageSize4K), PageSize4K
+			}
+		}
+		limit := base + span
+		elem := cs.MemHit
+		if kind != AccessHot {
+			elem = cs.MemDRAM
+			r, bound := c.M.Mem.Span(cur)
+			if bound < limit {
+				limit = bound
+			}
+			if r != nil && r.Node != c.Node {
+				elem = cs.remoteScale(elem)
+			}
+		}
+		// Elements with addresses in [cur, limit) share this cost.
+		count := remaining
+		if stride > 0 {
+			count = (limit - cur + stride - 1) / stride
+			if count > remaining {
+				count = remaining
+			}
+		}
+		if count > accessRunChunk {
+			count = accessRunChunk
+		}
+		if j := c.APIC.pollsUntilTimer(c.TSC, elem); j < count {
+			count = j
+		}
+		inst := count
+		if translated {
+			inst-- // the translated element's retire was counted above
+		}
+		c.Instret += inst
+		c.charge(count * elem)
+		if err := c.poll(); err != nil {
+			return err
+		}
+		remaining -= count
+		cur += count * stride
 	}
 	return nil
 }
@@ -370,6 +524,23 @@ func (c *CPU) guardData(addr uint64, write bool, kind AccessKind) error {
 	return nil
 }
 
+// memRW moves backing bytes for a guarded accessor through the per-core
+// cached region, so one logical access resolves its region once and takes
+// only the region's chunk lock — same semantics as PhysMem.Read/Write (the
+// whole range must sit in a single region).
+func (c *CPU) memRW(addr uint64, p []byte, write bool) error {
+	r := c.findRegion(addr)
+	if r == nil || !r.Contains(addr, uint64(len(p))) {
+		return &Fault{Kind: FaultBusError, Addr: addr, Write: write}
+	}
+	if write {
+		r.write(addr, p)
+	} else {
+		r.read(addr, p)
+	}
+	return nil
+}
+
 // Read64G reads a guest-visible 64-bit value at physical addr, going
 // through the full translation/protection path. A read of unbacked space
 // is an abort.
@@ -377,10 +548,11 @@ func (c *CPU) Read64G(addr uint64) (uint64, error) {
 	if err := c.guardData(addr, false, AccessHot); err != nil {
 		return 0, err
 	}
-	v, err := c.M.Mem.Read64(addr)
-	if err != nil {
+	var b [8]byte
+	if err := c.memRW(addr, b[:], false); err != nil {
 		return 0, c.abort(err.(*Fault))
 	}
+	v := binary.LittleEndian.Uint64(b[:])
 	if perr := c.poll(); perr != nil {
 		return v, perr
 	}
@@ -395,7 +567,9 @@ func (c *CPU) Write64G(addr, val uint64) error {
 	if err := c.guardData(addr, true, AccessHot); err != nil {
 		return err
 	}
-	if err := c.M.Mem.Write64(addr, val); err != nil {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	if err := c.memRW(addr, b[:], true); err != nil {
 		return c.abort(err.(*Fault))
 	}
 	return c.poll()
@@ -409,7 +583,7 @@ func (c *CPU) ReadBytesG(addr uint64, p []byte) error {
 			return err
 		}
 	}
-	if err := c.M.Mem.Read(addr, p); err != nil {
+	if err := c.memRW(addr, p, false); err != nil {
 		return c.abort(err.(*Fault))
 	}
 	return c.poll()
@@ -422,7 +596,7 @@ func (c *CPU) WriteBytesG(addr uint64, p []byte) error {
 			return err
 		}
 	}
-	if err := c.M.Mem.Write(addr, p); err != nil {
+	if err := c.memRW(addr, p, true); err != nil {
 		return c.abort(err.(*Fault))
 	}
 	return c.poll()

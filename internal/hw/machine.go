@@ -145,6 +145,7 @@ func (m *Machine) Crash(reason string) {
 		m.crashReason.Store(reason)
 		close(m.crashCh)
 		for _, c := range m.CPUs {
+			c.APIC.setCrashPending()
 			c.APIC.signal()
 		}
 	}

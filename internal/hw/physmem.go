@@ -79,10 +79,13 @@ func (r *Region) write(addr uint64, p []byte) {
 
 // PhysMem is the machine's physical address space: an ordered set of
 // non-overlapping backed regions. Reads and writes outside any region are
-// physical bus errors (machine aborts). PhysMem is safe for concurrent use.
+// physical bus errors (machine aborts). PhysMem is safe for concurrent use:
+// the region list is published as an immutable copy-on-write snapshot, so
+// the read side (every simulated memory access) is lock-free; mutations are
+// serialized under mu and each bumps the layout generation.
 type PhysMem struct {
-	mu      sync.RWMutex
-	regions []*Region // sorted by Start
+	mu      sync.Mutex
+	regions atomic.Pointer[[]*Region] // immutable snapshot, sorted by Start
 	gen     atomic.Uint64
 }
 
@@ -92,6 +95,15 @@ func (pm *PhysMem) Gen() uint64 { return pm.gen.Load() }
 
 // NewPhysMem returns an empty physical address space.
 func NewPhysMem() *PhysMem { return &PhysMem{} }
+
+// snapshot returns the current immutable region list (callers must not
+// modify it).
+func (pm *PhysMem) snapshot() []*Region {
+	if p := pm.regions.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // AddRegion registers a new backed region. It returns an error if the range
 // overlaps an existing region or wraps the address space.
@@ -105,16 +117,19 @@ func (pm *PhysMem) AddRegion(start, size uint64, node int, label string) (*Regio
 	r := &Region{Start: start, Size: size, Node: node, Label: label, chunks: make(map[uint64][]byte)}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
-	i := sort.Search(len(pm.regions), func(i int) bool { return pm.regions[i].Start >= start })
-	if i > 0 && pm.regions[i-1].End() > start {
-		return nil, fmt.Errorf("hw: region %q [%#x,%#x) overlaps %q", label, start, start+size, pm.regions[i-1].Label)
+	old := pm.snapshot()
+	i := sort.Search(len(old), func(i int) bool { return old[i].Start >= start })
+	if i > 0 && old[i-1].End() > start {
+		return nil, fmt.Errorf("hw: region %q [%#x,%#x) overlaps %q", label, start, start+size, old[i-1].Label)
 	}
-	if i < len(pm.regions) && pm.regions[i].Start < start+size {
-		return nil, fmt.Errorf("hw: region %q [%#x,%#x) overlaps %q", label, start, start+size, pm.regions[i].Label)
+	if i < len(old) && old[i].Start < start+size {
+		return nil, fmt.Errorf("hw: region %q [%#x,%#x) overlaps %q", label, start, start+size, old[i].Label)
 	}
-	pm.regions = append(pm.regions, nil)
-	copy(pm.regions[i+1:], pm.regions[i:])
-	pm.regions[i] = r
+	next := make([]*Region, 0, len(old)+1)
+	next = append(next, old[:i]...)
+	next = append(next, r)
+	next = append(next, old[i:]...)
+	pm.regions.Store(&next)
 	pm.gen.Add(1)
 	return r, nil
 }
@@ -124,33 +139,52 @@ func (pm *PhysMem) AddRegion(start, size uint64, node int, label string) (*Regio
 func (pm *PhysMem) RemoveRegion(start uint64) *Region {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
-	i := sort.Search(len(pm.regions), func(i int) bool { return pm.regions[i].Start >= start })
-	if i == len(pm.regions) || pm.regions[i].Start != start {
+	old := pm.snapshot()
+	i := sort.Search(len(old), func(i int) bool { return old[i].Start >= start })
+	if i == len(old) || old[i].Start != start {
 		return nil
 	}
-	r := pm.regions[i]
-	pm.regions = append(pm.regions[:i], pm.regions[i+1:]...)
+	r := old[i]
+	next := make([]*Region, 0, len(old)-1)
+	next = append(next, old[:i]...)
+	next = append(next, old[i+1:]...)
+	pm.regions.Store(&next)
 	pm.gen.Add(1)
 	return r
 }
 
-// Find returns the region containing addr, or nil.
+// Find returns the region containing addr, or nil. Lock-free.
 func (pm *PhysMem) Find(addr uint64) *Region {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	i := sort.Search(len(pm.regions), func(i int) bool { return pm.regions[i].End() > addr })
-	if i == len(pm.regions) || pm.regions[i].Start > addr {
+	regions := pm.snapshot()
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].End() > addr })
+	if i == len(regions) || regions[i].Start > addr {
 		return nil
 	}
-	return pm.regions[i]
+	return regions[i]
+}
+
+// Span returns the region containing addr (nil when unbacked) together with
+// the first address above addr where the containing-region answer changes:
+// the region's end on a hit, the next region's start (or the top of the
+// address space) on a miss. Batched access paths use it to charge a whole
+// run of addresses with one lookup. Lock-free.
+func (pm *PhysMem) Span(addr uint64) (*Region, uint64) {
+	regions := pm.snapshot()
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].End() > addr })
+	if i == len(regions) {
+		return nil, ^uint64(0)
+	}
+	if regions[i].Start > addr {
+		return nil, regions[i].Start
+	}
+	return regions[i], regions[i].End()
 }
 
 // Regions returns a snapshot of all regions in address order.
 func (pm *PhysMem) Regions() []*Region {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	out := make([]*Region, len(pm.regions))
-	copy(out, pm.regions)
+	regions := pm.snapshot()
+	out := make([]*Region, len(regions))
+	copy(out, regions)
 	return out
 }
 

@@ -7,25 +7,50 @@ type TLBStats struct {
 	Flushes uint64
 }
 
-// tlbNode is one cached translation, linked into its class's LRU list.
+// tlbNode is one cached translation, linked into its class's LRU list and
+// indexed into the class's live-entry array.
 type tlbNode struct {
 	base       uint64 // page-aligned address
 	pageSize   uint64
 	gen        uint64 // translation generation it was filled under
 	prev, next *tlbNode
+	slot       int // index in tlbClass.live
 }
 
 // tlbClass holds all entries of one page size with O(1) LRU maintenance.
+// Entries live in a fixed-capacity array scanned linearly on lookup: with
+// architectural capacities (≤64) a scan beats map probing and — unlike a
+// map — insert/evict churn allocates nothing, which matters because every
+// simulated TLB miss inserts here. The scan runs over a parallel array of
+// bare tags (bases) rather than the nodes themselves, so a full-class miss
+// touches a few contiguous cache lines instead of chasing 64 pointers.
 type tlbClass struct {
-	entries  map[uint64]*tlbNode
-	head     *tlbNode // most recently used
-	tail     *tlbNode // least recently used
+	bases    []uint64   // tag array, parallel to live: bases[i] == live[i].base
+	live     []*tlbNode // unordered live entries; node.slot is its index
+	free     []*tlbNode // recycled nodes awaiting reuse
+	head     *tlbNode   // most recently used
+	tail     *tlbNode   // least recently used
 	cap      int
 	pageSize uint64
 }
 
 func newTLBClass(capacity int, pageSize uint64) *tlbClass {
-	return &tlbClass{entries: make(map[uint64]*tlbNode), cap: capacity, pageSize: pageSize}
+	return &tlbClass{
+		bases:    make([]uint64, 0, capacity),
+		live:     make([]*tlbNode, 0, capacity),
+		cap:      capacity,
+		pageSize: pageSize,
+	}
+}
+
+// find returns the live entry with the given base, or nil.
+func (c *tlbClass) find(base uint64) *tlbNode {
+	for i, b := range c.bases {
+		if b == base {
+			return c.live[i]
+		}
+	}
+	return nil
 }
 
 // unlink removes n from the LRU list.
@@ -62,6 +87,51 @@ func (c *tlbClass) touch(n *tlbNode) {
 	}
 	c.unlink(n)
 	c.pushFront(n)
+}
+
+// remove drops n from the class, recycling its node.
+func (c *tlbClass) remove(n *tlbNode) {
+	c.unlink(n)
+	last := len(c.live) - 1
+	moved := c.live[last]
+	c.live[n.slot] = moved
+	c.bases[n.slot] = c.bases[last]
+	moved.slot = n.slot
+	c.live = c.live[:last]
+	c.bases = c.bases[:last]
+	c.free = append(c.free, n)
+}
+
+// insert adds a translation for base, evicting the LRU entry when full.
+// The caller has checked base is not present.
+func (c *tlbClass) insert(base, gen uint64) {
+	var n *tlbNode
+	if len(c.live) >= c.cap {
+		// Reuse the evicted victim's node in place: same slot, new tag.
+		n = c.tail
+		c.unlink(n)
+	} else if k := len(c.free); k > 0 {
+		n = c.free[k-1]
+		c.free = c.free[:k-1]
+		n.slot = len(c.live)
+		c.live = append(c.live, n)
+		c.bases = append(c.bases, 0)
+	} else {
+		n = &tlbNode{pageSize: c.pageSize, slot: len(c.live)}
+		c.live = append(c.live, n)
+		c.bases = append(c.bases, 0)
+	}
+	n.base, n.gen = base, gen
+	c.bases[n.slot] = base
+	c.pushFront(n)
+}
+
+// reset drops all live entries, keeping allocated nodes for reuse.
+func (c *tlbClass) reset() {
+	c.free = append(c.free, c.live...)
+	c.live = c.live[:0]
+	c.bases = c.bases[:0]
+	c.head, c.tail = nil, nil
 }
 
 // TLB simulates a unified translation lookaside buffer with separate
@@ -113,8 +183,17 @@ func (t *TLB) reindex() {
 	}
 }
 
-// class returns (creating if needed) the class for a page size.
+// class returns (creating if needed) the class for a page size. The three
+// architectural sizes resolve through the probe cache, skipping the map.
 func (t *TLB) class(pageSize uint64) *tlbClass {
+	switch pageSize {
+	case PageSize2M:
+		return t.std[0]
+	case PageSize4K:
+		return t.std[1]
+	case PageSize1G:
+		return t.std[2]
+	}
 	c, ok := t.classes[pageSize]
 	if !ok {
 		c = newTLBClass(16, pageSize) // unknown page size: modest default class
@@ -124,32 +203,41 @@ func (t *TLB) class(pageSize uint64) *tlbClass {
 	return c
 }
 
-// Lookup reports whether addr's translation is cached. On a hit the entry's
-// recency is refreshed.
-func (t *TLB) Lookup(addr uint64) bool {
+// Cover reports whether addr's translation is cached and, on a hit, returns
+// the covering entry's page base and size so callers can batch work across
+// the whole translated span. Recency and hit/miss counters update exactly
+// as Lookup.
+func (t *TLB) Cover(addr uint64) (base, pageSize uint64, ok bool) {
 	for i, ps := range probeOrder {
 		c := t.std[i]
-		if c == nil || len(c.entries) == 0 {
+		if c == nil || len(c.live) == 0 {
 			continue
 		}
-		if n, ok := c.entries[addr&^(ps-1)]; ok {
+		if n := c.find(addr &^ (ps - 1)); n != nil {
 			c.touch(n)
 			t.stats.Hits++
-			return true
+			return n.base, ps, true
 		}
 	}
 	for _, c := range t.extra {
-		if len(c.entries) == 0 {
+		if len(c.live) == 0 {
 			continue
 		}
-		if n, ok := c.entries[addr&^(c.pageSize-1)]; ok {
+		if n := c.find(addr &^ (c.pageSize - 1)); n != nil {
 			c.touch(n)
 			t.stats.Hits++
-			return true
+			return n.base, c.pageSize, true
 		}
 	}
 	t.stats.Misses++
-	return false
+	return 0, 0, false
+}
+
+// Lookup reports whether addr's translation is cached. On a hit the entry's
+// recency is refreshed.
+func (t *TLB) Lookup(addr uint64) bool {
+	_, _, ok := t.Cover(addr)
+	return ok
 }
 
 // Insert caches the translation of the page of the given size containing
@@ -158,27 +246,28 @@ func (t *TLB) Lookup(addr uint64) bool {
 func (t *TLB) Insert(addr, pageSize uint64) {
 	c := t.class(pageSize)
 	base := addr &^ (pageSize - 1)
-	if n, ok := c.entries[base]; ok {
+	if n := c.find(base); n != nil {
 		c.touch(n)
 		n.gen = t.gen
 		return
 	}
-	if len(c.entries) >= c.cap {
-		victim := c.tail
-		c.unlink(victim)
-		delete(c.entries, victim.base)
-	}
-	n := &tlbNode{base: base, pageSize: pageSize, gen: t.gen}
-	c.entries[base] = n
-	c.pushFront(n)
+	c.insert(base, t.gen)
+}
+
+// InsertFresh caches a translation the caller knows is absent — legal only
+// immediately after a Cover/Lookup miss on the same address (flushes in
+// between preserve absence). It skips Insert's presence scan, which would
+// re-walk the full class on the miss path just to confirm the miss.
+func (t *TLB) InsertFresh(addr, pageSize uint64) {
+	c := t.class(pageSize)
+	c.insert(addr&^(pageSize-1), t.gen)
 }
 
 // FlushAll drops every cached translation and bumps the generation counter.
 func (t *TLB) FlushAll() {
-	for ps, c := range t.classes {
-		t.classes[ps] = newTLBClass(c.cap, ps)
+	for _, c := range t.classes {
+		c.reset()
 	}
-	t.reindex()
 	t.gen++
 	t.stats.Flushes++
 }
@@ -187,11 +276,13 @@ func (t *TLB) FlushAll() {
 // [addr, addr+size).
 func (t *TLB) FlushRange(addr, size uint64) {
 	for _, c := range t.classes {
-		for base, n := range c.entries {
-			if base < addr+size && base+n.pageSize > addr {
-				c.unlink(n)
-				delete(c.entries, base)
+		for i := 0; i < len(c.live); {
+			n := c.live[i]
+			if n.base < addr+size && n.base+n.pageSize > addr {
+				c.remove(n) // swaps the last entry into slot i; revisit it
+				continue
 			}
+			i++
 		}
 	}
 	t.stats.Flushes++
@@ -201,7 +292,7 @@ func (t *TLB) FlushRange(addr, size uint64) {
 func (t *TLB) Len() int {
 	total := 0
 	for _, c := range t.classes {
-		total += len(c.entries)
+		total += len(c.live)
 	}
 	return total
 }
@@ -209,7 +300,7 @@ func (t *TLB) Len() int {
 // Count returns the number of cached translations of one page size.
 func (t *TLB) Count(pageSize uint64) int {
 	if c := t.classes[pageSize]; c != nil {
-		return len(c.entries)
+		return len(c.live)
 	}
 	return 0
 }

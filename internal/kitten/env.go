@@ -25,6 +25,39 @@ type Env struct {
 	CPU  *hw.CPU
 	Core int // local core index within the enclave
 	Task *Task
+
+	// extCache memoizes the last memory-map extent a containment check
+	// hit; extCacheGen records the MemMap generation it was looked up
+	// under, and the entry is consulted only while K.mm.Gen() still
+	// matches — an XemDetach or Free on any core bumps the generation and
+	// implicitly drops it. Env is owned by one task goroutine, so the
+	// fields need no locking.
+	extCache    hw.Extent
+	extCacheGen uint64
+}
+
+// resolve is the memory-map check behind every Env access: a gen-validated
+// hit on the cached extent, falling back to the map's lock-free search,
+// returning the extent covering [addr, addr+size). The generation is read
+// before the search so a concurrent map mutation can only make the
+// refreshed cache entry look stale, never a stale one fresh.
+func (e *Env) resolve(addr, size uint64) (hw.Extent, bool) {
+	gen := e.K.mm.Gen()
+	if e.extCacheGen == gen && e.extCache.ContainsRange(addr, size) {
+		return e.extCache, true
+	}
+	ext, ok := e.K.mm.Find(addr)
+	if !ok || !ext.ContainsRange(addr, size) {
+		return hw.Extent{}, false
+	}
+	e.extCache, e.extCacheGen = ext, gen
+	return ext, true
+}
+
+// contains reports whether [addr, addr+size) is mapped.
+func (e *Env) contains(addr, size uint64) bool {
+	_, ok := e.resolve(addr, size)
+	return ok
 }
 
 // fail aborts the current task with err (via panic, recovered by the task
@@ -49,15 +82,42 @@ func (e *Env) TSC() uint64 { return e.CPU.ReadTSC() }
 // Access performs one data access at addr, enforcing the kernel memory
 // map (the simulation of Kitten's own page tables).
 func (e *Env) Access(addr uint64, write bool, kind hw.AccessKind) {
-	if !e.K.mm.Contains(addr, 1) {
+	if !e.contains(addr, 1) {
 		e.fail(fmt.Errorf("%w: %#x", ErrSegfault, addr))
 	}
 	e.check(e.CPU.MemAccess(addr, write, kind))
 }
 
+// AccessRun performs n strided accesses starting at addr (stride 0 repeats
+// one address), equivalent to n Access calls — same memory-map checks at
+// every element, same charged cycles, same fault points — but batched: the
+// map is consulted once per covered extent and the accesses stream through
+// hw.CPU.AccessRun's translation-batched path. A segfault aborts the task
+// at exactly the element a per-element loop would have reached.
+func (e *Env) AccessRun(addr uint64, n int, stride uint64, write bool, kind hw.AccessKind) {
+	cur := addr
+	for n > 0 {
+		ext, ok := e.resolve(cur, 1)
+		if !ok {
+			e.fail(fmt.Errorf("%w: %#x", ErrSegfault, cur))
+		}
+		// Elements beyond this extent's end re-check the map (they may
+		// land in an adjacent extent, as per-element checks allow).
+		count := n
+		if stride != 0 {
+			if within := (ext.End() - cur - 1) / stride; uint64(count-1) > within {
+				count = int(within) + 1
+			}
+		}
+		e.check(e.CPU.AccessRun(cur, count, stride, write, kind))
+		cur += uint64(count) * stride
+		n -= count
+	}
+}
+
 // Stream performs a sequential streaming access over [addr, addr+length).
 func (e *Env) Stream(addr, length uint64, write bool) {
-	if !e.K.mm.Contains(addr, length) {
+	if !e.contains(addr, length) {
 		e.fail(fmt.Errorf("%w: [%#x,+%#x)", ErrSegfault, addr, length))
 	}
 	e.check(e.CPU.MemStream(addr, length, write))
@@ -65,7 +125,7 @@ func (e *Env) Stream(addr, length uint64, write bool) {
 
 // Read64 reads guest memory through the full protection path.
 func (e *Env) Read64(addr uint64) uint64 {
-	if !e.K.mm.Contains(addr, 8) {
+	if !e.contains(addr, 8) {
 		e.fail(fmt.Errorf("%w: %#x", ErrSegfault, addr))
 	}
 	v, err := e.CPU.Read64G(addr)
@@ -75,7 +135,7 @@ func (e *Env) Read64(addr uint64) uint64 {
 
 // Write64 writes guest memory through the full protection path.
 func (e *Env) Write64(addr, val uint64) {
-	if !e.K.mm.Contains(addr, 8) {
+	if !e.contains(addr, 8) {
 		e.fail(fmt.Errorf("%w: %#x", ErrSegfault, addr))
 	}
 	e.check(e.CPU.Write64G(addr, val))

@@ -3,6 +3,7 @@ package kitten
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"covirt/internal/hw"
 )
@@ -12,22 +13,52 @@ import (
 // co-kernel voluntarily constrains itself to this map — and, exactly as the
 // paper observes, nothing but a protection layer stops code that bypasses
 // or misconfigures it.
+//
+// Lookups are lock-free: the sorted extent slice is immutable once
+// published through an atomic pointer, and mutations build a fresh copy
+// under mu. A generation counter bumps after every published mutation so
+// callers (kitten.Env) can cache lookup results and validate them with a
+// single atomic load instead of re-searching; because the bump happens
+// after the new slice is visible, a racing reader can at worst stamp a
+// fresh extent with an old generation (a spurious re-lookup), never a
+// stale extent with the current one.
 type MemMap struct {
-	mu   sync.RWMutex
-	exts []hw.Extent // sorted by Start, non-overlapping
+	mu   sync.Mutex                  // serializes mutations only
+	exts atomic.Pointer[[]hw.Extent] // sorted by Start, non-overlapping
+	gen  atomic.Uint64
 }
 
 // NewMemMap returns an empty memory map.
-func NewMemMap() *MemMap { return &MemMap{} }
+func NewMemMap() *MemMap {
+	m := &MemMap{}
+	m.exts.Store(&[]hw.Extent{})
+	return m
+}
+
+// snapshot returns the current published extent slice (never nil).
+func (m *MemMap) snapshot() []hw.Extent {
+	if p := m.exts.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Gen returns the mutation generation. Any Add or Remove bumps it, so a
+// cached lookup result is valid exactly while the generation is unchanged.
+func (m *MemMap) Gen() uint64 { return m.gen.Load() }
 
 // Add inserts an extent into the map.
 func (m *MemMap) Add(e hw.Extent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].Start >= e.Start })
-	m.exts = append(m.exts, hw.Extent{})
-	copy(m.exts[i+1:], m.exts[i:])
-	m.exts[i] = e
+	old := m.snapshot()
+	i := sort.Search(len(old), func(i int) bool { return old[i].Start >= e.Start })
+	exts := make([]hw.Extent, 0, len(old)+1)
+	exts = append(exts, old[:i]...)
+	exts = append(exts, e)
+	exts = append(exts, old[i:]...)
+	m.exts.Store(&exts)
+	m.gen.Add(1)
 }
 
 // Remove deletes the extent that exactly matches e's range, reporting
@@ -35,36 +66,47 @@ func (m *MemMap) Add(e hw.Extent) {
 func (m *MemMap) Remove(e hw.Extent) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i, x := range m.exts {
+	old := m.snapshot()
+	for i, x := range old {
 		if x.Start == e.Start && x.Size == e.Size {
-			m.exts = append(m.exts[:i], m.exts[i+1:]...)
+			exts := make([]hw.Extent, 0, len(old)-1)
+			exts = append(exts, old[:i]...)
+			exts = append(exts, old[i+1:]...)
+			m.exts.Store(&exts)
+			m.gen.Add(1)
 			return true
 		}
 	}
 	return false
 }
 
+// Find returns the mapped extent containing addr, if any. Lock-free.
+func (m *MemMap) Find(addr uint64) (hw.Extent, bool) {
+	exts := m.snapshot()
+	i := sort.Search(len(exts), func(i int) bool { return exts[i].End() > addr })
+	if i < len(exts) && exts[i].ContainsRange(addr, 1) {
+		return exts[i], true
+	}
+	return hw.Extent{}, false
+}
+
 // Contains reports whether [addr, addr+size) is fully covered by one
-// mapped extent.
+// mapped extent. Lock-free.
 func (m *MemMap) Contains(addr, size uint64) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].End() > addr })
-	return i < len(m.exts) && m.exts[i].ContainsRange(addr, size)
+	exts := m.snapshot()
+	i := sort.Search(len(exts), func(i int) bool { return exts[i].End() > addr })
+	return i < len(exts) && exts[i].ContainsRange(addr, size)
 }
 
 // Extents returns a snapshot of the map.
 func (m *MemMap) Extents() []hw.Extent {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]hw.Extent, len(m.exts))
-	copy(out, m.exts)
+	exts := m.snapshot()
+	out := make([]hw.Extent, len(exts))
+	copy(out, exts)
 	return out
 }
 
 // Bytes returns the total mapped size.
 func (m *MemMap) Bytes() uint64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return hw.TotalSize(m.exts)
+	return hw.TotalSize(m.snapshot())
 }

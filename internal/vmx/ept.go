@@ -36,16 +36,20 @@ func levelShift(level int) uint { return 12 + uint(level)*eptIdxBits }
 func levelPageSize(level int) uint64 { return 1 << levelShift(level) }
 
 // eptEntry is one slot of an EPT table node: either a pointer to the next
-// level or a leaf mapping.
+// level or a leaf mapping. Entries are immutable once published — mutation
+// replaces the slot's pointer — so lock-free walkers always observe a fully
+// constructed entry.
 type eptEntry struct {
 	next  *eptNode
 	leaf  bool
 	perms Perms
 }
 
-// eptNode is one 512-entry EPT table.
+// eptNode is one 512-entry EPT table. Slots publish immutable entries
+// atomically (nil = not present): readers walk without taking any lock,
+// writers serialize under EPT.mu and store fully built subtrees.
 type eptNode struct {
-	entries [1 << eptIdxBits]eptEntry
+	entries [1 << eptIdxBits]atomic.Pointer[eptEntry]
 }
 
 // EPTStats summarizes an EPT's current mappings.
@@ -64,17 +68,22 @@ func (s EPTStats) Pages() uint64 { return s.Mapped4K + s.Mapped2M + s.Mapped1G }
 // structure exists to *bound* what the guest may touch, not to remap it.
 //
 // EPT is safe for concurrent use: the controller module mutates it while
-// guest CPUs walk it. Mutations bump a generation counter; TLB shootdown is
-// the hypervisor's job (see covirt's command queue).
+// guest CPUs walk it. The walk side is lock-free (atomic entry publication);
+// mutations are serialized under mu and bump the generation counter *after*
+// the edit, so a translation cached under generation g is guaranteed to
+// reflect a fully applied layout once Gen() returns g. TLB shootdown is the
+// hypervisor's job (see covirt's command queue).
 type EPT struct {
-	mu    sync.RWMutex
-	root  *eptNode
-	stats EPTStats
-	gen   atomic.Uint64
+	mu      sync.Mutex
+	root    *eptNode
+	stats   EPTStats
+	gen     atomic.Uint64
 	// maxPage caps leaf mapping sizes (0 = coalesce freely up to 1G);
 	// used by the large-page ablation.
 	maxPage uint64
-	// walkCount counts completed walks (diagnostics).
+	// walkCount counts completed full walks (diagnostics). Translation-
+	// cache hits intentionally do not count: the cache exists to absorb
+	// walks, and the counter measures the walks that actually happened.
 	walkCount atomic.Uint64
 }
 
@@ -96,8 +105,8 @@ func (e *EPT) Gen() uint64 { return e.gen.Load() }
 
 // Stats returns current mapping statistics.
 func (e *EPT) Stats() EPTStats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.stats
 }
 
@@ -159,20 +168,22 @@ func (e *EPT) mapOne(gpa, pageSize uint64, perms Perms) error {
 	}
 	n := e.root
 	for level := eptMaxLevel; level > leafLevel; level-- {
-		ent := &n.entries[idx(gpa, level)]
-		if ent.leaf {
+		slot := &n.entries[idx(gpa, level)]
+		ent := slot.Load()
+		if ent != nil && ent.leaf {
 			return fmt.Errorf("vmx: map %#x/%d overlaps existing %d-byte leaf", gpa, pageSize, levelPageSize(level))
 		}
-		if ent.next == nil {
-			ent.next = &eptNode{}
+		if ent == nil {
+			ent = &eptEntry{next: &eptNode{}}
+			slot.Store(ent)
 		}
 		n = ent.next
 	}
-	ent := &n.entries[idx(gpa, leafLevel)]
-	if ent.leaf || ent.next != nil {
+	slot := &n.entries[idx(gpa, leafLevel)]
+	if slot.Load() != nil {
 		return fmt.Errorf("vmx: map %#x/%d overlaps existing mapping", gpa, pageSize)
 	}
-	*ent = eptEntry{leaf: true, perms: perms}
+	slot.Store(&eptEntry{leaf: true, perms: perms})
 	switch pageSize {
 	case hw.PageSize1G:
 		e.stats.Mapped1G++
@@ -212,42 +223,48 @@ func (e *EPT) unmapNode(n *eptNode, level int, base, lo, hi uint64) {
 		if entBase >= hi || entBase+span <= lo {
 			continue
 		}
-		ent := &n.entries[i]
+		slot := &n.entries[i]
+		ent := slot.Load()
 		switch {
+		case ent == nil:
 		case ent.leaf:
 			if entBase >= lo && entBase+span <= hi {
 				// Fully covered: drop the leaf.
 				e.accountUnmap(span)
-				*ent = eptEntry{}
+				slot.Store(nil)
 			} else {
 				// Partially covered large leaf: split one level down and
 				// recurse. 4K leaves are always fully covered (alignment).
-				child := e.splitLeaf(ent, level)
+				child := e.splitLeaf(slot, ent, level)
 				e.unmapNode(child, level-1, entBase, lo, hi)
 			}
-		case ent.next != nil:
+		default:
 			e.unmapNode(ent.next, level-1, entBase, lo, hi)
 			if nodeEmpty(ent.next) {
-				ent.next = nil
+				slot.Store(nil)
 			}
 		}
 	}
 }
 
 // splitLeaf replaces a large leaf with a table of next-size-down leaves,
-// preserving permissions. Caller holds e.mu.
-func (e *EPT) splitLeaf(ent *eptEntry, level int) *eptNode {
+// preserving permissions. The child is fully built — all 512 slots share
+// one immutable leaf entry — before being published, so concurrent walkers
+// see either the old large leaf or the complete split, never a partial
+// table. Caller holds e.mu.
+func (e *EPT) splitLeaf(slot *atomic.Pointer[eptEntry], old *eptEntry, level int) *eptNode {
 	child := &eptNode{}
 	childSpan := levelPageSize(level - 1)
+	shared := &eptEntry{leaf: true, perms: old.perms}
 	for i := range child.entries {
-		child.entries[i] = eptEntry{leaf: true, perms: ent.perms}
+		child.entries[i].Store(shared)
 	}
 	// Accounting: one large page becomes 512 smaller ones.
 	e.accountUnmap(levelPageSize(level))
 	for i := 0; i < 1<<eptIdxBits; i++ {
 		e.accountMap(childSpan)
 	}
-	*ent = eptEntry{next: child}
+	slot.Store(&eptEntry{next: child})
 	return child
 }
 
@@ -278,7 +295,7 @@ func (e *EPT) accountUnmap(span uint64) {
 // nodeEmpty reports whether a node has no live entries.
 func nodeEmpty(n *eptNode) bool {
 	for i := range n.entries {
-		if n.entries[i].leaf || n.entries[i].next != nil {
+		if n.entries[i].Load() != nil {
 			return false
 		}
 	}
@@ -289,20 +306,25 @@ func nodeEmpty(n *eptNode) bool {
 type WalkResult struct {
 	PageSize uint64 // leaf page size backing the translation
 	Levels   int    // table levels touched during the walk
+	Perms    Perms  // leaf permissions (valid on success)
 }
 
 // Walk translates gpa, returning the leaf page size and walk depth. A miss
 // or permission failure returns an hw.Fault of kind FaultEPTViolation.
 // Identity mapping means the output address always equals gpa on success.
+// Walk is lock-free: it reads atomically published immutable entries, so
+// concurrent guest CPUs never contend with each other or block behind a
+// controller mutation.
 func (e *EPT) Walk(gpa uint64, write bool) (WalkResult, error) {
 	e.walkCount.Add(1)
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	n := e.root
 	levels := 0
 	for level := eptMaxLevel; level >= 0; level-- {
 		levels++
-		ent := &n.entries[idx(gpa, level)]
+		ent := n.entries[idx(gpa, level)].Load()
+		if ent == nil {
+			return WalkResult{Levels: levels}, &hw.Fault{Kind: hw.FaultEPTViolation, Addr: gpa, Write: write}
+		}
 		if ent.leaf {
 			need := PermRead
 			if write {
@@ -311,10 +333,7 @@ func (e *EPT) Walk(gpa uint64, write bool) (WalkResult, error) {
 			if ent.perms&need == 0 {
 				return WalkResult{Levels: levels}, &hw.Fault{Kind: hw.FaultEPTViolation, Addr: gpa, Write: write}
 			}
-			return WalkResult{PageSize: levelPageSize(level), Levels: levels}, nil
-		}
-		if ent.next == nil {
-			return WalkResult{Levels: levels}, &hw.Fault{Kind: hw.FaultEPTViolation, Addr: gpa, Write: write}
+			return WalkResult{PageSize: levelPageSize(level), Levels: levels, Perms: ent.perms}, nil
 		}
 		n = ent.next
 	}

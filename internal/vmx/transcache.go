@@ -1,0 +1,80 @@
+package vmx
+
+import "sync/atomic"
+
+// transCacheEntries is the number of translation-cache slots per VCPU. The
+// cache is fully associative (a linear scan of a handful of entries) rather
+// than direct-mapped because entries cover variable page sizes — with
+// Covirt's 2M/1G coalesced leaves there is no single index-bit choice that
+// works, and a whole enclave typically fits in a few giant leaves anyway.
+const transCacheEntries = 8
+
+// tcEntry caches one successful nested walk: the leaf it resolved to, the
+// cycle-relevant walk depth, the leaf permissions, and the EPT generation
+// the walk completed under. An entry is valid only while its gen matches
+// EPT.Gen() — any Map/Unmap bumps the generation and implicitly drops every
+// cached translation, so the cache can never outlive a controller remap.
+type tcEntry struct {
+	base     uint64 // leaf-aligned guest-physical base
+	pageSize uint64 // 0 = slot empty
+	levels   int
+	perms    Perms
+	gen      uint64
+}
+
+// transCache is the per-VCPU software analogue of the hardware's
+// paging-structure caches: a tiny cache of completed nested walks that lets
+// repeated accesses to the same large leaf skip the EPT walk entirely while
+// still charging the exact walk-depth cycles the cost model prescribes.
+// It is owned by the VCPU's execution goroutine; no locking.
+type transCache struct {
+	entries [transCacheEntries]tcEntry
+	next    int // round-robin victim
+}
+
+// lookup returns the cached walk covering gpa if one is valid under gen and
+// grants the needed permission. A permission mismatch is a miss (the slow
+// path re-walks and raises the violation through the exit path).
+func (t *transCache) lookup(gpa uint64, write bool, gen uint64) (tcEntry, bool) {
+	need := PermRead
+	if write {
+		need = PermWrite
+	}
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.pageSize != 0 && e.gen == gen && gpa-e.base < e.pageSize && e.perms&need != 0 {
+			return *e, true
+		}
+	}
+	return tcEntry{}, false
+}
+
+// insert records a completed walk, evicting round-robin.
+func (t *transCache) insert(gpa uint64, res WalkResult, gen uint64) {
+	t.entries[t.next] = tcEntry{
+		base:     gpa &^ (res.PageSize - 1),
+		pageSize: res.PageSize,
+		levels:   res.Levels,
+		perms:    res.Perms,
+		gen:      gen,
+	}
+	t.next = (t.next + 1) % transCacheEntries
+}
+
+// invalidate drops every cached translation.
+func (t *transCache) invalidate() {
+	*t = transCache{}
+}
+
+// transCacheOff force-disables the translation cache process-wide when set.
+// The equivalence regression tests flip it to prove cached and uncached
+// runs produce byte-identical simulation output.
+var transCacheOff atomic.Bool
+
+// SetTransCacheEnabled toggles the per-VCPU translation cache (default on).
+// Disabling it forces every TLB miss through a full EPT walk; simulated
+// costs are identical either way — only wall-clock speed changes.
+func SetTransCacheEnabled(on bool) { transCacheOff.Store(!on) }
+
+// TransCacheEnabled reports whether the translation cache is active.
+func TransCacheEnabled() bool { return !transCacheOff.Load() }

@@ -14,7 +14,20 @@ type VCPU struct {
 	VMCS    *VMCS
 	Handler ExitHandler
 	Stats   ExitStats
+
+	// transCache holds recently completed nested walks, validated against
+	// EPT.Gen() on every hit; see transcache.go. Owned by the execution
+	// goroutine (the shootdown path invalidates it from the NMI handler,
+	// which also runs there).
+	transCache transCache
 }
+
+// InvalidateTransCache drops all cached nested walks. The hypervisor's
+// command-queue drain calls it alongside TLB shootdown so controller remaps
+// invalidate both hardware-modelled caches on the same doorbell; generation
+// validation would catch stale entries anyway, but the explicit hook keeps
+// the cache's lifetime aligned with the architectural TLB's.
+func (v *VCPU) InvalidateTransCache() { v.transCache.invalidate() }
 
 // Launch installs the VCPU as the CPU's virtualization layer and marks the
 // VMCS launched. It mirrors vmlaunch: after this, all guest operations on
@@ -51,8 +64,20 @@ func (v *VCPU) TranslateGPA(c *hw.CPU, gpa uint64, write bool) (uint64, uint64, 
 	if v.VMCS.EPT == nil {
 		return surcharge, 0, nil
 	}
+	// Fast path: a translation cached under the current EPT generation
+	// charges exactly what the walk it memoized charged (same levels, same
+	// surcharge) and skips the walk. The generation is read before the
+	// walk so a racing remap can only make a fresh entry look stale —
+	// never a stale entry look fresh (Gen() bumps after the mutation).
+	gen := v.VMCS.EPT.Gen()
+	if !transCacheOff.Load() {
+		if e, ok := v.transCache.lookup(gpa, write, gen); ok {
+			return surcharge + uint64(e.levels)*c.Costs().EPTWalkPerLevel, e.pageSize, nil
+		}
+	}
 	res, err := v.VMCS.EPT.Walk(gpa, write)
 	if err == nil {
+		v.transCache.insert(gpa, res, gen)
 		// Nested-walk surcharge: paging-structure caches absorb most of
 		// the architectural (g+1)*(e+1)-1 accesses, leaving roughly one
 		// extra access per EPT level actually traversed.

@@ -1,0 +1,29 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"covirt/internal/harness"
+	"covirt/internal/workloads"
+)
+
+// BenchmarkStreamTriad measures one full STREAM run on a covirt-mem node —
+// the streaming path (Env.Stream → hw.CPU.MemStream → batched page spans →
+// EPT-translated charging) that dominates the bandwidth figures. The triad
+// rate is reported as a benchmark metric so regressions in simulated
+// behaviour show up next to wall-clock ones.
+func BenchmarkStreamTriad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n, err := harness.NewNode(harness.CfgCovirtMem, harness.SingleCore, harness.NodeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := &workloads.Stream{N: 1 << 21, Iters: 3}
+		res, err := s.Run(n.K, 1)
+		n.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Metric("triad_GBs"), "sim-triad-GB/s")
+	}
+}

@@ -62,6 +62,9 @@ func TestStreamInsensitiveToConfig(t *testing.T) {
 // TestEPTAblationOrdering checks that disabling large-page coalescing
 // measurably hurts the translation-bound workload.
 func TestEPTAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full RandomAccess runs; slow under -race")
+	}
 	mk := func() *workloads.RandomAccess {
 		return &workloads.RandomAccess{LogTableSize: 23, Updates: 1 << 14}
 	}

@@ -76,6 +76,9 @@ func TestRandomAccessDeterministic(t *testing.T) {
 }
 
 func TestSelfishDetectsInjectedNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4e8 simulated cycles; slow under -race")
+	}
 	// With the default 10 Hz tick, a 4e8-cycle window sees ~2 ticks.
 	s := &workloads.Selfish{DurationCycles: 4e8}
 	res := run(t, s, harness.CfgNative, harness.SingleCore)
@@ -102,6 +105,9 @@ func TestHPCGConverges(t *testing.T) {
 }
 
 func TestHPCGParallelMatchesSerialNumerics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 14-iteration HPCG solves; slow under -race")
+	}
 	// The block-preconditioner differs across thread counts, but both
 	// must converge.
 	h1 := &workloads.HPCG{NX: 24, NY: 24, NZ: 24, Iters: 14}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench.sh — run the repository's benchmark suite and snapshot the results
+# as a committed JSON artifact (BENCH_5.json by default):
+#
+#   ./scripts/bench.sh [output.json]
+#
+# Two tiers run back to back: the hot-path microbenchmarks (TLB lookup,
+# EPT walks, PhysMem accessors, STREAM triad) and the paper-figure
+# benchmarks in the root package (fig5a/fig5b/fig7/GUPS, one full
+# experiment pass each). The figure benchmarks dominate wall clock, so a
+# full run takes a couple of minutes on an idle machine; benchmark on an
+# otherwise-quiet host or the numbers are meaningless.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> microbenchmarks (internal/hw, internal/vmx, internal/workloads)"
+go test -run '^$' -bench 'EPTWalk|PhysMemReadWrite|TLBLookup|StreamTriad' \
+    ./internal/hw ./internal/vmx ./internal/workloads | tee -a "$tmp"
+
+echo "==> figure benchmarks (root package, one pass each)"
+go test -run '^$' -bench . -benchtime 1x . | tee -a "$tmp"
+
+# Fold the `go test -bench` text into a JSON array: one object per
+# benchmark line carrying the package, iteration count, and every
+# value/unit metric pair (ns/op plus any ReportMetric extras).
+awk '
+BEGIN { print "["; first = 1 }
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ {
+    if (!first) printf ",\n"
+    first = 0
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    printf "  {\"name\": \"%s\", \"pkg\": \"%s\", \"iters\": %s", name, pkg, $2
+    for (i = 3; i < NF; i += 2) printf ", \"%s\": %s", $(i+1), $i
+    printf "}"
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "bench.sh: wrote $out"
