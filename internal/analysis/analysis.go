@@ -23,6 +23,8 @@
 //   - trace-coverage: every VM-exit reason and Hobbes event kind must reach
 //     a trace emission site — the enum needs a Record call fed by its
 //     String method, and each constant must be used by non-test code.
+//   - hotalloc: functions marked //covirt:hot are steady-state hot paths
+//     and must not allocate (make/append/map literals) inside their loops.
 //
 // Vetted exceptions are annotated in the source with a directive comment
 // on (or immediately above) the offending line:
@@ -86,6 +88,7 @@ func Analyzers() []*Analyzer {
 		ledgerConservation,
 		traceCoverage,
 		genInvalidation,
+		hotalloc,
 	}
 }
 
@@ -276,4 +279,5 @@ const (
 	checkLedger      = "ledger-conservation"
 	checkTrace       = "trace-coverage"
 	checkGenInval    = "gen-invalidation"
+	checkHotalloc    = "hotalloc"
 )

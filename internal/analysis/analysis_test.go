@@ -85,6 +85,18 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			fixture: "hotalloc",
+			checks:  []string{checkHotalloc},
+			want: []string{
+				"internal/workloads/hot.go:11", // make in loop
+				"internal/workloads/hot.go:12", // append in loop
+				"internal/workloads/hot.go:13", // map literal in loop
+				"internal/workloads/hot.go:19", // make in loop inside closure
+				// line 26 is suppressed by //covirt:allow; cold is
+				// unmarked; sized allocates before its loop
+			},
+		},
+		{
 			fixture: "geninvalidation",
 			checks:  []string{checkGenInval},
 			want: []string{

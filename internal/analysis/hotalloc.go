@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotalloc enforces the zero-alloc workload discipline (DESIGN.md
+// "Zero-alloc workload discipline"): a function whose doc comment carries
+// the //covirt:hot directive declares itself a steady-state hot path, and
+// must not allocate inside any of its loops. The check flags make calls,
+// append calls (growth beyond capacity allocates, and hot paths must
+// pre-size instead), and map composite literals when a for/range statement
+// sits between them and the function — including loops inside function
+// literals. Allocations before the loops (sizing scratch once per call)
+// are fine; vetted exceptions use //covirt:allow hotalloc.
+var hotalloc = &Analyzer{
+	Name: checkHotalloc,
+	Doc:  "//covirt:hot functions must not make/append/build maps inside loops",
+	Run:  runHotalloc,
+}
+
+// isHotMarked reports whether the function's doc comment contains a
+// //covirt:hot directive line.
+func isHotMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//covirt:hot" {
+			return true
+		}
+	}
+	return false
+}
+
+// inLoop reports whether any proper ancestor on the stack is a for or
+// range statement.
+func inLoop(stack []ast.Node) bool {
+	for _, a := range stack[:len(stack)-1] {
+		switch a.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+func runHotalloc(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Unit.Files {
+		if isTestFile(p.Mod, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotMarked(fd) {
+				continue
+			}
+			walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+				if !inLoop(stack) {
+					return
+				}
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					id, ok := n.Fun.(*ast.Ident)
+					if !ok || (id.Name != "make" && id.Name != "append") {
+						return
+					}
+					// Only the builtins count, not shadowing declarations.
+					if obj, ok := p.Unit.Info.Uses[id]; ok {
+						if _, builtin := obj.(*types.Builtin); !builtin {
+							return
+						}
+					}
+					p.report(&out, checkHotalloc, n,
+						"%s inside a loop of hot function %s", id.Name, fd.Name.Name)
+				case *ast.CompositeLit:
+					if _, ok := n.Type.(*ast.MapType); ok {
+						p.report(&out, checkHotalloc, n,
+							"map literal inside a loop of hot function %s", fd.Name.Name)
+					}
+				}
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package workloads
+
+// step is a steady-state kernel; every allocation form inside its loops
+// must be flagged.
+//
+//covirt:hot
+func step(n int) []float64 {
+	scratch := make([]float64, n) // before the loop: allowed
+	var events []int
+	for i := 0; i < n; i++ {
+		tmp := make([]float64, 8)     // flagged: make in loop
+		events = append(events, i)    // flagged: append in loop
+		seen := map[int]bool{i: true} // flagged: map literal in loop
+		_ = seen
+		scratch[i] = tmp[0]
+	}
+	for range scratch {
+		f := func() {
+			buf := make([]byte, 4) // flagged: make in loop via closure
+			_ = buf
+		}
+		f()
+	}
+	for i := 0; i < n; i++ {
+		//covirt:allow hotalloc growth is measurement semantics here
+		events = append(events, i)
+	}
+	_ = events
+	return scratch
+}
+
+// cold has the same shapes but no marker: nothing is flagged.
+func cold(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// sized allocates only outside its loop: nothing is flagged.
+//
+//covirt:hot
+func sized(n int) float64 {
+	buf := make([]float64, n)
+	s := 0.0
+	for i := range buf {
+		s += buf[i]
+	}
+	return s
+}

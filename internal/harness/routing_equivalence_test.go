@@ -1,0 +1,47 @@
+package harness_test
+
+import (
+	"bytes"
+	"testing"
+
+	"covirt/internal/harness"
+	"covirt/internal/workloads"
+)
+
+// TestSpanRoutingOutputEquivalence is the figure-level determinism gate on
+// the batched gather routing: regenerating experiments with the workloads'
+// span routing force-disabled (element-wise Compute/Access loops) and
+// enabled (AccessGather batches) must produce byte-identical output. Any
+// divergence means a batch charged different cycles, delivered a timer
+// tick at a different element, or reordered an RNG stream. fig5b is the
+// gather-dominated GUPS sweep; fig8 adds the LAMMPS rebuild/lookup paths
+// but costs two full problem matrices, so it only runs in full,
+// uninstrumented suites (mirroring the fig7 leg of the translation-cache
+// gate).
+func TestSpanRoutingOutputEquivalence(t *testing.T) {
+	ids := []string{"fig5b"}
+	if !testing.Short() && !raceDetectorEnabled {
+		ids = append(ids, "fig8")
+	}
+	defer workloads.SetSpanRouting(true)
+	for _, id := range ids {
+		e := harness.ByID(id)
+		if e == nil {
+			t.Fatalf("no experiment %q", id)
+		}
+		opt := harness.Options{Reps: 1, Parallel: 4}
+		var off, on bytes.Buffer
+		workloads.SetSpanRouting(false)
+		if err := e.Run(opt, &off); err != nil {
+			t.Fatalf("%s (routing off): %v", id, err)
+		}
+		workloads.SetSpanRouting(true)
+		if err := e.Run(opt, &on); err != nil {
+			t.Fatalf("%s (routing on): %v", id, err)
+		}
+		if !bytes.Equal(off.Bytes(), on.Bytes()) {
+			t.Errorf("%s output diverges with span routing disabled vs enabled:\n--- off ---\n%s\n--- on ---\n%s",
+				id, off.String(), on.String())
+		}
+	}
+}

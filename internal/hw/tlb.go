@@ -32,6 +32,26 @@ type tlbClass struct {
 	tail     *tlbNode   // least recently used
 	cap      int
 	pageSize uint64
+	// filter counts live entries per hash bucket: an exact (not
+	// probabilistic) presence pre-check. Gather-heavy workloads miss far
+	// more often than they hit, and a zero bucket answers the common miss
+	// in one load instead of a full tag scan. Counts are maintained on
+	// every insert/evict/remove, so a zero is always authoritative.
+	filter [tlbFilterBuckets]uint8
+	// hint[bucket] is the slot of the last entry inserted (or moved) whose
+	// base hashes to the bucket. It is a best-effort accelerator for the hit
+	// path: find verifies the slot's tag before trusting it and falls back
+	// to the scan, so a stale hint costs time, never correctness.
+	hint [tlbFilterBuckets]uint8
+}
+
+// tlbFilterBuckets sizes the per-class presence filter; with ≤64 live
+// entries spread over 256 buckets, most absent tags land on a zero count.
+const tlbFilterBuckets = 256
+
+// filterBucket hashes a page base to its filter bucket.
+func filterBucket(base uint64) int {
+	return int((base * 0x9E3779B97F4A7C15) >> 56)
 }
 
 func newTLBClass(capacity int, pageSize uint64) *tlbClass {
@@ -45,6 +65,13 @@ func newTLBClass(capacity int, pageSize uint64) *tlbClass {
 
 // find returns the live entry with the given base, or nil.
 func (c *tlbClass) find(base uint64) *tlbNode {
+	bk := filterBucket(base)
+	if c.filter[bk] == 0 {
+		return nil
+	}
+	if h := int(c.hint[bk]); h < len(c.bases) && c.bases[h] == base {
+		return c.live[h]
+	}
 	for i, b := range c.bases {
 		if b == base {
 			return c.live[i]
@@ -99,6 +126,8 @@ func (c *tlbClass) remove(n *tlbNode) {
 	moved.slot = n.slot
 	c.live = c.live[:last]
 	c.bases = c.bases[:last]
+	c.filter[filterBucket(n.base)]--
+	c.hint[filterBucket(moved.base)] = uint8(n.slot)
 	c.free = append(c.free, n)
 }
 
@@ -109,6 +138,7 @@ func (c *tlbClass) insert(base, gen uint64) {
 	if len(c.live) >= c.cap {
 		// Reuse the evicted victim's node in place: same slot, new tag.
 		n = c.tail
+		c.filter[filterBucket(n.base)]--
 		c.unlink(n)
 	} else if k := len(c.free); k > 0 {
 		n = c.free[k-1]
@@ -123,6 +153,9 @@ func (c *tlbClass) insert(base, gen uint64) {
 	}
 	n.base, n.gen = base, gen
 	c.bases[n.slot] = base
+	bk := filterBucket(base)
+	c.filter[bk]++
+	c.hint[bk] = uint8(n.slot)
 	c.pushFront(n)
 }
 
@@ -132,6 +165,7 @@ func (c *tlbClass) reset() {
 	c.live = c.live[:0]
 	c.bases = c.bases[:0]
 	c.head, c.tail = nil, nil
+	c.filter = [tlbFilterBuckets]uint8{}
 }
 
 // TLB simulates a unified translation lookaside buffer with separate

@@ -26,31 +26,45 @@ type Env struct {
 	Core int // local core index within the enclave
 	Task *Task
 
-	// extCache memoizes the last memory-map extent a containment check
-	// hit; extCacheGen records the MemMap generation it was looked up
-	// under, and the entry is consulted only while K.mm.Gen() still
-	// matches — an XemDetach or Free on any core bumps the generation and
-	// implicitly drops it. Env is owned by one task goroutine, so the
-	// fields need no locking.
-	extCache    hw.Extent
+	// extCache memoizes the last two memory-map extents a containment
+	// check hit, MRU first. Two ways, not one: gather loops alternate
+	// local and remote targets every element (halo and scatter traffic),
+	// which a single slot thrashes on. extCacheGen records the MemMap
+	// generation the entries were looked up under, and they are consulted
+	// only while K.mm.Gen() still matches — an XemDetach or Free on any
+	// core bumps the generation and implicitly drops them. Env is owned
+	// by one task goroutine, so the fields need no locking.
+	extCache    [2]hw.Extent
 	extCacheGen uint64
 }
 
 // resolve is the memory-map check behind every Env access: a gen-validated
-// hit on the cached extent, falling back to the map's lock-free search,
+// hit on a cached extent, falling back to the map's lock-free search,
 // returning the extent covering [addr, addr+size). The generation is read
 // before the search so a concurrent map mutation can only make the
 // refreshed cache entry look stale, never a stale one fresh.
 func (e *Env) resolve(addr, size uint64) (hw.Extent, bool) {
 	gen := e.K.mm.Gen()
-	if e.extCacheGen == gen && e.extCache.ContainsRange(addr, size) {
-		return e.extCache, true
+	if e.extCacheGen == gen {
+		if e.extCache[0].ContainsRange(addr, size) {
+			return e.extCache[0], true
+		}
+		if e.extCache[1].ContainsRange(addr, size) {
+			e.extCache[0], e.extCache[1] = e.extCache[1], e.extCache[0]
+			return e.extCache[0], true
+		}
 	}
 	ext, ok := e.K.mm.Find(addr)
 	if !ok || !ext.ContainsRange(addr, size) {
 		return hw.Extent{}, false
 	}
-	e.extCache, e.extCacheGen = ext, gen
+	if e.extCacheGen != gen {
+		e.extCache[1] = hw.Extent{}
+		e.extCacheGen = gen
+	} else {
+		e.extCache[1] = e.extCache[0]
+	}
+	e.extCache[0] = ext
 	return ext, true
 }
 
@@ -112,6 +126,36 @@ func (e *Env) AccessRun(addr uint64, n int, stride uint64, write bool, kind hw.A
 		e.check(e.CPU.AccessRun(cur, count, stride, write, kind))
 		cur += uint64(count) * stride
 		n -= count
+	}
+}
+
+// AccessGather performs one data access per element of addrs, each
+// optionally preceded by computePer compute operations — equivalent to
+//
+//	for _, a := range addrs { e.Compute(computePer); e.Access(a, write, kind) }
+//
+// with the same memory-map check for every element, the same charged
+// cycles, and the same fault points, but batched: the mapped prefix is
+// established first (resolving each element against the map in order, as
+// the per-element loop would) and then streams through hw.CPU.AccessGather
+// in one call. A segfault aborts the task at exactly the element a
+// per-element loop would have reached, including the faulting element's
+// compute charge, which the per-element loop retires before noticing the
+// bad address.
+func (e *Env) AccessGather(addrs []uint64, computePer uint64, write bool, kind hw.AccessKind) {
+	mapped := len(addrs)
+	for i, a := range addrs {
+		if !e.contains(a, 1) {
+			mapped = i
+			break
+		}
+	}
+	e.check(e.CPU.AccessGather(addrs[:mapped], computePer, write, kind))
+	if mapped < len(addrs) {
+		if computePer != 0 {
+			e.Compute(computePer)
+		}
+		e.fail(fmt.Errorf("%w: %#x", ErrSegfault, addrs[mapped]))
 	}
 }
 

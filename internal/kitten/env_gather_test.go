@@ -1,0 +1,121 @@
+package kitten
+
+import (
+	"errors"
+	"testing"
+
+	"covirt/internal/hw"
+)
+
+// gatherPattern builds the charger-style address stream: pseudo-random
+// offsets alternating between two extents every element.
+func gatherPattern(n int, a, b hw.Extent) []uint64 {
+	rng := hw.NewRand(0xD1B54A32D192ED03)
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		tgt := a
+		if i%2 == 1 && b.Size > 0 {
+			tgt = b
+		}
+		addrs[i] = tgt.Start + (rng.Next()%(tgt.Size/8))*8
+	}
+	return addrs
+}
+
+// TestEnvAccessGatherMatchesAccessLoop drives the same extent-hopping
+// address streams through a per-element Compute+Access loop and through
+// Env.AccessGather and requires identical simulated cycles and instruction
+// counts.
+func TestEnvAccessGatherMatchesAccessLoop(t *testing.T) {
+	for _, computePer := range []uint64{0, 6} {
+		body := func(batched bool) func(e *Env) error {
+			return func(e *Env) error {
+				a := e.Alloc(0, 8<<20)
+				b := e.Alloc(0, 8<<20)
+				addrs := gatherPattern(20_000, a, b)
+				if batched {
+					e.AccessGather(addrs, computePer, false, hw.AccessDRAM)
+				} else {
+					for _, addr := range addrs {
+						if computePer != 0 {
+							e.Compute(computePer)
+						}
+						e.Access(addr, false, hw.AccessDRAM)
+					}
+				}
+				return nil
+			}
+		}
+		tscA, insA, errA := runEnvTask(t, body(false))
+		tscB, insB, errB := runEnvTask(t, body(true))
+		if errA != nil || errB != nil {
+			t.Fatalf("errs = %v, %v", errA, errB)
+		}
+		if tscA != tscB || insA != insB {
+			t.Errorf("computePer=%d: batched gather diverged: TSC %d vs %d, Instret %d vs %d",
+				computePer, tscA, tscB, insA, insB)
+		}
+	}
+}
+
+// TestEnvAccessGatherSegfaultsAtSameElement puts an unmapped address in the
+// middle of the stream: the batched run must abort with the same segfault,
+// having charged exactly the prefix — including the faulting element's
+// compute — that the per-element loop charged.
+func TestEnvAccessGatherSegfaultsAtSameElement(t *testing.T) {
+	const computePer = 5
+	mkAddrs := func(e *Env) []uint64 {
+		a := e.Alloc(0, 4<<20)
+		addrs := gatherPattern(1000, a, hw.Extent{})
+		exts := e.K.MemMap().Extents()
+		addrs[637] = exts[len(exts)-1].End() + 4096 // unmapped
+		return addrs
+	}
+	tscA, insA, errA := runEnvTask(t, func(e *Env) error {
+		for _, addr := range mkAddrs(e) {
+			e.Compute(computePer)
+			e.Access(addr, true, hw.AccessDRAM)
+		}
+		return nil
+	})
+	tscB, insB, errB := runEnvTask(t, func(e *Env) error {
+		e.AccessGather(mkAddrs(e), computePer, true, hw.AccessDRAM)
+		return nil
+	})
+	if !errors.Is(errA, ErrSegfault) || !errors.Is(errB, ErrSegfault) {
+		t.Fatalf("errs = %v, %v; want segfaults", errA, errB)
+	}
+	if tscA != tscB || insA != insB {
+		t.Errorf("fault prefix diverged: TSC %d vs %d, Instret %d vs %d", tscA, tscB, insA, insB)
+	}
+}
+
+// TestEnvAccessGatherSteadyStateAllocFree pins the batched gather path at
+// zero allocations per call once the TLB is warm — the property that lets
+// the workload chargers route their inner loops through it without
+// perturbing the simulation's wall-clock behaviour.
+func TestEnvAccessGatherSteadyStateAllocFree(t *testing.T) {
+	var allocs float64
+	_, _, _, k := testStack(t, 1, []int{0}, 256<<20)
+	task, serr := k.Spawn("allocfree", 0, func(e *Env) error {
+		// Quiesce the timer so the measurement sees only the gather path
+		// itself, not interrupt-delivery work.
+		e.CPU.APIC.DisarmTimer()
+		a := e.Alloc(0, 8<<20)
+		b := e.Alloc(0, 8<<20)
+		addrs := gatherPattern(4096, a, b)
+		allocs = testing.AllocsPerRun(100, func() {
+			e.AccessGather(addrs, 6, false, hw.AccessDRAM)
+		})
+		return nil
+	})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("AccessGather allocates %v per call in steady state", allocs)
+	}
+}

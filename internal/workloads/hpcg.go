@@ -38,11 +38,12 @@ func (h *HPCG) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	// a 256 MiB extent, which is what exposes the small, configuration-
 	// independent virtualization penalty the paper measures.
 	cg := &cgSolver{
-		s: stencil27{nx, ny, nz}, precond: true, iters: iters,
+		s: newStencil27(nx, ny, nz), precond: true, iters: iters,
 		gatherFrac: 0.08, scatterBytes: 256 << 20, seed: h.Seed,
 	}
 	var residual float64
 	fn := cg.makeRankFn(threads, &residual)
+	defer cg.release()
 	res, err := runParallel(k, h.Name(), threads, fn)
 	if err != nil {
 		return nil, err

@@ -97,6 +97,17 @@ func (p LammpsProblem) profile() lammpsProfile {
 	}
 }
 
+// fillRandomAddrs generates uniformly random word addresses inside ext,
+// advancing rng exactly as the element-wise charge loops do.
+//
+//covirt:hot
+func fillRandomAddrs(buf []uint64, rng *hw.Rand, ext hw.Extent) {
+	words := ext.Size / 8
+	for i := range buf {
+		buf[i] = ext.Start + (rng.Next()%words)*8
+	}
+}
+
 // Run implements Runner.
 func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	atoms := l.AtomsPerRank
@@ -110,11 +121,12 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	prof := l.Problem.profile()
 	bar := NewBarrier(threads)
 	red := NewAllreduce(threads)
-	drift := make([]float64, threads)
+	drift := make([]padFloat64, threads)
 
 	ord := NewRankOrder(threads)
 	res, err := runParallel(k, l.Name(), threads, func(e *kitten.Env, rank int) error {
-		md := newLJBox(atoms, l.Seed^uint64(rank+1))
+		md := getLJBox(atoms, l.Seed^uint64(rank+1))
+		defer putLJBox(md)
 		var posExt, neighExt, lookupExt hw.Extent
 		hasLookup := prof.lookupBytes > 0
 		ord.Do(rank, func() {
@@ -136,14 +148,30 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 		md.buildCells()
 		e0 := md.totalEnergy()
 		avgNeigh := md.averageNeighbors() * prof.pairDensity
+		// Per-step charge volumes are step-invariant: size the gather
+		// scratch once, outside the measured loop.
+		pairs := uint64(float64(atoms) * avgNeigh)
+		lookups := uint64(float64(pairs) * prof.tableLookups)
+		rebuilds := uint64(atoms / 4)
+		scratchLen := rebuilds
+		if lookups > scratchLen {
+			scratchLen = lookups
+		}
+		scratch := make([]uint64, scratchLen)
 
 		for step := 0; step < steps; step++ {
 			// Neighbor rebuild: binning is random access.
 			if step%prof.rebuildEvery == 0 {
 				md.buildCells()
-				for a := 0; a < atoms/4; a++ {
-					off := rng.Next() % (neighExt.Size / 8)
-					e.Access(neighExt.Start+off*8, true, hw.AccessDRAM)
+				if spanRouting() {
+					buf := scratch[:rebuilds]
+					fillRandomAddrs(buf, &rng, neighExt)
+					e.AccessGather(buf, 0, true, hw.AccessDRAM)
+				} else {
+					for a := 0; a < atoms/4; a++ {
+						off := rng.Next() % (neighExt.Size / 8)
+						e.Access(neighExt.Start+off*8, true, hw.AccessDRAM)
+					}
 				}
 				e.Compute(uint64(atoms) * 30)
 			}
@@ -154,14 +182,20 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 			}
 			for pass := 0; pass < passes; pass++ {
 				md.computeForces()
-				pairs := uint64(float64(atoms) * avgNeigh)
 				e.Stream(neighExt.Start, pairs*8, false)
 				e.Stream(posExt.Start, uint64(atoms)*24, false)
 				e.Compute(pairs * prof.flopsPerPair)
-				lookups := uint64(float64(pairs) * prof.tableLookups)
-				for t := uint64(0); t < lookups; t++ {
-					off := rng.Next() % (lookupExt.Size / 8)
-					e.Access(lookupExt.Start+off*8, false, hw.AccessDRAM)
+				if spanRouting() {
+					if lookups > 0 {
+						buf := scratch[:lookups]
+						fillRandomAddrs(buf, &rng, lookupExt)
+						e.AccessGather(buf, 0, false, hw.AccessDRAM)
+					}
+				} else {
+					for t := uint64(0); t < lookups; t++ {
+						off := rng.Next() % (lookupExt.Size / 8)
+						e.Access(lookupExt.Start+off*8, false, hw.AccessDRAM)
+					}
 				}
 			}
 			// Integrate (velocity Verlet): stream positions/velocities.
@@ -178,25 +212,28 @@ func (l *Lammps) Run(k *kitten.Kernel, threads int) (*Result, error) {
 			}
 		}
 		e1 := md.totalEnergy()
-		drift[rank] = math.Abs(e1-e0) / math.Max(math.Abs(e0), 1)
+		drift[rank].v = math.Abs(e1-e0) / math.Max(math.Abs(e0), 1)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for r, d := range drift {
-		if math.IsNaN(d) || d > 0.2 {
+	for r := range drift {
+		if d := drift[r].v; math.IsNaN(d) || d > 0.2 {
 			return nil, fmt.Errorf("lammps-%s: rank %d energy drift %g (integration broken)", l.Problem, r, d)
 		}
 	}
 	res.Metrics["loop_time_s"] = Seconds(res.Cycles)
 	res.Metrics["atom_steps_per_s"] = float64(atoms*threads*steps) / Seconds(res.Cycles)
-	res.Metrics["energy_drift"] = drift[0]
+	res.Metrics["energy_drift"] = drift[0].v
 	return res, nil
 }
 
 // ljBox is a small real Lennard-Jones MD system: FCC lattice at reduced
-// density 0.8442, cutoff 2.5, velocity Verlet, cell-list neighbors.
+// density 0.8442, cutoff 2.5, velocity Verlet, cell-list neighbors. The
+// cell index is a flat CSR-style table (cellStart row pointers into
+// cellAtoms) rebuilt by counting sort — no per-cell slices, no map, no
+// steady-state allocation.
 type ljBox struct {
 	n          int
 	l          float64 // box edge
@@ -205,28 +242,46 @@ type ljBox struct {
 	x, y, z    []float64
 	vx, vy, vz []float64
 	fx, fy, fz []float64
-	cells      map[[3]int][]int
 	cellW      float64
+	nc         int     // cells per box edge (0 until the first buildCells)
+	cellStart  []int32 // CSR row starts, len nc³+1
+	cellAtoms  []int32 // atom ids grouped by cell, len n, ascending within a cell
+	cellCur    []int32 // counting-sort cursor scratch, len nc³
+
+	// Verlet neighbor list: flat (i, j) pairs within rc+ljSkin at the
+	// last build, plus the per-atom positions snapshotted then. The list
+	// stays exact while no atom has drifted more than ljSkin/2 — two
+	// atoms approaching each other can close at most ljSkin between
+	// rebuilds, so no pair can enter the cutoff unlisted.
+	nlPairs       []int32
+	nlx, nly, nlz []float64
+	nlValid       bool
 }
 
-func newLJBox(n int, seed uint64) *ljBox {
-	b := &ljBox{
-		n:   n,
-		rc2: 2.5 * 2.5,
-		dt:  0.005,
-		x:   make([]float64, n), y: make([]float64, n), z: make([]float64, n),
-		vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
-		fx: make([]float64, n), fy: make([]float64, n), fz: make([]float64, n),
-	}
-	b.l = math.Cbrt(float64(n) / 0.8442)
-	// Simple cubic lattice placement with slight deterministic jitter.
-	side := int(math.Ceil(math.Cbrt(float64(n))))
+// ljSkin is the Verlet-list skin distance: pairs are listed out to
+// rc+ljSkin so the list survives many integration steps before an atom
+// drifts far enough to force a rebuild.
+const ljSkin = 0.3
+
+// init (re)sets the box to the seeded lattice state: simple cubic
+// placement with deterministic velocity jitter. Called by getLJBox on both
+// fresh and pooled storage.
+func (b *ljBox) init(seed uint64) {
+	b.l = math.Cbrt(float64(b.n) / 0.8442)
+	b.rc2 = 2.5 * 2.5
+	b.dt = 0.005
+	// Cells are sized to the list radius (cutoff + skin) so one-cell
+	// adjacency covers every listable pair.
+	b.cellW = 2.5 + ljSkin
+	b.nc = 0
+	b.nlValid = false
+	side := int(math.Ceil(math.Cbrt(float64(b.n))))
 	spacing := b.l / float64(side)
 	rng := hw.NewRand(seed*2654435761 + 1)
 	i := 0
-	for ix := 0; ix < side && i < n; ix++ {
-		for iy := 0; iy < side && i < n; iy++ {
-			for iz := 0; iz < side && i < n; iz++ {
+	for ix := 0; ix < side && i < b.n; ix++ {
+		for iy := 0; iy < side && i < b.n; iy++ {
+			for iz := 0; iz < side && i < b.n; iz++ {
 				b.x[i] = (float64(ix) + 0.5) * spacing
 				b.y[i] = (float64(iy) + 0.5) * spacing
 				b.z[i] = (float64(iz) + 0.5) * spacing
@@ -237,21 +292,48 @@ func newLJBox(n int, seed uint64) *ljBox {
 			}
 		}
 	}
-	return b
 }
 
-// buildCells rebins atoms into cutoff-sized cells.
+// cellIndex returns atom i's flat cell number.
+func (b *ljBox) cellIndex(i int) int {
+	cx := int(b.x[i] / b.cellW)
+	cy := int(b.y[i] / b.cellW)
+	cz := int(b.z[i] / b.cellW)
+	return (cz*b.nc+cy)*b.nc + cx
+}
+
+// buildCells rebins atoms into cutoff-sized cells with a counting sort.
+// Atom ids stay ascending within each cell, so pair enumeration order is
+// deterministic (the old map-backed index iterated cells in random order).
+//
+//covirt:hot
 func (b *ljBox) buildCells() {
-	b.cellW = 2.5
-	b.cells = make(map[[3]int][]int)
-	for i := 0; i < b.n; i++ {
-		c := b.cellOf(i)
-		b.cells[c] = append(b.cells[c], i)
+	b.nc = int(b.l/b.cellW) + 1
+	ncells := b.nc * b.nc * b.nc
+	if cap(b.cellStart) < ncells+1 {
+		b.cellStart = make([]int32, ncells+1)
+		b.cellCur = make([]int32, ncells)
+		b.cellAtoms = make([]int32, b.n)
 	}
-}
-
-func (b *ljBox) cellOf(i int) [3]int {
-	return [3]int{int(b.x[i] / b.cellW), int(b.y[i] / b.cellW), int(b.z[i] / b.cellW)}
+	start := b.cellStart[:ncells+1]
+	cur := b.cellCur[:ncells]
+	for c := range start {
+		start[c] = 0
+	}
+	for i := 0; i < b.n; i++ {
+		start[b.cellIndex(i)+1]++
+	}
+	for c := 0; c < ncells; c++ {
+		start[c+1] += start[c]
+		cur[c] = start[c]
+	}
+	for i := 0; i < b.n; i++ {
+		c := b.cellIndex(i)
+		b.cellAtoms[cur[c]] = int32(i)
+		cur[c]++
+	}
+	b.cellStart = start
+	b.cellCur = cur
 }
 
 // minImage applies the minimum-image convention.
@@ -265,39 +347,166 @@ func (b *ljBox) minImage(d float64) float64 {
 	return d
 }
 
-// computeForces evaluates LJ forces via the cell lists.
+// forwardCellOffsets is the half stencil: of each {δ, -δ} pair of the 26
+// nonzero cell offsets, exactly one appears here, so enumerating a cell
+// against its 13 forward neighbours (plus itself) visits every unordered
+// cell pair once.
+var forwardCellOffsets = [13][3]int{
+	{1, 0, 0}, {-1, 1, 0}, {0, 1, 0}, {1, 1, 0},
+	{-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1},
+	{0, 0, 1}, {1, 0, 1}, {-1, 1, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+// computeForces evaluates LJ forces via the Verlet pair list, rebuilding
+// it only when an atom has drifted past half the skin.
+//
+//covirt:hot
 func (b *ljBox) computeForces() {
 	for i := 0; i < b.n; i++ {
 		b.fx[i], b.fy[i], b.fz[i] = 0, 0, 0
 	}
-	maxc := int(b.l/b.cellW) + 1
-	for c, atoms := range b.cells {
+	if b.ensureNeighbors() {
+		b.forcesFromList()
+	} else {
+		b.forcesLegacyWrap()
+	}
+}
+
+// ensureNeighbors returns true with a current Verlet pair list, rebuilding
+// it when stale. It returns false for boxes too small for distinct
+// wrapped cells (nc < 3); callers fall back to the legacy enumeration.
+func (b *ljBox) ensureNeighbors() bool {
+	if int(b.l/b.cellW)+1 < 3 {
+		return false
+	}
+	if b.nlValid && !b.drifted() {
+		return true
+	}
+	b.buildNeighbors()
+	return true
+}
+
+// drifted reports whether any atom has moved more than ljSkin/2 since the
+// last list build — the exactness bound for reusing the list.
+func (b *ljBox) drifted() bool {
+	lim := ljSkin * ljSkin / 4
+	for i := 0; i < b.n; i++ {
+		dx := b.minImage(b.x[i] - b.nlx[i])
+		dy := b.minImage(b.y[i] - b.nly[i])
+		dz := b.minImage(b.z[i] - b.nlz[i])
+		if dx*dx+dy*dy+dz*dz > lim {
+			return true
+		}
+	}
+	return false
+}
+
+// buildNeighbors rebins the atoms and regenerates the pair list: each
+// unordered pair within rc+ljSkin appears exactly once, enumerated
+// within-cell by index order then against the 13 forward neighbour cells
+// (valid when nc >= 3, where every wrapped offset maps to a distinct
+// cell). The pair order is deterministic, so replaying the list gives
+// reproducible force summation. Growth is amortized: the slice keeps its
+// capacity across rebuilds and across pooled box reuse.
+func (b *ljBox) buildNeighbors() {
+	b.buildCells()
+	rl := 2.5 + ljSkin
+	rl2 := rl * rl
+	if len(b.nlx) != b.n {
+		b.nlx = make([]float64, b.n)
+		b.nly = make([]float64, b.n)
+		b.nlz = make([]float64, b.n)
+	}
+	copy(b.nlx, b.x)
+	copy(b.nly, b.y)
+	copy(b.nlz, b.z)
+	pairs := b.nlPairs[:0]
+	nc := b.nc
+	for cz := 0; cz < nc; cz++ {
+		for cy := 0; cy < nc; cy++ {
+			for cx := 0; cx < nc; cx++ {
+				c := (cz*nc+cy)*nc + cx
+				cell := b.cellAtoms[b.cellStart[c]:b.cellStart[c+1]]
+				for ai := 0; ai < len(cell); ai++ {
+					for aj := ai + 1; aj < len(cell); aj++ {
+						pairs = b.appendIfClose(pairs, cell[ai], cell[aj], rl2)
+					}
+				}
+				for _, d := range &forwardCellOffsets {
+					nx, ny, nz := cx+d[0], cy+d[1], cz+d[2]
+					if nx < 0 {
+						nx += nc
+					} else if nx >= nc {
+						nx -= nc
+					}
+					if ny < 0 {
+						ny += nc
+					} else if ny >= nc {
+						ny -= nc
+					}
+					if nz < 0 {
+						nz += nc
+					} else if nz >= nc {
+						nz -= nc
+					}
+					neigh := b.cellAtoms[b.cellStart[(nz*nc+ny)*nc+nx]:b.cellStart[(nz*nc+ny)*nc+nx+1]]
+					for _, i := range cell {
+						for _, j := range neigh {
+							pairs = b.appendIfClose(pairs, i, j, rl2)
+						}
+					}
+				}
+			}
+		}
+	}
+	b.nlPairs = pairs
+	b.nlValid = true
+}
+
+// appendIfClose appends the pair when it lies within the list radius.
+func (b *ljBox) appendIfClose(pairs []int32, i, j int32, rl2 float64) []int32 {
+	ddx := b.minImage(b.x[i] - b.x[j])
+	ddy := b.minImage(b.y[i] - b.y[j])
+	ddz := b.minImage(b.z[i] - b.z[j])
+	if ddx*ddx+ddy*ddy+ddz*ddz <= rl2 {
+		pairs = append(pairs, i, j)
+	}
+	return pairs
+}
+
+// forcesFromList replays the Verlet pair list; pairs beyond the cutoff
+// (listed because of the skin) are rejected inside pairForce.
+//
+//covirt:hot
+func (b *ljBox) forcesFromList() {
+	p := b.nlPairs
+	for k := 0; k < len(p); k += 2 {
+		b.pairForce(int(p[k]), int(p[k+1]))
+	}
+}
+
+// forcesLegacyWrap is the full 27-offset enumeration with a j<=i skip,
+// kept for tiny boxes (nc < 3) where wrapped offsets alias and the half
+// stencil would double-count pairs.
+func (b *ljBox) forcesLegacyWrap() {
+	maxc := b.nc
+	ncells := maxc * maxc * maxc
+	for c := 0; c < ncells; c++ {
+		cx := c % maxc
+		cy := (c / maxc) % maxc
+		cz := c / (maxc * maxc)
+		atoms := b.cellAtoms[b.cellStart[c]:b.cellStart[c+1]]
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
 				for dz := -1; dz <= 1; dz++ {
-					nc := [3]int{mod(c[0]+dx, maxc), mod(c[1]+dy, maxc), mod(c[2]+dz, maxc)}
-					neigh := b.cells[nc]
+					n2 := (mod(cz+dz, maxc)*maxc+mod(cy+dy, maxc))*maxc + mod(cx+dx, maxc)
+					neigh := b.cellAtoms[b.cellStart[n2]:b.cellStart[n2+1]]
 					for _, i := range atoms {
 						for _, j := range neigh {
 							if j <= i {
 								continue
 							}
-							ddx := b.minImage(b.x[i] - b.x[j])
-							ddy := b.minImage(b.y[i] - b.y[j])
-							ddz := b.minImage(b.z[i] - b.z[j])
-							r2 := ddx*ddx + ddy*ddy + ddz*ddz
-							if r2 > b.rc2 || r2 == 0 {
-								continue
-							}
-							inv2 := 1 / r2
-							inv6 := inv2 * inv2 * inv2
-							f := 24 * inv2 * inv6 * (2*inv6 - 1)
-							b.fx[i] += f * ddx
-							b.fy[i] += f * ddy
-							b.fz[i] += f * ddz
-							b.fx[j] -= f * ddx
-							b.fy[j] -= f * ddy
-							b.fz[j] -= f * ddz
+							b.pairForce(int(i), int(j))
 						}
 					}
 				}
@@ -306,9 +515,46 @@ func (b *ljBox) computeForces() {
 	}
 }
 
+// pairForce accumulates the LJ force between atoms i and j (antisymmetric,
+// so caller-side orientation is irrelevant).
+func (b *ljBox) pairForce(i, j int) {
+	ddx := b.minImage(b.x[i] - b.x[j])
+	ddy := b.minImage(b.y[i] - b.y[j])
+	ddz := b.minImage(b.z[i] - b.z[j])
+	r2 := ddx*ddx + ddy*ddy + ddz*ddz
+	if r2 > b.rc2 || r2 == 0 {
+		return
+	}
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	f := 24 * inv2 * inv6 * (2*inv6 - 1)
+	b.fx[i] += f * ddx
+	b.fy[i] += f * ddy
+	b.fz[i] += f * ddz
+	b.fx[j] -= f * ddx
+	b.fy[j] -= f * ddy
+	b.fz[j] -= f * ddz
+}
+
+// pairPE returns the LJ pair potential between atoms i and j (0 beyond
+// the cutoff).
+func (b *ljBox) pairPE(i, j int) float64 {
+	ddx := b.minImage(b.x[i] - b.x[j])
+	ddy := b.minImage(b.y[i] - b.y[j])
+	ddz := b.minImage(b.z[i] - b.z[j])
+	r2 := ddx*ddx + ddy*ddy + ddz*ddz
+	if r2 > b.rc2 || r2 == 0 {
+		return 0
+	}
+	inv6 := 1 / (r2 * r2 * r2)
+	return 4 * inv6 * (inv6 - 1)
+}
+
 func mod(a, m int) int { return ((a % m) + m) % m }
 
 // integrate advances one (leapfrog-ish) step with periodic wrapping.
+//
+//covirt:hot
 func (b *ljBox) integrate() {
 	for i := 0; i < b.n; i++ {
 		b.vx[i] += b.fx[i] * b.dt
@@ -339,20 +585,25 @@ func (b *ljBox) kineticEnergy() float64 {
 	return ke
 }
 
-// potentialEnergy sums the LJ pair potential.
+// potentialEnergy sums the LJ pair potential over the same pair set the
+// force loop sees, so the conserved quantity matches the simulated
+// dynamics. The Verlet list is refreshed through the same drift criterion
+// as the force pass; tiny boxes fall back to the all-pairs sum.
+//
+//covirt:hot
 func (b *ljBox) potentialEnergy() float64 {
+	if b.ensureNeighbors() {
+		pe := 0.0
+		p := b.nlPairs
+		for k := 0; k < len(p); k += 2 {
+			pe += b.pairPE(int(p[k]), int(p[k+1]))
+		}
+		return pe
+	}
 	pe := 0.0
 	for i := 0; i < b.n; i++ {
 		for j := i + 1; j < b.n; j++ {
-			ddx := b.minImage(b.x[i] - b.x[j])
-			ddy := b.minImage(b.y[i] - b.y[j])
-			ddz := b.minImage(b.z[i] - b.z[j])
-			r2 := ddx*ddx + ddy*ddy + ddz*ddz
-			if r2 > b.rc2 || r2 == 0 {
-				continue
-			}
-			inv6 := 1 / (r2 * r2 * r2)
-			pe += 4 * inv6 * (inv6 - 1)
+			pe += b.pairPE(i, j)
 		}
 	}
 	return pe

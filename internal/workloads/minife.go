@@ -34,18 +34,20 @@ func (m *MiniFE) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	if iters == 0 {
 		iters = 25
 	}
-	s := stencil27{nx, ny, nz}
+	s := newStencil27(nx, ny, nz)
 	n := s.rows()
 
 	// Phase 1: FE assembly. Each rank assembles the element contributions
 	// for its slab: per element, an 8x8 hex element stiffness matrix is
 	// computed (real flops) and scattered into the global operator
 	// (charged as matrix writes).
-	assembleCycles := make([]uint64, threads)
+	// Padded: ranks store their assembly time concurrently.
+	assembleCycles := make([]padUint64, threads)
 	bar := NewBarrier(threads)
 	var residual float64
 	cg := &cgSolver{s: s, precond: false, iters: iters, seed: m.Seed}
 	solveFn := cg.makeRankFn(threads, &residual)
+	defer cg.release()
 
 	ord := NewRankOrder(threads)
 	res, err := runParallel(k, m.Name(), threads, func(e *kitten.Env, rank int) error {
@@ -91,7 +93,7 @@ func (m *MiniFE) Run(k *kitten.Kernel, threads int) (*Result, error) {
 		// still be allocating theirs: rank-order the free too so the
 		// ledger sees one deterministic mutation sequence.
 		ord.Do(rank, func() { e.Free(matrix) })
-		assembleCycles[rank] = e.CPU.TSC - t0
+		assembleCycles[rank].v = e.CPU.TSC - t0
 		bar.Wait(e, rank)
 
 		// Phase 2: CG solve.
@@ -104,8 +106,8 @@ func (m *MiniFE) Run(k *kitten.Kernel, threads int) (*Result, error) {
 		return nil, fmt.Errorf("minife: residual %g did not converge", residual)
 	}
 	var maxAssemble uint64
-	for _, c := range assembleCycles {
-		if c > maxAssemble {
+	for i := range assembleCycles {
+		if c := assembleCycles[i].v; c > maxAssemble {
 			maxAssemble = c
 		}
 	}

@@ -1,0 +1,69 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"covirt/internal/harness"
+	"covirt/internal/workloads"
+)
+
+// twinRoutingRun executes the same workload on identical fresh nodes with
+// span routing enabled and disabled, and requires identical simulated
+// timing: the batched AccessGather path must charge cycle-for-cycle what
+// the element-wise loops charge.
+func twinRoutingRun(t *testing.T, mk func() workloads.Runner, layout harness.Layout) {
+	t.Helper()
+	var results [2]*workloads.Result
+	for i, routed := range []bool{true, false} {
+		workloads.SetSpanRouting(routed)
+		results[i] = run(t, mk(), harness.CfgNative, layout)
+	}
+	workloads.SetSpanRouting(true)
+	a, b := results[0], results[1]
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycles diverge: routed %d, element-wise %d", a.Cycles, b.Cycles)
+	}
+	for r := range a.PerCore {
+		if a.PerCore[r] != b.PerCore[r] {
+			t.Errorf("rank %d cycles diverge: routed %d, element-wise %d", r, a.PerCore[r], b.PerCore[r])
+		}
+	}
+}
+
+func TestSpanRoutingEquivalence(t *testing.T) {
+	defer workloads.SetSpanRouting(true)
+	cases := []struct {
+		name   string
+		mk     func() workloads.Runner
+		layout harness.Layout
+		slow   bool
+	}{
+		{"gups", func() workloads.Runner {
+			return &workloads.RandomAccess{LogTableSize: 22, Updates: 1 << 13}
+		}, harness.SingleCore, false},
+		{"hpcg", func() workloads.Runner {
+			return &workloads.HPCG{NX: 24, NY: 24, NZ: 24, Iters: 8}
+		}, harness.SingleCore, false},
+		// The 4-core/2-node layout exercises the remote-extent gather
+		// alternation and concurrent per-rank chargers.
+		{"hpcg-parallel", func() workloads.Runner {
+			return &workloads.HPCG{NX: 24, NY: 24, NZ: 24, Iters: 14}
+		}, harness.Layouts[1], true},
+		{"minife", func() workloads.Runner {
+			return &workloads.MiniFE{NX: 24, NY: 24, NZ: 24, Iters: 10}
+		}, harness.SingleCore, true},
+		// Chute is the lookup-heaviest LAMMPS variant: rebuild every step
+		// plus 0.45 random table lookups per pair.
+		{"lammps-chute", func() workloads.Runner {
+			return &workloads.Lammps{Problem: workloads.Chute, AtomsPerRank: 343, Steps: 6}
+		}, harness.SingleCore, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("twin full solves; slow under -race")
+			}
+			twinRoutingRun(t, tc.mk, tc.layout)
+		})
+	}
+}

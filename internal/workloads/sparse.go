@@ -15,115 +15,247 @@ import (
 // the charge helpers below.
 type stencil27 struct {
 	nx, ny, nz int
+	// offs holds the 26 linear offsets of the stencil neighbours in
+	// dk/dj/di order, computed once at construction so the sweep kernels
+	// never allocate.
+	offs [26]int
+	// inmask[row] caches interior(row): the sweep dispatch loops consult it
+	// per boundary-band row, and the three divisions of the coordinate
+	// derivation dominate that check. One setup pass trades them for a load.
+	inmask []bool
 }
 
-func (s stencil27) rows() int { return s.nx * s.ny * s.nz }
-
-// idx maps grid coordinates to a row.
-func (s stencil27) idx(i, j, k int) int { return (k*s.ny+j)*s.nx + i }
-
-// neighborOffsets returns the 26 linear offsets of the stencil neighbours.
-func (s stencil27) neighborOffsets() []int {
-	offs := make([]int, 0, 26)
+// newStencil27 builds the stencil with its neighbour-offset table and
+// interior mask filled.
+func newStencil27(nx, ny, nz int) stencil27 {
+	s := stencil27{nx: nx, ny: ny, nz: nz}
+	i := 0
 	for dk := -1; dk <= 1; dk++ {
 		for dj := -1; dj <= 1; dj++ {
 			for di := -1; di <= 1; di++ {
 				if di == 0 && dj == 0 && dk == 0 {
 					continue
 				}
-				offs = append(offs, (dk*s.ny+dj)*s.nx+di)
+				s.offs[i] = (dk*ny+dj)*nx + di
+				i++
 			}
 		}
 	}
-	return offs
+	s.inmask = make([]bool, nx*ny*nz)
+	for k := 1; k < nz-1; k++ {
+		for j := 1; j < ny-1; j++ {
+			row := (k*ny+j)*nx + 1
+			for i := 1; i < nx-1; i++ {
+				s.inmask[row] = true
+				row++
+			}
+		}
+	}
+	return s
 }
+
+func (s *stencil27) rows() int { return s.nx * s.ny * s.nz }
+
+// idx maps grid coordinates to a row.
+func (s *stencil27) idx(i, j, k int) int { return (k*s.ny+j)*s.nx + i }
 
 // interior reports whether the row is away from every grid boundary, so
 // all 26 neighbours exist and linear offsets are valid.
-func (s stencil27) interior(row int) bool {
-	i := row % s.nx
-	j := (row / s.nx) % s.ny
-	k := row / (s.nx * s.ny)
-	return i > 0 && j > 0 && k > 0 && i < s.nx-1 && j < s.ny-1 && k < s.nz-1
-}
+func (s *stencil27) interior(row int) bool { return s.inmask[row] }
 
-// spmv computes dst = A*src for rows in [lo, hi) — real arithmetic, with a
-// fast offset-based path for interior rows.
-func (s stencil27) spmv(dst, src []float64, lo, hi int) {
-	offs := s.neighborOffsets()
-	for row := lo; row < hi; row++ {
-		sum := 26.0 * src[row]
-		if s.interior(row) {
+// spmv computes dst = A*src for rows in [lo, hi) — real arithmetic. On an
+// interior row, every row until the end of its x-line is also interior
+// (only i advances), so the kernel runs the offset-only inner loop across
+// the whole line without re-deriving (i,j,k) per row.
+//
+//covirt:hot
+func (s *stencil27) spmv(dst, src []float64, lo, hi int) {
+	offs := &s.offs
+	for row := lo; row < hi; {
+		if !s.interior(row) {
+			s.spmvSlow(dst, src, row)
+			row++
+			continue
+		}
+		end := row - row%s.nx + s.nx - 1 // last interior i in this x-line, exclusive
+		if end > hi {
+			end = hi
+		}
+		for ; row < end; row++ {
+			sum := 26.0 * src[row]
 			for _, o := range offs {
 				sum -= src[row+o]
 			}
-		} else {
-			i := row % s.nx
-			j := (row / s.nx) % s.ny
-			k := row / (s.nx * s.ny)
-			for dk := -1; dk <= 1; dk++ {
-				for dj := -1; dj <= 1; dj++ {
-					for di := -1; di <= 1; di++ {
-						if di == 0 && dj == 0 && dk == 0 {
-							continue
-						}
-						ni, nj, nk := i+di, j+dj, k+dk
-						if ni < 0 || nj < 0 || nk < 0 || ni >= s.nx || nj >= s.ny || nk >= s.nz {
-							continue
-						}
-						sum -= src[s.idx(ni, nj, nk)]
-					}
+			dst[row] = sum
+		}
+	}
+}
+
+// spmvSlow handles one boundary row with explicit neighbour-existence
+// checks, in the same dk/dj/di enumeration order as the offset table.
+func (s *stencil27) spmvSlow(dst, src []float64, row int) {
+	sum := 26.0 * src[row]
+	i := row % s.nx
+	j := (row / s.nx) % s.ny
+	k := row / (s.nx * s.ny)
+	// Hoist the per-axis bounds: di's range depends only on i, and the
+	// nj/nk checks move out of the innermost loop. Neighbour visit order
+	// (dk, dj, di ascending) matches the naive triple loop exactly, so the
+	// floating-point summation order — and the result bits — are unchanged.
+	diLo, diHi := -1, 1
+	if i == 0 {
+		diLo = 0
+	}
+	if i == s.nx-1 {
+		diHi = 0
+	}
+	for dk := -1; dk <= 1; dk++ {
+		nk := k + dk
+		if nk < 0 || nk >= s.nz {
+			continue
+		}
+		for dj := -1; dj <= 1; dj++ {
+			nj := j + dj
+			if nj < 0 || nj >= s.ny {
+				continue
+			}
+			base := (nk*s.ny+nj)*s.nx + i
+			for di := diLo; di <= diHi; di++ {
+				if di == 0 && dj == 0 && dk == 0 {
+					continue
 				}
+				sum -= src[base+di]
 			}
 		}
-		dst[row] = sum
 	}
+	dst[row] = sum
 }
 
 // symgs performs one block-local symmetric Gauss-Seidel sweep (forward
 // then backward) on rows [lo, hi): HPCG's preconditioner, restricted to
 // the rank's own block so parallel ranks never read each other's
 // in-flight values (block-Jacobi across ranks, Gauss-Seidel within — the
-// standard race-free parallel formulation).
-func (s stencil27) symgs(z, r []float64, lo, hi int) {
-	offs := s.neighborOffsets()
-	sweep := func(row int) {
-		sum := r[row]
-		if s.interior(row) && row+offs[0] >= lo && row+offs[len(offs)-1] < hi {
+// standard race-free parallel formulation). Rows that are grid-interior
+// AND whose whole neighbourhood lies inside the block take the
+// offset-only path, batched per x-line like spmv.
+//
+//covirt:hot
+func (s *stencil27) symgs(z, r []float64, lo, hi int) {
+	offs := &s.offs
+	// The fast path needs row+offs[0] >= lo and row+offs[25] < hi (offs is
+	// sorted by construction: offs[0] most negative, offs[25] most
+	// positive).
+	fastLo := lo - s.offs[0]
+	fastHi := hi - s.offs[25]
+	for row := lo; row < hi; {
+		if row < fastLo || row >= fastHi || !s.interior(row) {
+			if s.interior(row) {
+				s.sweepEdge(z, r, row, lo, hi)
+			} else {
+				s.sweepSlow(z, r, row, lo, hi)
+			}
+			row++
+			continue
+		}
+		end := row - row%s.nx + s.nx - 1
+		if end > hi {
+			end = hi
+		}
+		if end > fastHi {
+			end = fastHi
+		}
+		for ; row < end; row++ {
+			sum := r[row]
 			for _, o := range offs {
 				sum += z[row+o]
 			}
-		} else {
-			i := row % s.nx
-			j := (row / s.nx) % s.ny
-			k := row / (s.nx * s.ny)
-			for dk := -1; dk <= 1; dk++ {
-				for dj := -1; dj <= 1; dj++ {
-					for di := -1; di <= 1; di++ {
-						if di == 0 && dj == 0 && dk == 0 {
-							continue
-						}
-						ni, nj, nk := i+di, j+dj, k+dk
-						if ni < 0 || nj < 0 || nk < 0 || ni >= s.nx || nj >= s.ny || nk >= s.nz {
-							continue
-						}
-						nrow := s.idx(ni, nj, nk)
-						if nrow < lo || nrow >= hi {
-							continue // out-of-block: treated as zero
-						}
-						sum += z[nrow]
-					}
+			z[row] = sum / 26.0
+		}
+	}
+	for row := hi - 1; row >= lo; {
+		if row < fastLo || row >= fastHi || !s.interior(row) {
+			if s.interior(row) {
+				s.sweepEdge(z, r, row, lo, hi)
+			} else {
+				s.sweepSlow(z, r, row, lo, hi)
+			}
+			row--
+			continue
+		}
+		start := row - row%s.nx + 1 // first interior i in this x-line
+		if start < lo {
+			start = lo
+		}
+		if start < fastLo {
+			start = fastLo
+		}
+		for ; row >= start; row-- {
+			sum := r[row]
+			for _, o := range offs {
+				sum += z[row+o]
+			}
+			z[row] = sum / 26.0
+		}
+	}
+}
+
+// sweepEdge relaxes one grid-interior row whose neighbourhood crosses the
+// block boundary [lo, hi): every offset lands inside the grid, so only
+// the block clamp applies (out-of-block neighbours are treated as zero).
+// The offset table is built in dk/dj/di order, so the summation order —
+// and the result bits — match sweepSlow exactly. Block-edge bands are a
+// large share of small per-rank blocks, which is why this avoids
+// sweepSlow's per-row coordinate derivation.
+func (s *stencil27) sweepEdge(z, r []float64, row, lo, hi int) {
+	sum := r[row]
+	for _, o := range s.offs {
+		if nrow := row + o; nrow >= lo && nrow < hi {
+			sum += z[nrow]
+		}
+	}
+	z[row] = sum / 26.0
+}
+
+// sweepSlow relaxes one row with explicit bounds and block checks
+// (out-of-block neighbours are treated as zero).
+func (s *stencil27) sweepSlow(z, r []float64, row, lo, hi int) {
+	sum := r[row]
+	i := row % s.nx
+	j := (row / s.nx) % s.ny
+	k := row / (s.nx * s.ny)
+	// Same bounds hoisting as spmvSlow; visit order and hence summation
+	// order is identical to the naive triple loop.
+	diLo, diHi := -1, 1
+	if i == 0 {
+		diLo = 0
+	}
+	if i == s.nx-1 {
+		diHi = 0
+	}
+	for dk := -1; dk <= 1; dk++ {
+		nk := k + dk
+		if nk < 0 || nk >= s.nz {
+			continue
+		}
+		for dj := -1; dj <= 1; dj++ {
+			nj := j + dj
+			if nj < 0 || nj >= s.ny {
+				continue
+			}
+			base := (nk*s.ny+nj)*s.nx + i
+			for di := diLo; di <= diHi; di++ {
+				if di == 0 && dj == 0 && dk == 0 {
+					continue
 				}
+				nrow := base + di
+				if nrow < lo || nrow >= hi {
+					continue // out-of-block: treated as zero
+				}
+				sum += z[nrow]
 			}
 		}
-		z[row] = sum / 26.0
 	}
-	for row := lo; row < hi; row++ {
-		sweep(row)
-	}
-	for row := hi - 1; row >= lo; row-- {
-		sweep(row)
-	}
+	z[row] = sum / 26.0
 }
 
 // sparseCharger charges the memory-system footprint of sparse kernels on a
@@ -148,6 +280,12 @@ type sparseCharger struct {
 	// reports.
 	gatherMissFrac float64
 	scatterBytes   uint64
+
+	// misses is the per-SpMV random-gather count; gatherBuf is the
+	// reusable address buffer the span-routed path fills and hands to
+	// Env.AccessGather in one call.
+	misses    uint64
+	gatherBuf []uint64
 }
 
 // matrixBytesPerRow is the CSR traffic per 27-entry row (27 values + 27
@@ -167,6 +305,8 @@ func newSparseCharger(e *kitten.Env, ord *RankOrder, rank, rows, totalRows int, 
 		gatherMissFrac: gatherFrac,
 		scatterBytes:   scatterBytes,
 	}
+	c.misses = uint64(float64(c.rows*27) * c.gatherMissFrac)
+	c.gatherBuf = make([]uint64, c.misses)
 	ord.Do(rank, func() {
 		c.matrix = allocSpread(e, hw.AlignUp(uint64(rows)*matrixBytesPerRow, hw.PageSize4K))
 		c.vec = allocSpread(e, hw.AlignUp(uint64(totalRows)*8, hw.PageSize4K))
@@ -208,7 +348,32 @@ func (c *sparseCharger) gatherTarget(i uint64) hw.Extent {
 	return c.vec
 }
 
+// fillGatherAddrs generates one SpMV's worth of random gather addresses
+// into buf, advancing the charger's RNG exactly as the element-wise loop
+// does.
+//
+//covirt:hot
+func (c *sparseCharger) fillGatherAddrs(buf []uint64) {
+	// Hoist the per-target word counts: Size/8 is loop-invariant, and the
+	// remaining modulo uses the precomputed divisor, matching the
+	// element-wise loop's offsets exactly.
+	vecW := c.vec.Size / 8
+	remW := c.remote.Size / 8
+	scatW := c.scatter.Size / 8
+	for m := range buf {
+		start, words := c.vec.Start, vecW
+		if remW > 0 && uint64(m)%2 == 1 {
+			start, words = c.remote.Start, remW
+		} else if scatW > 0 {
+			start, words = c.scatter.Start, scatW
+		}
+		buf[m] = start + (c.rng.Next()%words)*8
+	}
+}
+
 // chargeSpMV charges one sparse matrix-vector multiply over the rank's rows.
+//
+//covirt:hot
 func (c *sparseCharger) chargeSpMV() {
 	e := c.env
 	// Stream the matrix (values + indices) and the destination vector.
@@ -217,11 +382,15 @@ func (c *sparseCharger) chargeSpMV() {
 	// Source vector: mostly streaming reuse, plus the cache-missing
 	// indirect gathers.
 	e.Stream(c.vec.Start, c.rows*8, false)
-	misses := uint64(float64(c.rows*27) * c.gatherMissFrac)
-	for m := uint64(0); m < misses; m++ {
-		tgt := c.gatherTarget(m)
-		off := c.rng.Next() % (tgt.Size / 8)
-		e.Access(tgt.Start+off*8, false, hw.AccessDRAM)
+	if spanRouting() {
+		c.fillGatherAddrs(c.gatherBuf)
+		e.AccessGather(c.gatherBuf, 0, false, hw.AccessDRAM)
+	} else {
+		for m := uint64(0); m < c.misses; m++ {
+			tgt := c.gatherTarget(m)
+			off := c.rng.Next() % (tgt.Size / 8)
+			e.Access(tgt.Start+off*8, false, hw.AccessDRAM)
+		}
 	}
 	// 2 flops per nonzero.
 	e.Compute(c.rows * 27 * 2)
@@ -262,20 +431,29 @@ type cgSolver struct {
 	scatterBytes uint64
 	// seed displaces the charger's gather streams (0 = legacy fixed).
 	seed uint64
+	// st is the pooled vector set, checked out by makeRankFn and returned
+	// by release after the solve.
+	st *cgState
+}
+
+// release returns the solver's vector set to the arena pool. Callers must
+// invoke it after the parallel region has completed.
+func (cg *cgSolver) release() {
+	if cg.st != nil {
+		putCGState(cg.st)
+		cg.st = nil
+	}
 }
 
 // run executes the solve; fn is invoked per rank by runParallel's caller.
 func (cg *cgSolver) makeRankFn(threads int, finalRes *float64) func(e *kitten.Env, rank int) error {
 	n := cg.s.rows()
-	x := make([]float64, n)
-	b := make([]float64, n)
-	r := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
-	z := make([]float64, n)
+	st := getCGState(n) // x and z arrive zeroed; the rest are overwritten below
+	cg.st = st
+	x, b, r, p, ap, z := st.x, st.b, st.r, st.p, st.ap, st.z
 
 	// b = A * ones, so the exact solution is all-ones.
-	ones := make([]float64, n)
+	ones := st.ones
 	for i := range ones {
 		ones[i] = 1
 	}
@@ -376,7 +554,7 @@ func (cg *cgSolver) makeRankFn(threads int, finalRes *float64) func(e *kitten.En
 
 		if rank == 0 && finalRes != nil {
 			// True residual ||b - Ax|| / ||b||.
-			tmp := make([]float64, n)
+			tmp := st.tmp
 			cg.s.spmv(tmp, x, 0, n)
 			sum := 0.0
 			for i := range tmp {

@@ -35,15 +35,22 @@ func (s *Stream) Run(k *kitten.Kernel, threads int) (*Result, error) {
 	s.scalar = 3.0
 
 	bytesPer := uint64(n * 8)
-	type kernelTime struct{ copyC, scaleC, addC, triadC uint64 }
+	// Padded to a cache line: each rank updates its slot inside the timed
+	// kernels, and adjacent ranks must not false-share under -parallel.
+	type kernelTime struct {
+		copyC, scaleC, addC, triadC uint64
+		_                           [32]byte
+	}
 	times := make([]kernelTime, threads)
 	ord := NewRankOrder(threads)
 
 	res, err := runParallel(k, s.Name(), threads, func(e *kitten.Env, rank int) error {
-		// Real data.
-		a := make([]float64, n)
-		b := make([]float64, n)
-		c := make([]float64, n)
+		// Real data, pooled across reps and ranks: a and b are re-filled
+		// below and c is fully overwritten by the Copy kernel, so reuse
+		// needs no clearing.
+		sb := getStreamBufs(n)
+		defer putStreamBufs(sb)
+		a, b, c := sb.a, sb.b, sb.c
 		for i := range a {
 			a[i] = 1.0
 			b[i] = 2.0

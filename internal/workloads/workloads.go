@@ -170,26 +170,29 @@ func (r *RankOrder) Do(rank int, fn func()) {
 }
 
 // Allreduce sums per-rank values across all ranks (two barriers plus the
-// combine work on rank 0, as a tree reduction would cost).
+// combine work on rank 0, as a tree reduction would cost). The per-rank
+// contribution slots are cache-line padded: every rank stores its value
+// concurrently mid-iteration, and false sharing here serializes the whole
+// fleet under -parallel.
 type Allreduce struct {
 	b    *Barrier
-	vals []float64
+	vals []padFloat64
 	out  float64
 }
 
 // NewAllreduce returns an all-reduce context for n ranks.
 func NewAllreduce(n int) *Allreduce {
-	return &Allreduce{b: NewBarrier(n), vals: make([]float64, n)}
+	return &Allreduce{b: NewBarrier(n), vals: make([]padFloat64, n)}
 }
 
 // Sum contributes v for rank and returns the global sum.
 func (a *Allreduce) Sum(e *kitten.Env, rank int, v float64) float64 {
-	a.vals[rank] = v
+	a.vals[rank].v = v
 	a.b.Wait(e, rank)
 	if rank == 0 {
 		s := 0.0
-		for _, x := range a.vals {
-			s += x
+		for i := range a.vals {
+			s += a.vals[i].v
 		}
 		a.out = s
 		e.Compute(uint64(16 * len(a.vals)))

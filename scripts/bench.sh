@@ -1,32 +1,83 @@
 #!/bin/sh
 # bench.sh — run the repository's benchmark suite and snapshot the results
-# as a committed JSON artifact (BENCH_5.json by default):
+# as a committed JSON artifact (BENCH_6.json by default):
 #
 #   ./scripts/bench.sh [output.json]
+#   ./scripts/bench.sh --compare OLD.json [NEW.json]
 #
 # Two tiers run back to back: the hot-path microbenchmarks (TLB lookup,
 # EPT walks, PhysMem accessors, STREAM triad) and the paper-figure
 # benchmarks in the root package (fig5a/fig5b/fig7/GUPS, one full
-# experiment pass each). The figure benchmarks dominate wall clock, so a
-# full run takes a couple of minutes on an idle machine; benchmark on an
-# otherwise-quiet host or the numbers are meaningless.
+# experiment pass each). Both run under -benchmem, so the snapshots carry
+# B/op and allocs/op alongside ns/op — the allocation columns are the
+# regression teeth on the zero-alloc workload discipline. The figure
+# benchmarks dominate wall clock, so a full run takes a couple of minutes
+# on an idle machine; benchmark on an otherwise-quiet host or the numbers
+# are meaningless.
+#
+# --compare prints per-benchmark deltas between two snapshots (e.g.
+# BENCH_5.json vs BENCH_6.json) without running anything.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+if [ "${1:-}" = "--compare" ]; then
+    old="${2:?usage: bench.sh --compare OLD.json [NEW.json]}"
+    new="${3:-BENCH_6.json}"
+    awk '
+    function field(line, key,   s) {
+        s = line
+        if (match(s, "\"" key "\": [0-9.e+-]+")) {
+            s = substr(s, RSTART, RLENGTH)
+            sub(/.*: /, "", s)
+            return s
+        }
+        return ""
+    }
+    /"name":/ {
+        name = $0
+        sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        if (FILENAME == ARGV[1]) {
+            oldns[name] = field($0, "ns/op")
+            oldal[name] = field($0, "allocs/op")
+        } else if (!(name in newns)) {
+            newns[name] = field($0, "ns/op")
+            newal[name] = field($0, "allocs/op")
+            order[n++] = name
+        }
+    }
+    END {
+        printf "%-34s %15s %15s %9s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op"
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            al = newal[name]; if (al == "") al = "-"
+            if (oldal[name] != "" && oldal[name] != newal[name]) al = oldal[name] " -> " al
+            if (oldns[name] == "") {
+                printf "%-34s %15s %15s %9s %16s\n", name, "-", newns[name], "new", al
+                continue
+            }
+            d = (newns[name] - oldns[name]) / oldns[name] * 100
+            printf "%-34s %15s %15s %+8.1f%% %16s\n", name, oldns[name], newns[name], d, al
+        }
+    }
+    ' "$old" "$new"
+    exit 0
+fi
+
+out="${1:-BENCH_6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "==> microbenchmarks (internal/hw, internal/vmx, internal/workloads)"
-go test -run '^$' -bench 'EPTWalk|PhysMemReadWrite|TLBLookup|StreamTriad' \
+go test -run '^$' -bench 'EPTWalk|PhysMemReadWrite|TLBLookup|StreamTriad' -benchmem \
     ./internal/hw ./internal/vmx ./internal/workloads | tee -a "$tmp"
 
 echo "==> figure benchmarks (root package, one pass each)"
-go test -run '^$' -bench . -benchtime 1x . | tee -a "$tmp"
+go test -run '^$' -bench . -benchtime 1x -benchmem . | tee -a "$tmp"
 
 # Fold the `go test -bench` text into a JSON array: one object per
 # benchmark line carrying the package, iteration count, and every
-# value/unit metric pair (ns/op plus any ReportMetric extras).
+# value/unit metric pair (ns/op and the -benchmem B/op and allocs/op
+# columns, plus any ReportMetric extras).
 awk '
 BEGIN { print "["; first = 1 }
 /^pkg:/ { pkg = $2 }

@@ -31,6 +31,13 @@ begin "covirt-vet ./..."
 go run ./cmd/covirt-vet ./...
 end
 
+# The zero-alloc gate deserves its own visible stage: a hotalloc finding
+# means a //covirt:hot solver loop grew an allocation, which silently
+# erodes the benchmarked speedups long before anything functionally fails.
+begin "covirt-vet -checks hotalloc ./..."
+go run ./cmd/covirt-vet -checks hotalloc ./...
+end
+
 begin "covirt-vet negative fixtures (must fail)"
 for fixture in internal/analysis/testdata/*/; do
     if go run ./cmd/covirt-vet -q "./$fixture" 2>/dev/null; then
