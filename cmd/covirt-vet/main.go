@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	covirt-vet [-checks c1,c2] [-list] [dir | dir/... ...]
+//	covirt-vet [-checks c1,c2] [-list] [-json] [-time] [dir | dir/... ...]
 //
 // With no arguments it analyzes the module containing the current
 // directory. Each argument names a directory; the enclosing module is
@@ -12,12 +12,17 @@
 // given subtree. Exit status: 0 when clean, 1 when findings were
 // reported, 2 on usage or load errors — suitable as a CI gate.
 //
+// -json emits the findings as a JSON array on stdout (stable fields:
+// check, file, line, col, msg, witness), for machine consumption and CI
+// artifacts. -time prints per-analyzer wall-clock cost to stderr.
+//
 // Vetted exceptions are annotated at the offending line with:
 //
 //	//covirt:allow <check>[,<check>...] <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,12 +36,24 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonFinding is the stable machine-readable finding shape.
+type jsonFinding struct {
+	Check   string   `json:"check"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Msg     string   `json:"msg"`
+	Witness []string `json:"witness,omitempty"`
+}
+
 func run() int {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
 	quietFlag := flag.Bool("q", false, "suppress the summary line")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	timeFlag := flag.Bool("time", false, "report per-analyzer wall-clock cost on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: covirt-vet [-checks c1,c2] [-list] [dir | dir/... ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: covirt-vet [-checks c1,c2] [-list] [-json] [-time] [dir | dir/... ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,6 +76,7 @@ func run() int {
 	}
 
 	total := 0
+	out := []jsonFinding{} // non-nil: -json emits [] when clean
 	seenModules := make(map[string]bool)
 	for _, target := range targets {
 		dir := strings.TrimSuffix(target, "...")
@@ -78,7 +96,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "covirt-vet: %s is not a directory\n", target)
 			return 2
 		}
-		findings, mod, err := analysis.Run(abs, names)
+		mod, err := analysis.LoadModule(abs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "covirt-vet: %v\n", err)
 			return 2
@@ -87,6 +105,17 @@ func run() int {
 			continue // several targets inside one module: analyzed already
 		}
 		seenModules[mod.Root] = true
+		findings, times, err := analysis.RunModuleChecksTimed(mod, names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "covirt-vet: %v\n", err)
+			return 2
+		}
+		if *timeFlag {
+			for _, ct := range times {
+				fmt.Fprintf(os.Stderr, "covirt-vet: timing %-18s %8.1fms\n",
+					ct.Name, float64(ct.Elapsed.Microseconds())/1000)
+			}
+		}
 		for _, f := range findings {
 			// Filter to the requested subtree and print module-relative
 			// paths so output is stable across checkouts.
@@ -97,13 +126,29 @@ func run() int {
 			}
 			rel, rerr := filepath.Rel(mod.Root, f.Pos.Filename)
 			if rerr == nil {
-				f.Pos.Filename = rel
+				f.Pos.Filename = filepath.ToSlash(rel)
 			}
-			fmt.Println(f.String())
+			if *jsonFlag {
+				out = append(out, jsonFinding{
+					Check: f.Check, File: f.Pos.Filename,
+					Line: f.Pos.Line, Col: f.Pos.Column,
+					Msg: f.Msg, Witness: f.Witness,
+				})
+			} else {
+				fmt.Println(f.String())
+			}
 			total++
 		}
 		for _, terr := range mod.TypeErrors {
 			fmt.Fprintf(os.Stderr, "covirt-vet: warning: %v\n", terr)
+		}
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "covirt-vet: %v\n", err)
+			return 2
 		}
 	}
 	if !*quietFlag {

@@ -26,6 +26,24 @@
 //   - hotalloc: functions marked //covirt:hot are steady-state hot paths
 //     and must not allocate (make/append/map literals) inside their loops.
 //
+// Three module-scope analyzers run interprocedurally, over a call graph
+// of the whole module with conservatively widened dynamic calls
+// (callgraph.go) and a fixpoint dataflow driver:
+//
+//   - lock-order: the module-global lock-ordering graph (which lock
+//     classes are acquired while which are held, through call chains)
+//     must be acyclic — a cycle is a potential deadlock, reported with
+//     the witness call chain establishing each edge.
+//   - atomic-discipline: a struct field must not mix sync/atomic and
+//     plain access; fields declared guarded by a mutex
+//     (//covirt:guards <field,...> on the mutex field) are only written
+//     with that mutex held, and a consistently lock-guarded field
+//     written once without the lock is reported as a latent race.
+//   - transitive-hot: everything reachable from the loops of a
+//     //covirt:hot function must stay allocation-free and must not
+//     consult wall-clock time or global math/rand — the hotalloc and
+//     determinism invariants extended through the call graph.
+//
 // Vetted exceptions are annotated in the source with a directive comment
 // on (or immediately above) the offending line:
 //
@@ -39,6 +57,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one reported violation.
@@ -46,11 +65,19 @@ type Finding struct {
 	Check string
 	Pos   token.Position
 	Msg   string
+	// Witness, for interprocedural findings, is the call/acquire chain
+	// establishing the violation, one human-readable step per entry.
+	Witness []string
 }
 
-// String renders the finding in the conventional file:line:col form.
+// String renders the finding in the conventional file:line:col form,
+// with witness steps indented below.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+	for _, w := range f.Witness {
+		s += "\n\t" + w
+	}
+	return s
 }
 
 // Pass is the per-unit analysis context handed to analyzers.
@@ -89,6 +116,9 @@ func Analyzers() []*Analyzer {
 		traceCoverage,
 		genInvalidation,
 		hotalloc,
+		lockOrder,
+		atomicDiscipline,
+		transitiveHot,
 	}
 }
 
@@ -124,21 +154,38 @@ func Run(root string, names []string) ([]Finding, *Module, error) {
 	return findings, mod, err
 }
 
+// CheckTime records one analyzer's wall-clock cost over a module.
+type CheckTime struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // RunModuleChecks runs the named checks over an already-loaded module.
 func RunModuleChecks(mod *Module, names []string) ([]Finding, error) {
+	findings, _, err := RunModuleChecksTimed(mod, names)
+	return findings, err
+}
+
+// RunModuleChecksTimed is RunModuleChecks, also reporting per-analyzer
+// wall-clock times (in suite order). The first interprocedural analyzer
+// to run pays for the shared call-graph construction.
+func RunModuleChecksTimed(mod *Module, names []string) ([]Finding, []CheckTime, error) {
 	checks, err := byName(names)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var findings []Finding
+	var times []CheckTime
 	for _, a := range checks {
+		start := time.Now()
 		if a.RunModule != nil {
 			findings = append(findings, a.RunModule(mod)...)
-			continue
+		} else {
+			for _, u := range mod.Units {
+				findings = append(findings, a.Run(&Pass{Mod: mod, Unit: u})...)
+			}
 		}
-		for _, u := range mod.Units {
-			findings = append(findings, a.Run(&Pass{Mod: mod, Unit: u})...)
-		}
+		times = append(times, CheckTime{Name: a.Name, Elapsed: time.Since(start)})
 	}
 	findings = suppress(mod, findings)
 	sort.Slice(findings, func(i, j int) bool {
@@ -154,7 +201,7 @@ func RunModuleChecks(mod *Module, names []string) ([]Finding, error) {
 		}
 		return a.Check < b.Check
 	})
-	return findings, nil
+	return findings, times, nil
 }
 
 // allowKey identifies one line of one file.
@@ -163,10 +210,19 @@ type allowKey struct {
 	line int
 }
 
-// suppress drops findings covered by a //covirt:allow directive on the
-// same line or the line directly above.
-func suppress(mod *Module, findings []Finding) []Finding {
-	allowed := make(map[allowKey]map[string]bool)
+// allowIndex maps file:line to the set of checks allowed there.
+type allowIndex map[allowKey]map[string]bool
+
+// buildAllowIndex collects every //covirt:allow directive in the module.
+// It is built once per module (lazily) and shared: the suppression pass
+// uses it to drop findings, and interprocedural analyzers use it as a
+// traversal barrier — an allow on a call-site line vets everything
+// beyond that call as off-path for the named checks.
+func buildAllowIndex(mod *Module) allowIndex {
+	if mod.allow != nil {
+		return mod.allow
+	}
+	allowed := make(allowIndex)
 	for _, u := range mod.Units {
 		for _, f := range u.Files {
 			for _, cg := range f.Comments {
@@ -187,13 +243,35 @@ func suppress(mod *Module, findings []Finding) []Finding {
 			}
 		}
 	}
-	match := func(f Finding, line int) bool {
-		m := allowed[allowKey{f.Pos.Filename, line}]
-		return m != nil && (m[f.Check] || m["all"])
+	mod.allow = allowed
+	return allowed
+}
+
+// allows reports whether check is allowed at file:line, by a directive
+// on that line or the line directly above.
+func (a allowIndex) allows(file string, line int, check string) bool {
+	for _, l := range [2]int{line, line - 1} {
+		if m := a[allowKey{file, l}]; m != nil && (m[check] || m["all"]) {
+			return true
+		}
 	}
+	return false
+}
+
+// barrier reports whether a //covirt:allow for check sits on the call
+// site at pos: interprocedural analyzers stop traversing there.
+func (a allowIndex) barrier(mod *Module, pos token.Pos, check string) bool {
+	p := mod.Fset.Position(pos)
+	return a.allows(p.Filename, p.Line, check)
+}
+
+// suppress drops findings covered by a //covirt:allow directive on the
+// same line or the line directly above.
+func suppress(mod *Module, findings []Finding) []Finding {
+	allowed := buildAllowIndex(mod)
 	out := findings[:0]
 	for _, f := range findings {
-		if match(f, f.Pos.Line) || match(f, f.Pos.Line-1) {
+		if allowed.allows(f.Pos.Filename, f.Pos.Line, f.Check) {
 			continue
 		}
 		out = append(out, f)
@@ -203,7 +281,7 @@ func suppress(mod *Module, findings []Finding) []Finding {
 
 // parseAllow extracts the check names from a //covirt:allow directive.
 func parseAllow(text string) ([]string, bool) {
-	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "covirt:allow")
+	rest, ok := cutDirective(text, "covirt:allow")
 	if !ok {
 		return nil, false
 	}
@@ -218,6 +296,16 @@ func parseAllow(text string) ([]string, bool) {
 		}
 	}
 	return checks, len(checks) > 0
+}
+
+// cutDirective strips a //name directive prefix from a comment, requiring
+// a word boundary after the name (so covirt:allowed is not covirt:allow).
+func cutDirective(text, name string) (string, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), name)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return rest, true
 }
 
 // isTestFile reports whether the file (by position) is a _test.go file.
@@ -280,4 +368,7 @@ const (
 	checkTrace       = "trace-coverage"
 	checkGenInval    = "gen-invalidation"
 	checkHotalloc    = "hotalloc"
+	checkLockOrder   = "lock-order"
+	checkAtomic      = "atomic-discipline"
+	checkTransHot    = "transitive-hot"
 )

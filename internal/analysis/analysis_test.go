@@ -97,6 +97,41 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			fixture: "lockorder",
+			checks:  []string{checkLockOrder},
+			want: []string{
+				"locks/locks.go:18",  // AB: a->b via call, b->a local
+				"locks/locks.go:41",  // Re: self-deadlock through helper
+				"locks/locks.go:143", // Iface: x->y through interface widening
+				// Clean orders consistently; Spawn's goroutine launch makes
+				// no edge; Vetted's call edge carries //covirt:allow
+			},
+		},
+		{
+			fixture: "atomicdiscipline",
+			checks:  []string{checkAtomic},
+			want: []string{
+				"fields/fields.go:22",  // bare read of atomic field
+				"fields/fields.go:40",  // write outside declared guard
+				"fields/fields.go:73",  // bare write to inferred-guarded field
+				"fields/fields.go:102", // //covirt:guards names unknown field
+				// Guarded.helper is proven locked on entry; NewInferred is a
+				// constructor; MakeMsg writes a local copy; RacyVetted is
+				// suppressed by //covirt:allow all
+			},
+		},
+		{
+			fixture: "transhot",
+			checks:  []string{checkTransHot},
+			want: []string{
+				"internal/workloads/hot.go:23", // time.Now behind interface dispatch
+				"internal/workloads/hot.go:44", // append one hop from the loop
+				"internal/workloads/hot.go:50", // map literal two hops down
+				// setup is called before the loop; vetted's make carries a
+				// suppression; flush is behind a //covirt:allow barrier
+			},
+		},
+		{
 			fixture: "geninvalidation",
 			checks:  []string{checkGenInval},
 			want: []string{
@@ -171,10 +206,49 @@ func TestBuildConstraintExclusion(t *testing.T) {
 }
 
 // TestUnknownCheckRejected ensures a bad -checks selection is an error,
-// not a silent no-op.
+// not a silent no-op — including when mixed with valid names.
 func TestUnknownCheckRejected(t *testing.T) {
 	if _, _, err := Run(filepath.Join("testdata", "lock"), []string{"no-such-check"}); err == nil {
 		t.Fatal("unknown check accepted")
+	}
+	if _, _, err := Run(filepath.Join("testdata", "lock"), []string{checkLock, "no-such-check"}); err == nil {
+		t.Fatal("unknown check accepted when mixed with a valid one")
+	}
+	if _, err := byName([]string{"lock-discipline,determinism"}); err == nil {
+		t.Fatal("comma-joined names accepted as one check name")
+	}
+}
+
+// TestLockOrderWitness pins the shape of interprocedural witness chains:
+// each cycle edge renders as one holds-and-calls (or holds-and-acquires)
+// step naming the functions, classes and module-relative positions.
+func TestLockOrderWitness(t *testing.T) {
+	findings, _, err := Run(filepath.Join("testdata", "lockorder"), []string{checkLockOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMsg := make(map[string]Finding)
+	for _, f := range findings {
+		byMsg[f.Msg] = f
+	}
+	ab, ok := byMsg["lock-order cycle locks.AB.a -> locks.AB.b -> locks.AB.a: potential deadlock"]
+	if !ok {
+		t.Fatalf("AB cycle not reported; findings: %v", findings)
+	}
+	wantWitness := []string{
+		"(*locks.AB).First holds locks.AB.a and calls (*locks.AB).lockB at locks/locks.go:18, which acquires locks.AB.b",
+		"(*locks.AB).Second holds locks.AB.b and acquires locks.AB.a at locks/locks.go:29",
+	}
+	if len(ab.Witness) != len(wantWitness) {
+		t.Fatalf("witness = %v, want %v", ab.Witness, wantWitness)
+	}
+	for i := range wantWitness {
+		if ab.Witness[i] != wantWitness[i] {
+			t.Errorf("witness[%d] = %q, want %q", i, ab.Witness[i], wantWitness[i])
+		}
+	}
+	if len(byMsg["lock-order cycle locks.Re.m -> locks.Re.m: potential deadlock"].Witness) != 1 {
+		t.Errorf("self-loop should carry exactly one witness step")
 	}
 }
 
@@ -189,7 +263,11 @@ func TestAllowDirectiveParsing(t *testing.T) {
 		{"// covirt:allow lock-discipline spaced form", []string{"lock-discipline"}, true},
 		{"//covirt:allow a,b multi", []string{"a", "b"}, true},
 		{"//covirt:allow all everything", []string{"all"}, true},
+		{"//covirt:allow a,b: trailing colon on the list", []string{"a", "b"}, true},
+		{"//covirt:allow lock-order,transitive-hot: colon form", []string{"lock-order", "transitive-hot"}, true},
+		{"//covirt:allow a,,b empty element dropped", []string{"a", "b"}, true},
 		{"//covirt:allow", nil, false},
+		{"//covirt:allowed not the directive", nil, false},
 		{"// plain comment", nil, false},
 	}
 	for _, c := range cases {

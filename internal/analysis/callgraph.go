@@ -1,0 +1,458 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide call graph that the interprocedural
+// analyzers (lock-order, atomic-discipline, transitive-hot) run over, and
+// the small fixpoint driver that propagates dataflow facts across it.
+//
+// Nodes are the module's declared functions and methods, keyed by their
+// go/types full name (stable across the loader's per-unit type-check
+// universes). Function literals are inlined into their enclosing
+// declaration: calls made inside a literal are attributed to the
+// declaring function, and a literal used as a value registers its
+// encloser as a widening target — conservative in the safe direction for
+// every client (reachability and lock summaries over-approximate).
+//
+// Dynamic calls are widened, never dropped:
+//
+//   - a call through an interface method resolves to every module method
+//     with the same name and receiver-less signature;
+//   - a call through a function value (variable, field, parameter)
+//     resolves to every module function whose address is taken somewhere
+//     and whose signature matches.
+//
+// Function literals are NOT widening targets: their bodies are already
+// attributed to their enclosing declaration (calls, lock events,
+// allocations), so registering the encloser again under the literal's
+// signature would only manufacture edges — with common signatures like
+// func(), nearly every function in the module becomes the callee of
+// every dynamic call. The accepted imprecision is the ordering of a
+// literal's effects relative to the dynamic call site that runs it.
+//
+// Signatures are compared as package-path-qualified strings so objects
+// from different type-check universes compare correctly.
+
+// CallSite is one call expression inside a function body, with the
+// conservatively widened set of module-internal callees.
+type CallSite struct {
+	// Pos is the call position.
+	Pos token.Pos
+	// Callees are the node keys this call may reach, sorted.
+	Callees []string
+	// InLoop reports a for/range ancestor inside the declaration
+	// (function literals do not reset it: a loop outside a literal still
+	// iterates the literal's body).
+	InLoop bool
+	// InLit reports that the call sits inside a nested function literal,
+	// i.e. it may run on another frame or goroutine than the declaration.
+	InLit bool
+	// Go and Defer report invocation via go/defer statements.
+	Go    bool
+	Defer bool
+}
+
+// FuncNode is one declared function or method.
+type FuncNode struct {
+	Key  string
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Unit *Pkg
+	// Sites are the node's call sites in source order.
+	Sites []*CallSite
+	// Callers are the keys of nodes with a site targeting this node.
+	Callers []string
+	// AddrTaken reports the function is used as a value somewhere
+	// (callable from anywhere a matching function type flows).
+	AddrTaken bool
+	// TestRef reports a reference from a _test.go file: dataflow roots,
+	// since tests call into the module with no locks held.
+	TestRef bool
+	// Hot reports a //covirt:hot directive on the declaration.
+	Hot bool
+}
+
+// Display renders the node key for finding messages: the full name with
+// the module path prefix trimmed ("(*internal/hw.CPU).Access").
+func (n *FuncNode) Display(mod *Module) string {
+	return strings.ReplaceAll(n.Key, mod.Path+"/", "")
+}
+
+// CallGraph is the module-wide call graph.
+type CallGraph struct {
+	mod   *Module
+	Nodes map[string]*FuncNode
+	keys  []string // sorted node keys, the deterministic iteration order
+}
+
+// Keys returns the sorted node keys.
+func (g *CallGraph) Keys() []string { return g.keys }
+
+// Propagate runs update over every node, in key order, repeatedly until
+// a full pass reports no change, and returns the number of passes. It is
+// the suite's dataflow driver: update reads the facts of a node's
+// neighbors (callees for backward summaries, callers for forward entry
+// facts) and returns whether the node's own fact changed. Monotone
+// updates over finite fact domains terminate.
+func (g *CallGraph) Propagate(update func(n *FuncNode) bool) int {
+	for pass := 1; ; pass++ {
+		changed := false
+		for _, k := range g.keys {
+			if update(g.Nodes[k]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return pass
+		}
+	}
+}
+
+// CallGraph builds (once) and returns the module's call graph.
+func (m *Module) CallGraph() *CallGraph {
+	if m.cg == nil {
+		m.cg = buildCallGraph(m)
+	}
+	return m.cg
+}
+
+// funcKey returns the stable node key of fn: the types.Func full name,
+// which renders identically for the same declaration across type-check
+// universes (package paths qualify both receiver and name).
+func funcKey(fn *types.Func) string {
+	return fn.Origin().FullName()
+}
+
+// sigKey renders a signature with package-path qualification, receiver
+// excluded, for cross-universe widening comparisons.
+func sigKey(sig *types.Signature) string {
+	q := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), q))
+	}
+	b.WriteByte(')')
+	if sig.Variadic() {
+		b.WriteString("...")
+	}
+	b.WriteByte('(')
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), q))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// inModule reports whether fn is declared in this module.
+func (m *Module) inModule(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == m.Path || strings.HasPrefix(p, m.Path+"/")
+}
+
+// graphBuilder accumulates the indices needed for widening.
+type graphBuilder struct {
+	mod *Module
+	g   *CallGraph
+	// methodsBySig: method name + sigKey -> candidate node keys.
+	methodsBySig map[string][]string
+	// valuesBySig: sigKey -> node keys of address-taken functions.
+	valuesBySig map[string][]string
+}
+
+func buildCallGraph(m *Module) *CallGraph {
+	b := &graphBuilder{
+		mod:          m,
+		g:            &CallGraph{mod: m, Nodes: make(map[string]*FuncNode)},
+		methodsBySig: make(map[string][]string),
+		valuesBySig:  make(map[string][]string),
+	}
+	// Pass 1: nodes and widening indices. Only base (non-".test") units
+	// declare graph nodes; their non-test files are the production code.
+	for _, u := range m.Units {
+		if strings.HasSuffix(u.Path, ".test") {
+			continue
+		}
+		for _, file := range u.Files {
+			if isTestFile(m, file) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(fn)
+				if _, dup := b.g.Nodes[key]; dup {
+					// Multiple init functions share a full name; keep
+					// them distinct by position.
+					key = fmt.Sprintf("%s#%d", key, m.Fset.Position(fd.Pos()).Line)
+				}
+				node := &FuncNode{Key: key, Fn: fn, Decl: fd, Unit: u, Hot: isHotMarked(fd)}
+				b.g.Nodes[key] = node
+				sig := fn.Type().(*types.Signature)
+				if sig.Recv() != nil {
+					b.methodsBySig[fn.Name()+sigKey(sig)] = append(b.methodsBySig[fn.Name()+sigKey(sig)], key)
+				}
+			}
+		}
+	}
+	for k := range b.g.Nodes {
+		b.g.keys = append(b.g.keys, k)
+	}
+	sort.Strings(b.g.keys)
+	// Pass 2: address-taken functions, literal value registration, and
+	// test references.
+	for _, u := range m.Units {
+		isExtTest := strings.HasSuffix(u.Path, ".test")
+		for _, file := range u.Files {
+			inTest := isExtTest || isTestFile(m, file)
+			b.scanValues(u, file, inTest)
+		}
+	}
+	for sig, keys := range b.valuesBySig {
+		sort.Strings(keys)
+		b.valuesBySig[sig] = dedupSorted(keys)
+	}
+	for sig, keys := range b.methodsBySig {
+		sort.Strings(keys)
+		b.methodsBySig[sig] = dedupSorted(keys)
+	}
+	// Pass 3: call sites.
+	for _, k := range b.g.keys {
+		n := b.g.Nodes[k]
+		b.collectSites(n)
+	}
+	// Reverse edges.
+	for _, k := range b.g.keys {
+		for _, s := range b.g.Nodes[k].Sites {
+			for _, callee := range s.Callees {
+				if cn := b.g.Nodes[callee]; cn != nil {
+					cn.Callers = append(cn.Callers, k)
+				}
+			}
+		}
+	}
+	for _, k := range b.g.keys {
+		n := b.g.Nodes[k]
+		sort.Strings(n.Callers)
+		n.Callers = dedupSorted(n.Callers)
+	}
+	return b.g
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// nodeFor resolves a used *types.Func (possibly from another type-check
+// universe) to its graph node key, or "" when it has no body in the
+// module.
+func (b *graphBuilder) nodeFor(fn *types.Func) string {
+	if !b.mod.inModule(fn) {
+		return ""
+	}
+	key := funcKey(fn)
+	if _, ok := b.g.Nodes[key]; ok {
+		return key
+	}
+	return ""
+}
+
+// scanValues walks one file recording function values: a reference to a
+// declared function that is not the operand of a call marks it
+// address-taken (and a widening target under its signature). Test files
+// mark referenced functions as test roots instead.
+func (b *graphBuilder) scanValues(u *Pkg, file *ast.File, inTest bool) {
+	walkStack(file, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.Ident:
+			fn, ok := u.Info.Uses[n].(*types.Func)
+			if !ok {
+				return
+			}
+			key := b.nodeFor(fn)
+			if key == "" {
+				return
+			}
+			if inTest {
+				b.g.Nodes[key].TestRef = true
+				return
+			}
+			if isCallOperand(stack) {
+				return
+			}
+			b.g.Nodes[key].AddrTaken = true
+			if fn.Name() == "main" || fn.Name() == "init" {
+				return // referenced, but never callable through a value
+			}
+			if tv, ok := u.Info.Types[valueExpr(stack)]; ok {
+				if sig, ok := tv.Type.(*types.Signature); ok {
+					b.valuesBySig[sigKey(sig)] = append(b.valuesBySig[sigKey(sig)], key)
+				}
+			}
+		}
+	})
+}
+
+// valueExpr returns the outermost expression the current identifier is
+// the value of (unwrapping the selector it terminates, if any).
+func valueExpr(stack []ast.Node) ast.Expr {
+	n := stack[len(stack)-1].(ast.Expr)
+	if len(stack) >= 2 {
+		if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == n {
+			return sel
+		}
+	}
+	return n
+}
+
+// isCallOperand reports whether the expression ending the stack is (the
+// function operand of) a call: f(...) or x.f(...), through parens.
+func isCallOperand(stack []ast.Node) bool {
+	i := len(stack) - 1
+	expr := stack[i].(ast.Node)
+	for i--; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.SelectorExpr:
+			if id, ok := expr.(*ast.Ident); ok && parent.Sel == id {
+				expr = parent
+				continue
+			}
+			return false
+		case *ast.ParenExpr:
+			expr = parent
+			continue
+		case *ast.CallExpr:
+			return parent.Fun == expr
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// collectSites walks n's body recording every call expression with its
+// widened callee set and context attributes. Function-literal bodies are
+// included (attributed to n).
+func (b *graphBuilder) collectSites(n *FuncNode) {
+	u := n.Unit
+	walkStack(n.Decl.Body, func(node ast.Node, stack []ast.Node) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callees := b.calleesOf(u, call)
+		if len(callees) == 0 {
+			return
+		}
+		site := &CallSite{Pos: call.Pos(), Callees: callees}
+		for i, a := range stack[:len(stack)-1] {
+			switch a := a.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				site.InLoop = true
+			case *ast.FuncLit:
+				site.InLit = true
+			case *ast.GoStmt:
+				if i == len(stack)-2 && a.Call == call {
+					site.Go = true
+				}
+			case *ast.DeferStmt:
+				if i == len(stack)-2 && a.Call == call {
+					site.Defer = true
+				}
+			}
+		}
+		n.Sites = append(n.Sites, site)
+	})
+}
+
+// calleesOf resolves one call expression to its (widened) module-internal
+// callee keys.
+func (b *graphBuilder) calleesOf(u *Pkg, call *ast.CallExpr) []string {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+		// Interface dispatch: widen by method name + signature.
+		if sel, ok := u.Info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return nil
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				if sig == nil {
+					return nil
+				}
+				return append([]string(nil), b.methodsBySig[fn.Name()+sigKey(sig)]...)
+			}
+		}
+	case *ast.FuncLit:
+		return nil // immediately invoked: its body is inlined already
+	default:
+		// Dynamic call through an arbitrary expression (map/slice of
+		// funcs, call result): widen by signature.
+		return b.widenDynamic(u, fun)
+	}
+	switch obj := u.Info.Uses[id].(type) {
+	case *types.Func:
+		sig, _ := obj.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && obj.Pkg() != nil && !b.mod.inModule(obj) {
+			return nil // external (stdlib) function: no module body
+		}
+		if key := b.nodeFor(obj); key != "" {
+			return []string{key}
+		}
+		return nil
+	case *types.Builtin, *types.TypeName, nil:
+		return nil
+	default:
+		// A func-typed variable, field, or parameter: dynamic call.
+		return b.widenDynamic(u, fun)
+	}
+}
+
+// widenDynamic widens a call through a function value to every
+// address-taken module function with the same signature.
+func (b *graphBuilder) widenDynamic(u *Pkg, fun ast.Expr) []string {
+	tv, ok := u.Info.Types[fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), b.valuesBySig[sigKey(sig)]...)
+}

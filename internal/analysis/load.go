@@ -52,6 +52,9 @@ type Module struct {
 	// that builds with `go build ./...` produces none; they are surfaced
 	// as warnings so analysis stays best-effort on broken trees.
 	TypeErrors []error
+
+	cg    *CallGraph // lazily built module call graph (see callgraph.go)
+	allow allowIndex // lazily built //covirt:allow index (see analysis.go)
 }
 
 // pkgDir is one package directory before type checking.

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file computes per-function lock facts shared by the
+// interprocedural analyzers: which lock classes a function acquires, and
+// which are held at each program point.
+//
+// A lock class abstracts all instances of one mutex declaration:
+//
+//	<pkgpath>.<Type>.<field>   a struct field mutex (all instances)
+//	<pkgpath>.<var>            a package-level mutex variable
+//
+// Locks the scanner cannot name (a mutex behind a local pointer, an
+// anonymous struct) produce no class and are ignored — under-reporting,
+// never false edges.
+//
+// Held sets follow the repository's lock-discipline invariant (every
+// Lock pairs with a deferred Unlock in the same function): a class
+// acquired at position p is held from p to the end of the enclosing
+// function scope, unless a plain (non-deferred) Unlock releases it
+// earlier. Function literals open a fresh scope: their bodies neither
+// see nor extend the declaring function's held set, since a literal may
+// run on another frame long after the declaration returned.
+
+// acquireEv is one non-deferred Lock/RLock with the classes already held
+// in its scope at that point.
+type acquireEv struct {
+	pos   token.Pos
+	class string
+	held  []string
+}
+
+// heldPoint is a held-set snapshot taken after a lock event took effect.
+type heldPoint struct {
+	pos  token.Pos
+	held []string
+}
+
+// scopeEvents are the lock events of one scope (a declaration body or
+// one function literal body), in source order.
+type scopeEvents struct {
+	body   *ast.BlockStmt
+	points []heldPoint
+}
+
+// lockScan is the per-declaration lock fact set.
+type lockScan struct {
+	// acquires: every class acquired anywhere in the declaration,
+	// including inside function literals.
+	acquires map[string]token.Pos // class -> first acquire position
+	// acquireEvs in source order.
+	acquireEvs []acquireEv
+	// callHeld: held classes (of the call's own scope) at each call
+	// expression position.
+	callHeld map[token.Pos][]string
+	// scopes: per-scope held-set history, for arbitrary-position lookups.
+	scopes []scopeEvents
+}
+
+// scanLocks walks one declaration body.
+func scanLocks(u *Pkg, body *ast.BlockStmt) *lockScan {
+	s := &lockScan{
+		acquires: make(map[string]token.Pos),
+		callHeld: make(map[token.Pos][]string),
+	}
+	s.walkScope(u, body)
+	return s
+}
+
+// walkScope processes one scope (the declaration body or one function
+// literal body) with a fresh held set, recursing into nested literals.
+func (s *lockScan) walkScope(u *Pkg, body *ast.BlockStmt) {
+	var held []string
+	scope := scopeEvents{body: body}
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.walkScope(u, n.Body)
+			return false
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+			return true
+		case *ast.CallExpr:
+			s.callHeld[n.Pos()] = append([]string(nil), held...)
+			recvExpr, method, typ, ok := syncCallExpr(u, n)
+			if !ok || typ == "Cond" {
+				return true
+			}
+			class, ok := lockClassForSyncCall(u, n, recvExpr)
+			if !ok {
+				return true
+			}
+			switch method {
+			case "Lock", "RLock":
+				if deferred[n] {
+					return true
+				}
+				if _, seen := s.acquires[class]; !seen {
+					s.acquires[class] = n.Pos()
+				}
+				s.acquireEvs = append(s.acquireEvs, acquireEv{
+					pos: n.Pos(), class: class, held: append([]string(nil), held...),
+				})
+				held = appendMissing(held, class)
+				scope.points = append(scope.points, heldPoint{n.Pos(), append([]string(nil), held...)})
+			case "Unlock", "RUnlock":
+				if !deferred[n] {
+					held = removeClass(held, class)
+					scope.points = append(scope.points, heldPoint{n.Pos(), append([]string(nil), held...)})
+				}
+			}
+			return true
+		}
+		return true
+	})
+	s.scopes = append(s.scopes, scope)
+}
+
+func appendMissing(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func removeClass(s []string, v string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// heldAt returns the classes held at pos inside the given scope body (a
+// declaration body or function-literal body): the held set after the
+// last lock event of that scope at or before pos. Positions inside a
+// nested literal must be looked up against the literal's own scope —
+// literals neither see nor extend the enclosing held set.
+func (s *lockScan) heldAt(scope *ast.BlockStmt, pos token.Pos) []string {
+	for _, sc := range s.scopes {
+		if sc.body != scope {
+			continue
+		}
+		var held []string
+		for _, p := range sc.points {
+			if p.pos > pos {
+				break
+			}
+			held = p.held
+		}
+		return held
+	}
+	return nil
+}
+
+// syncCallExpr is syncCall over a unit instead of a Pass: it inspects
+// call and, when it is a method call on a sync.Mutex/RWMutex/Locker/Cond,
+// returns the receiver selector expression, the method name, and the
+// receiver type name.
+func syncCallExpr(u *Pkg, call *ast.CallExpr) (recv *ast.SelectorExpr, method, typ string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	fn, isFn := u.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", "", false
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return nil, "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "Locker", "Cond":
+		return sel, fn.Name(), named.Obj().Name(), true
+	}
+	return nil, "", "", false
+}
+
+// lockClassForSyncCall names the mutex behind one sync method call:
+// either the X of the selector is the mutex expression (x.mu.Lock()), or
+// the method is promoted from an embedded mutex (x.Lock()) and the
+// selection's field path names it.
+func lockClassForSyncCall(u *Pkg, call *ast.CallExpr, sel *ast.SelectorExpr) (string, bool) {
+	if s, ok := u.Info.Selections[sel]; ok && s.Kind() == types.MethodVal && len(s.Index()) > 1 {
+		// Promoted method: the embedded field hops name the mutex.
+		idx := s.Index()
+		return fieldClassByIndex(s.Recv(), idx[:len(idx)-1])
+	}
+	return lockClassOf(u, sel.X)
+}
+
+// lockClassOf canonicalizes a mutex-valued expression to its lock class.
+func lockClassOf(u *Pkg, expr ast.Expr) (string, bool) {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := u.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return fieldClassByIndex(s.Recv(), s.Index())
+		}
+		// Package-qualified variable: pkg.mu.
+		if v, ok := u.Info.Uses[e.Sel].(*types.Var); ok && pkgLevelVar(v) {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		if v, ok := u.Info.Uses[e].(*types.Var); ok && pkgLevelVar(v) {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockClassOf(u, e.X)
+		}
+	case *ast.StarExpr:
+		return lockClassOf(u, e.X)
+	}
+	return "", false
+}
+
+// pkgLevelVar reports whether v is a package-scope variable.
+func pkgLevelVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// fieldClassByIndex resolves a field path from a receiver type to the
+// class of the final field: "<pkgpath>.<OwnerType>.<field>", where the
+// owner is the named struct type directly declaring that field.
+func fieldClassByIndex(recv types.Type, index []int) (string, bool) {
+	t := recv
+	var owner *types.TypeName
+	for hop, i := range index {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			owner = named.Obj()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return "", false
+		}
+		f := st.Field(i)
+		if hop == len(index)-1 {
+			if owner == nil || owner.Pkg() == nil {
+				return "", false
+			}
+			return owner.Pkg().Path() + "." + owner.Name() + "." + f.Name(), true
+		}
+		t = f.Type()
+	}
+	return "", false
+}
+
+// classDisplay shortens a lock/field class for finding messages.
+func classDisplay(mod *Module, class string) string {
+	return strings.TrimPrefix(class, mod.Path+"/")
+}

@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockOrder detects potential deadlocks from inconsistent lock
+// acquisition order, interprocedurally. For every function the scanner
+// records which lock classes it acquires while which others are held
+// (lockfacts.go); the call-graph fixpoint extends "acquires" through
+// callees, so holding A and calling a function that (transitively) locks
+// B establishes the ordering edge A -> B. Any cycle in the resulting
+// module-global lock-ordering graph — including the self-loop of
+// re-acquiring a held, non-reentrant mutex through a call chain — is
+// reported once, with the witness call chains that establish each edge.
+//
+// Goroutine launches (`go f()`) do not extend the caller's held set:
+// locks taken on another goroutine impose no ordering against the
+// spawner's holdings.
+var lockOrder = &Analyzer{
+	Name:      checkLockOrder,
+	Doc:       "the module-global lock-ordering graph (held-while-acquiring, through calls) must be acyclic",
+	RunModule: runLockOrder,
+}
+
+// lockEdge is one ordering edge with its first (deterministic) witness.
+type lockEdge struct {
+	from, to string
+	fn       *FuncNode // function establishing the edge
+	pos      token.Pos // acquire or call position inside fn
+	callee   string    // callee key for call-established edges, "" for local
+}
+
+func runLockOrder(m *Module) []Finding {
+	g := m.CallGraph()
+	allow := buildAllowIndex(m)
+	barred := func(site *CallSite) bool {
+		return site.Go || allow.barrier(m, site.Pos, checkLockOrder)
+	}
+	scans := make(map[string]*lockScan, len(g.Keys()))
+	for _, k := range g.Keys() {
+		n := g.Nodes[k]
+		scans[k] = scanLocks(n.Unit, n.Decl.Body)
+	}
+
+	// Fixpoint: acq[f] = classes f may acquire, directly or through any
+	// non-goroutine callee.
+	acq := make(map[string]map[string]bool, len(g.Keys()))
+	for k, s := range scans {
+		set := make(map[string]bool, len(s.acquires))
+		for c := range s.acquires {
+			set[c] = true
+		}
+		acq[k] = set
+	}
+	g.Propagate(func(n *FuncNode) bool {
+		mine := acq[n.Key]
+		changed := false
+		for _, site := range n.Sites {
+			if barred(site) {
+				continue
+			}
+			for _, callee := range site.Callees {
+				for c := range acq[callee] {
+					if !mine[c] {
+						mine[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	})
+
+	// Edge construction, in deterministic node/event order; the first
+	// witness for each (from, to) pair wins.
+	edges := make(map[[2]string]*lockEdge)
+	addEdge := func(from, to string, fn *FuncNode, pos token.Pos, callee string) {
+		k := [2]string{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = &lockEdge{from: from, to: to, fn: fn, pos: pos, callee: callee}
+		}
+	}
+	for _, k := range g.Keys() {
+		n := g.Nodes[k]
+		s := scans[k]
+		for _, ev := range s.acquireEvs {
+			for _, held := range ev.held {
+				addEdge(held, ev.class, n, ev.pos, "")
+			}
+		}
+		for _, site := range n.Sites {
+			if barred(site) {
+				continue
+			}
+			held := s.callHeld[site.Pos]
+			if len(held) == 0 {
+				continue
+			}
+			for _, callee := range site.Callees {
+				var targets []string
+				for c := range acq[callee] {
+					targets = append(targets, c)
+				}
+				sort.Strings(targets)
+				for _, b := range targets {
+					for _, a := range held {
+						addEdge(a, b, n, site.Pos, callee)
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the class graph.
+	adj := make(map[string][]string)
+	var classes []string
+	seenClass := make(map[string]bool)
+	note := func(c string) {
+		if !seenClass[c] {
+			seenClass[c] = true
+			classes = append(classes, c)
+		}
+	}
+	for ek := range edges {
+		note(ek[0])
+		note(ek[1])
+		adj[ek[0]] = append(adj[ek[0]], ek[1])
+	}
+	sort.Strings(classes)
+	for c := range adj {
+		sort.Strings(adj[c])
+	}
+
+	var out []Finding
+	for _, scc := range stronglyConnected(classes, adj) {
+		cycle := shortestCycle(scc, adj)
+		if cycle == nil {
+			continue
+		}
+		out = append(out, cycleFinding(m, g, scans, barred, edges, cycle))
+	}
+	return out
+}
+
+// stronglyConnected returns the strongly connected components of the
+// class graph that can contain a cycle: components of size > 1, plus
+// single nodes with a self-loop. Components are sorted by their smallest
+// class, members sorted. (Iterative Kosaraju; the graphs are tiny.)
+func stronglyConnected(classes []string, adj map[string][]string) [][]string {
+	// First pass: finish order.
+	visited := make(map[string]bool)
+	var order []string
+	var dfs1 func(c string)
+	dfs1 = func(c string) {
+		visited[c] = true
+		for _, n := range adj[c] {
+			if !visited[n] {
+				dfs1(n)
+			}
+		}
+		order = append(order, c)
+	}
+	for _, c := range classes {
+		if !visited[c] {
+			dfs1(c)
+		}
+	}
+	// Reverse graph, second pass in reverse finish order.
+	radj := make(map[string][]string)
+	for c, ns := range adj {
+		for _, n := range ns {
+			radj[n] = append(radj[n], c)
+		}
+	}
+	comp := make(map[string]int)
+	for c := range visited {
+		comp[c] = -1
+	}
+	var members [][]string
+	var dfs2 func(c string, id int)
+	dfs2 = func(c string, id int) {
+		comp[c] = id
+		members[id] = append(members[id], c)
+		for _, n := range radj[c] {
+			if comp[n] == -1 {
+				dfs2(n, id)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		if comp[order[i]] == -1 {
+			members = append(members, nil)
+			dfs2(order[i], len(members)-1)
+		}
+	}
+	var out [][]string
+	for _, ms := range members {
+		sort.Strings(ms)
+		if len(ms) > 1 {
+			out = append(out, ms)
+			continue
+		}
+		for _, n := range adj[ms[0]] {
+			if n == ms[0] {
+				out = append(out, ms)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// shortestCycle finds a shortest cycle through the component's smallest
+// class, restricted to component members: start -> ... -> start.
+func shortestCycle(scc []string, adj map[string][]string) []string {
+	start := scc[0]
+	in := make(map[string]bool, len(scc))
+	for _, c := range scc {
+		in[c] = true
+	}
+	// BFS from start's successors back to start.
+	parent := make(map[string]string)
+	queue := []string{}
+	for _, n := range adj[start] {
+		if in[n] && n == start {
+			return []string{start, start} // self-loop
+		}
+		if in[n] {
+			if _, seen := parent[n]; !seen {
+				parent[n] = start
+				queue = append(queue, n)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[c] {
+			if n == start {
+				path := []string{start}
+				for x := c; x != start; x = parent[x] {
+					path = append(path, x)
+				}
+				// path is reversed tail; flip to start..c and close.
+				for i, j := 1, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return append(path, start)
+			}
+			if !in[n] {
+				continue
+			}
+			if _, seen := parent[n]; !seen {
+				parent[n] = c
+				queue = append(queue, n)
+			}
+		}
+	}
+	return nil
+}
+
+// cycleFinding renders one lock-order cycle with per-edge witnesses.
+func cycleFinding(m *Module, g *CallGraph, scans map[string]*lockScan, barred func(*CallSite) bool, edges map[[2]string]*lockEdge, cycle []string) Finding {
+	var names []string
+	for _, c := range cycle {
+		names = append(names, classDisplay(m, c))
+	}
+	var witness []string
+	var pos token.Pos
+	for i := 0; i+1 < len(cycle); i++ {
+		e := edges[[2]string{cycle[i], cycle[i+1]}]
+		if e == nil {
+			continue
+		}
+		if pos == token.NoPos {
+			pos = e.pos
+		}
+		p := m.Fset.Position(e.pos)
+		loc := fmt.Sprintf("%s:%d", relPath(m, p.Filename), p.Line)
+		if e.callee == "" {
+			witness = append(witness, fmt.Sprintf("%s holds %s and acquires %s at %s",
+				e.fn.Display(m), classDisplay(m, e.from), classDisplay(m, e.to), loc))
+		} else {
+			chain := acquireChain(m, g, scans, barred, e.callee, e.to)
+			witness = append(witness, fmt.Sprintf("%s holds %s and calls %s at %s, which acquires %s",
+				e.fn.Display(m), classDisplay(m, e.from), strings.Join(chain, " -> "), loc, classDisplay(m, e.to)))
+		}
+	}
+	return Finding{
+		Check:   checkLockOrder,
+		Pos:     m.Fset.Position(pos),
+		Msg:     fmt.Sprintf("lock-order cycle %s: potential deadlock", strings.Join(names, " -> ")),
+		Witness: witness,
+	}
+}
+
+// acquireChain reconstructs a shortest deterministic call chain from
+// start to a function that locally acquires class.
+func acquireChain(m *Module, g *CallGraph, scans map[string]*lockScan, barred func(*CallSite) bool, start, class string) []string {
+	type qe struct {
+		key  string
+		path []string
+	}
+	seen := map[string]bool{start: true}
+	queue := []qe{{start, []string{g.Nodes[start].Display(m)}}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if s := scans[e.key]; s != nil {
+			if _, ok := s.acquires[class]; ok {
+				return e.path
+			}
+		}
+		n := g.Nodes[e.key]
+		var nexts []string
+		for _, site := range n.Sites {
+			if barred(site) {
+				continue
+			}
+			nexts = append(nexts, site.Callees...)
+		}
+		sort.Strings(nexts)
+		for _, nx := range nexts {
+			if seen[nx] || g.Nodes[nx] == nil {
+				continue
+			}
+			seen[nx] = true
+			queue = append(queue, qe{nx, append(append([]string(nil), e.path...), g.Nodes[nx].Display(m))})
+		}
+	}
+	return []string{g.Nodes[start].Display(m)}
+}
+
+// relPath renders a filename module-relative for witness text.
+func relPath(m *Module, filename string) string {
+	if rel, ok := strings.CutPrefix(filename, m.Root+"/"); ok {
+		return rel
+	}
+	return filename
+}

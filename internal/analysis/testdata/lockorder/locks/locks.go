@@ -1,0 +1,151 @@
+// Package locks exercises the lock-order analyzer: acquisition-order
+// cycles through calls, self-deadlock through a call chain, interface
+// widening, and the exemptions (goroutine launches, //covirt:allow).
+package locks
+
+import "sync"
+
+// AB and BA invert each other's order; the a->b edge is established
+// through a call, the b->a edge locally.
+type AB struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *AB) First() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.lockB()
+}
+
+func (s *AB) lockB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+func (s *AB) Second() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	defer s.a.Unlock()
+}
+
+// Re re-acquires its own mutex through a helper: a self-loop.
+type Re struct {
+	m sync.Mutex
+}
+
+func (s *Re) Outer() {
+	s.m.Lock()
+	defer s.m.Unlock()
+	s.helper()
+}
+
+func (s *Re) helper() {
+	s.m.Lock()
+	defer s.m.Unlock()
+}
+
+// Clean takes a then b everywhere: a consistent global order.
+type Clean struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *Clean) Both() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.lockB()
+}
+
+func (s *Clean) lockB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+func (s *Clean) Again() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+// Spawn holds a while launching a goroutine that locks b; the goroutine
+// runs on its own frame, so no a->b edge forms and the b-then-a order
+// elsewhere is fine.
+type Spawn struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *Spawn) Launch() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	go s.lockB()
+}
+
+func (s *Spawn) lockB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+func (s *Spawn) Inverse() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	defer s.a.Unlock()
+}
+
+// Vetted is the AB shape with the call edge annotated away.
+type Vetted struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *Vetted) First() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	//covirt:allow lock-order callee runs after handoff, not on this frame
+	s.lockB()
+}
+
+func (s *Vetted) lockB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+func (s *Vetted) Second() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	defer s.a.Unlock()
+}
+
+// Grabber is dispatched through an interface: the x->y edge must be
+// found by name+signature widening.
+type Grabber interface {
+	Grab()
+}
+
+type Iface struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (s *Iface) Grab() {
+	s.y.Lock()
+	defer s.y.Unlock()
+}
+
+func (s *Iface) Call(g Grabber) {
+	s.x.Lock()
+	defer s.x.Unlock()
+	g.Grab()
+}
+
+func (s *Iface) Inverse() {
+	s.y.Lock()
+	defer s.y.Unlock()
+	s.x.Lock()
+	defer s.x.Unlock()
+}

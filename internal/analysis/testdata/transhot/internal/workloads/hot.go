@@ -1,0 +1,64 @@
+// Package workloads exercises the transitive-hot analyzer: allocation
+// and non-determinism reached from a hot loop through direct calls,
+// deeper chains, and interface dispatch, plus the exemptions (calls
+// outside loops, //covirt:allow barriers and suppressions).
+package workloads
+
+import "time"
+
+type charger struct {
+	scratch []byte
+	sink    uint64
+	src     Source
+}
+
+// Source is dispatched from the hot loop: implementations are widened in.
+type Source interface {
+	Next() uint64
+}
+
+type clockSource struct{}
+
+func (clockSource) Next() uint64 {
+	return uint64(time.Now().UnixNano()) // non-determinism behind an interface
+}
+
+//covirt:hot
+func (c *charger) Charge(n int) {
+	c.setup(n) // outside any loop: setup may allocate
+	for i := 0; i < n; i++ {
+		c.step(i)
+		c.sink += c.src.Next()
+		//covirt:allow transitive-hot drain runs on the flush path, not per iteration
+		c.flush()
+	}
+}
+
+// setup is only called before the loop: its make is fine.
+func (c *charger) setup(n int) {
+	c.scratch = make([]byte, n)
+}
+
+// step is called every iteration and calls deeper.
+func (c *charger) step(i int) {
+	c.scratch = append(c.scratch, byte(i))
+	c.deeper(i)
+}
+
+// deeper is two hops from the loop.
+func (c *charger) deeper(i int) {
+	m := map[int]int{i: i}
+	c.sink += uint64(len(m))
+	c.vetted()
+}
+
+// vetted allocates, but the site carries a suppression.
+func (c *charger) vetted() {
+	//covirt:allow transitive-hot scratch table rebuilt rarely, amortized
+	c.scratch = make([]byte, 1)
+}
+
+// flush allocates, but the hot loop's call to it is a vetted barrier.
+func (c *charger) flush() {
+	c.scratch = make([]byte, 0, 64)
+}

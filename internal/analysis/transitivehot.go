@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// transitiveHot extends the hotalloc and determinism invariants through
+// the call graph: a function reachable from inside a loop of a
+// //covirt:hot function executes once per steady-state iteration, so it
+// must not allocate (make/append/map literals — anywhere in its body,
+// not just its own loops) and must not consult wall-clock time or the
+// global math/rand source, regardless of which package it lives in.
+// Dynamic calls are widened (callgraph.go), so an interface method or
+// function value invoked from a hot loop pulls every possible
+// implementation into the checked set.
+//
+// Hot functions themselves are exempt here: hotalloc and determinism
+// check their bodies directly, with loop-local precision.
+//
+// A //covirt:allow transitive-hot directive on a call-site line is a
+// traversal barrier: that call is vetted as leaving the hot path (the
+// canonical case is interrupt dispatch, which the simulator models as a
+// synchronous call but which charges interrupt-context cycles, not the
+// hot loop's budget).
+var transitiveHot = &Analyzer{
+	Name:      checkTransHot,
+	Doc:       "functions reachable from //covirt:hot loops must be allocation-free and deterministic",
+	RunModule: runTransitiveHot,
+}
+
+// hotStep is one call edge of a reachability witness.
+type hotStep struct {
+	caller string // display name
+	callee string // display name
+	pos    token.Pos
+}
+
+func runTransitiveHot(m *Module) []Finding {
+	g := m.CallGraph()
+	allow := buildAllowIndex(m)
+
+	// BFS from the in-loop call sites of every hot function. The first
+	// (deterministic: hot roots and callees in key order) discovery of a
+	// node fixes its witness chain.
+	type qe struct {
+		key  string
+		path []hotStep
+	}
+	seen := make(map[string]bool)
+	var queue []qe
+	for _, k := range g.Keys() {
+		n := g.Nodes[k]
+		if !n.Hot {
+			continue
+		}
+		for _, site := range n.Sites {
+			if !site.InLoop || allow.barrier(m, site.Pos, checkTransHot) {
+				continue
+			}
+			for _, callee := range site.Callees {
+				if seen[callee] {
+					continue
+				}
+				seen[callee] = true
+				queue = append(queue, qe{callee, []hotStep{{
+					caller: n.Display(m), callee: g.Nodes[callee].Display(m), pos: site.Pos,
+				}}})
+			}
+		}
+	}
+
+	var out []Finding
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		n := g.Nodes[e.key]
+		if !n.Hot {
+			out = append(out, checkHotReached(m, n, e.path)...)
+		}
+		for _, site := range n.Sites {
+			if allow.barrier(m, site.Pos, checkTransHot) {
+				continue
+			}
+			for _, callee := range site.Callees {
+				if seen[callee] {
+					continue
+				}
+				seen[callee] = true
+				step := hotStep{caller: n.Display(m), callee: g.Nodes[callee].Display(m), pos: site.Pos}
+				queue = append(queue, qe{callee, append(append([]hotStep(nil), e.path...), step)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// checkHotReached scans one reached (non-hot) function for allocations
+// and non-determinism.
+func checkHotReached(m *Module, n *FuncNode, path []hotStep) []Finding {
+	u := n.Unit
+	witness := renderHotPath(m, path)
+	hotRoot := path[0].caller
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Check:   checkTransHot,
+			Pos:     m.Fset.Position(pos),
+			Msg:     fmt.Sprintf(format, args...) + fmt.Sprintf(" in %s, reachable from a loop of hot function %s", n.Display(m), hotRoot),
+			Witness: witness,
+		})
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(node.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "make" || fun.Name == "append" {
+					if _, builtin := u.Info.Uses[fun].(*types.Builtin); builtin {
+						report(node.Pos(), "%s", fun.Name)
+					}
+				}
+			case *ast.SelectorExpr:
+				fn, ok := u.Info.Uses[fun.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				if banned := bannedFuncs[fn.Pkg().Path()]; banned != nil && banned[fn.Name()] {
+					report(node.Pos(), "%s.%s", fn.Pkg().Name(), fn.Name())
+				}
+			}
+		case *ast.CompositeLit:
+			if _, ok := node.Type.(*ast.MapType); ok {
+				report(node.Pos(), "map literal")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// renderHotPath renders the witness call chain, one step per line.
+func renderHotPath(m *Module, path []hotStep) []string {
+	var out []string
+	for _, s := range path {
+		p := m.Fset.Position(s.pos)
+		out = append(out, fmt.Sprintf("%s calls %s at %s:%d", s.caller, s.callee, relPath(m, p.Filename), p.Line))
+	}
+	return out
+}

@@ -82,7 +82,7 @@ type Handler func(ev *Event) error
 
 // Bus is the synchronous event bus.
 type Bus struct {
-	mu       sync.Mutex
+	mu       sync.Mutex //covirt:guards handlers
 	handlers []Handler
 	tracer   *trace.Buffer
 }
@@ -134,6 +134,7 @@ type Master struct {
 	Reg *xemem.Registry
 	Bus *Bus
 
+	//covirt:guards ipiGrant
 	mu       sync.Mutex
 	ipiGrant map[int]map[ipiKey]bool // enclave id -> granted (core,vector)
 }

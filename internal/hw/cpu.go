@@ -239,6 +239,11 @@ func (c *CPU) poll() error {
 		}
 		c.charge(c.Costs().GuestIRQ)
 		if c.irqHandler != nil {
+			// The handler runs in interrupt context: its cycles are charged
+			// to IntrDeliver/GuestIRQ, not the interrupted code's budget,
+			// and any locks it takes are its own frame's, so hot-path and
+			// lock-ordering traversal stop at this dispatch.
+			//covirt:allow transitive-hot,lock-order interrupt-context boundary
 			c.irqHandler(c, vector, external)
 		}
 	}

@@ -1,0 +1,44 @@
+package hw
+
+import "math/bits"
+
+// FixedDiv computes x % d for a divisor fixed at construction, using a
+// precomputed 64-bit reciprocal instead of the hardware divide. The hot
+// gather-address generators reduce every RNG draw modulo a word count
+// that is loop-invariant (an extent size fixed at carve-out time), so the
+// 20-40 cycle DIV in that reduction is pure overhead; the reciprocal form
+// is a widening multiply plus at most one subtraction.
+//
+// The estimate uses m = floor((2^64-1)/d). Writing r64 = (2^64-1) mod d,
+// m*d = 2^64 - 1 - r64, so for q̂ = floor(m*x / 2^64):
+//
+//	m*x/2^64 = x/d - x*(1+r64)/(d*2^64)
+//
+// and the deficit term is < 1 for every x < 2^64 (since 1+r64 <= d).
+// Hence q̂ is either floor(x/d) or floor(x/d)-1, and x - q̂*d lands in
+// [x%d, x%d + d): exact after at most one conditional subtraction, for
+// every d >= 1 including non-powers-of-two. The zero value (d = 0) is not
+// usable; construct with NewFixedDiv.
+type FixedDiv struct {
+	d uint64 // the divisor
+	m uint64 // floor((2^64-1)/d)
+}
+
+// NewFixedDiv precomputes the reciprocal for divisor d. d must be
+// non-zero.
+func NewFixedDiv(d uint64) FixedDiv {
+	return FixedDiv{d: d, m: ^uint64(0) / d}
+}
+
+// D returns the divisor.
+func (f FixedDiv) D() uint64 { return f.d }
+
+// Mod returns x % f.D(), exactly, without a divide instruction.
+func (f FixedDiv) Mod(x uint64) uint64 {
+	hi, _ := bits.Mul64(f.m, x)
+	r := x - hi*f.d
+	if r >= f.d {
+		r -= f.d
+	}
+	return r
+}

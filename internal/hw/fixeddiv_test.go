@@ -1,0 +1,38 @@
+package hw
+
+import "testing"
+
+// TestFixedDivMod checks the reciprocal reduction against the hardware
+// modulo across divisor shapes (tiny, odd, power-of-two, near-2^64) and
+// the x values that stress the one-subtraction correction bound.
+func TestFixedDivMod(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 5, 7, 8, 26, 27, 100, 255, 256, 257,
+		1<<20 - 1, 1 << 20, 1<<20 + 1,
+		1<<32 - 1, 1 << 32, 1<<32 + 17,
+		0x9E3779B97F4A7C15, 1 << 63, ^uint64(0) - 1, ^uint64(0),
+	}
+	// Small divisors exhaustively enough to cover every residue class.
+	for d := uint64(1); d <= 64; d++ {
+		divisors = append(divisors, d)
+	}
+	rng := NewRand(1)
+	for _, d := range divisors {
+		f := NewFixedDiv(d)
+		if f.D() != d {
+			t.Fatalf("NewFixedDiv(%d).D() = %d", d, f.D())
+		}
+		xs := []uint64{
+			0, 1, d - 1, d, d + 1, 2*d - 1, 2 * d, 3 * d,
+			^uint64(0), ^uint64(0) - 1, ^uint64(0) - d, 1 << 63, 1<<63 - 1,
+		}
+		for i := 0; i < 1000; i++ {
+			xs = append(xs, rng.Next())
+		}
+		for _, x := range xs {
+			if got, want := f.Mod(x), x%d; got != want {
+				t.Fatalf("FixedDiv(%d).Mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+}

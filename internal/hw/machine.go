@@ -170,6 +170,7 @@ func (m *Machine) CrashReason() string {
 func (m *Machine) RecordFault(f Fault) {
 	m.faultMu.Lock()
 	defer m.faultMu.Unlock()
+	//covirt:allow transitive-hot fault logging is the exceptional path
 	m.faultLog = append(m.faultLog, f)
 }
 

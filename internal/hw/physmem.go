@@ -49,6 +49,7 @@ func (r *Region) copyChunk(addr uint64, p []byte, write bool) int {
 	idx := (addr - r.Start) / regionChunk
 	c, ok := r.chunks[idx]
 	if !ok {
+		//covirt:allow transitive-hot first-touch backing allocation, once per chunk
 		c = make([]byte, regionChunk)
 		r.chunks[idx] = c
 	}

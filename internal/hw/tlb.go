@@ -55,9 +55,14 @@ func filterBucket(base uint64) int {
 }
 
 func newTLBClass(capacity int, pageSize uint64) *tlbClass {
+	// live, bases and free are sized to capacity up front: every later
+	// mutation is an in-capacity reslice, so the steady-state insert,
+	// remove and reset paths never allocate (at most `capacity` nodes are
+	// ever created, and each lives in exactly one of live/free).
 	return &tlbClass{
 		bases:    make([]uint64, 0, capacity),
 		live:     make([]*tlbNode, 0, capacity),
+		free:     make([]*tlbNode, 0, capacity),
 		cap:      capacity,
 		pageSize: pageSize,
 	}
@@ -128,7 +133,8 @@ func (c *tlbClass) remove(n *tlbNode) {
 	c.bases = c.bases[:last]
 	c.filter[filterBucket(n.base)]--
 	c.hint[filterBucket(moved.base)] = uint8(n.slot)
-	c.free = append(c.free, n)
+	c.free = c.free[: len(c.free)+1]
+	c.free[len(c.free)-1] = n
 }
 
 // insert adds a translation for base, evicting the LRU entry when full.
@@ -144,12 +150,18 @@ func (c *tlbClass) insert(base, gen uint64) {
 		n = c.free[k-1]
 		c.free = c.free[:k-1]
 		n.slot = len(c.live)
-		c.live = append(c.live, n)
-		c.bases = append(c.bases, 0)
+		c.live = c.live[:n.slot+1]
+		c.live[n.slot] = n
+		c.bases = c.bases[:n.slot+1]
+		c.bases[n.slot] = 0
 	} else {
+		// First touch of this slot: the only allocation in the class's
+		// lifetime after construction, bounded by cap nodes total.
 		n = &tlbNode{pageSize: c.pageSize, slot: len(c.live)}
-		c.live = append(c.live, n)
-		c.bases = append(c.bases, 0)
+		c.live = c.live[:n.slot+1]
+		c.live[n.slot] = n
+		c.bases = c.bases[:n.slot+1]
+		c.bases[n.slot] = 0
 	}
 	n.base, n.gen = base, gen
 	c.bases[n.slot] = base
@@ -161,7 +173,9 @@ func (c *tlbClass) insert(base, gen uint64) {
 
 // reset drops all live entries, keeping allocated nodes for reuse.
 func (c *tlbClass) reset() {
-	c.free = append(c.free, c.live...)
+	nf := len(c.free)
+	c.free = c.free[: nf+len(c.live)]
+	copy(c.free[nf:], c.live)
 	c.live = c.live[:0]
 	c.bases = c.bases[:0]
 	c.head, c.tail = nil, nil
@@ -230,8 +244,12 @@ func (t *TLB) class(pageSize uint64) *tlbClass {
 	}
 	c, ok := t.classes[pageSize]
 	if !ok {
+		// One-time lazy creation of a non-architectural class; never part
+		// of the steady-state translation path.
+		//covirt:allow transitive-hot one-time class creation off the hot path
 		c = newTLBClass(16, pageSize) // unknown page size: modest default class
 		t.classes[pageSize] = c
+		//covirt:allow transitive-hot probe-cache rebuild only on class-set change
 		t.reindex()
 	}
 	return c

@@ -168,7 +168,7 @@ type Supervisor struct {
 	scanInterval uint64
 	rng          hw.Rand
 
-	mu      sync.Mutex
+	mu      sync.Mutex //covirt:guards watches,byEnc
 	watches []*watch
 	byEnc   map[int]*watch
 }

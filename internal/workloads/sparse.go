@@ -286,6 +286,14 @@ type sparseCharger struct {
 	// Env.AccessGather in one call.
 	misses    uint64
 	gatherBuf []uint64
+
+	// vecMod/remMod/scatMod are fixed-divisor reciprocals for the
+	// per-target word counts (extent size / 8). The extents are fixed at
+	// carve-out time, so fillGatherAddrs reduces each RNG draw with a
+	// multiply instead of a per-element DIV; hw.FixedDiv.Mod is exact, so
+	// the gather addresses are bit-identical to the modulo form. Zero for
+	// targets that were never allocated.
+	vecMod, remMod, scatMod hw.FixedDiv
 }
 
 // matrixBytesPerRow is the CSR traffic per 27-entry row (27 values + 27
@@ -320,6 +328,17 @@ func newSparseCharger(e *kitten.Env, ord *RankOrder, rank, rows, totalRows int, 
 			}
 		}
 	})
+	// The extents are assigned inside the ordered carve-out above, so the
+	// reciprocals can only be derived here, after ord.Do has run it.
+	if w := c.vec.Size / 8; w > 0 {
+		c.vecMod = hw.NewFixedDiv(w)
+	}
+	if w := c.remote.Size / 8; w > 0 {
+		c.remMod = hw.NewFixedDiv(w)
+	}
+	if w := c.scatter.Size / 8; w > 0 {
+		c.scatMod = hw.NewFixedDiv(w)
+	}
 	return c
 }
 
@@ -354,20 +373,20 @@ func (c *sparseCharger) gatherTarget(i uint64) hw.Extent {
 //
 //covirt:hot
 func (c *sparseCharger) fillGatherAddrs(buf []uint64) {
-	// Hoist the per-target word counts: Size/8 is loop-invariant, and the
-	// remaining modulo uses the precomputed divisor, matching the
-	// element-wise loop's offsets exactly.
-	vecW := c.vec.Size / 8
-	remW := c.remote.Size / 8
-	scatW := c.scatter.Size / 8
+	// The per-target word counts are extent sizes fixed at carve-out, so
+	// each draw is reduced with the precomputed reciprocal (hw.FixedDiv)
+	// instead of a per-element DIV. Mod is exact, so the offsets match the
+	// element-wise modulo loop bit for bit.
+	haveRem := c.remMod.D() > 0
+	haveScat := c.scatMod.D() > 0
 	for m := range buf {
-		start, words := c.vec.Start, vecW
-		if remW > 0 && uint64(m)%2 == 1 {
-			start, words = c.remote.Start, remW
-		} else if scatW > 0 {
-			start, words = c.scatter.Start, scatW
+		start, mod := c.vec.Start, c.vecMod
+		if haveRem && uint64(m)%2 == 1 {
+			start, mod = c.remote.Start, c.remMod
+		} else if haveScat {
+			start, mod = c.scatter.Start, c.scatMod
 		}
-		buf[m] = start + (c.rng.Next()%words)*8
+		buf[m] = start + mod.Mod(c.rng.Next())*8
 	}
 }
 

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the repository's benchmark suite and snapshot the results
-# as a committed JSON artifact (BENCH_6.json by default):
+# as a committed JSON artifact (BENCH_7.json by default):
 #
 #   ./scripts/bench.sh [output.json]
 #   ./scripts/bench.sh --compare OLD.json [NEW.json]
@@ -16,13 +16,13 @@
 # are meaningless.
 #
 # --compare prints per-benchmark deltas between two snapshots (e.g.
-# BENCH_5.json vs BENCH_6.json) without running anything.
+# BENCH_6.json vs BENCH_7.json) without running anything.
 set -eu
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "--compare" ]; then
     old="${2:?usage: bench.sh --compare OLD.json [NEW.json]}"
-    new="${3:-BENCH_6.json}"
+    new="${3:-BENCH_7.json}"
     awk '
     function field(line, key,   s) {
         s = line
@@ -63,12 +63,12 @@ if [ "${1:-}" = "--compare" ]; then
     exit 0
 fi
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "==> microbenchmarks (internal/hw, internal/vmx, internal/workloads)"
-go test -run '^$' -bench 'EPTWalk|PhysMemReadWrite|TLBLookup|StreamTriad' -benchmem \
+go test -run '^$' -bench 'EPTWalk|PhysMemReadWrite|TLBLookup|StreamTriad|FillGatherAddrs' -benchmem \
     ./internal/hw ./internal/vmx ./internal/workloads | tee -a "$tmp"
 
 echo "==> figure benchmarks (root package, one pass each)"

@@ -23,12 +23,19 @@ begin "go build ./..."
 go build ./...
 end
 
+# Interprocedural smoke first: a lock-order cycle or discipline break is
+# the kind of bug the race tier might need minutes (or luck) to surface,
+# so it fails the gate before any expensive stage runs.
+begin "covirt-vet interprocedural smoke"
+go run ./cmd/covirt-vet -checks lock-order,atomic-discipline,transitive-hot ./...
+end
+
 begin "go vet ./..."
 go vet ./...
 end
 
-begin "covirt-vet ./..."
-go run ./cmd/covirt-vet ./...
+begin "covirt-vet ./... (-time: per-analyzer cost)"
+go run ./cmd/covirt-vet -time ./...
 end
 
 # The zero-alloc gate deserves its own visible stage: a hotalloc finding
