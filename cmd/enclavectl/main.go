@@ -111,6 +111,8 @@ const helpText = `commands:
   rmcpu <id> <core>                       hot-remove a core
   run <id>                                run a demo computation task
   console <id>                            dump the enclave's console
+  caps [id]                               list live capabilities (all holders, or one enclave)
+  revoke <capid>                          revoke a capability (and everything delegated from it)
   inject <id> wild|df|ipi                 inject a fault
   supervise <id> [maxRestarts]            put the enclave under watchdog supervision
   scan [n]                                run n watchdog scans (default 1) and report
@@ -347,6 +349,54 @@ func (sh *shell) exec(line string) error {
 			return err
 		}
 		fmt.Print(sh.host.Console(enc.ID))
+
+	case "caps":
+		auth := sh.host.Pisces.Auth
+		holders := auth.Holders()
+		if len(args) > 0 {
+			id, err := strconv.Atoi(args[0])
+			if err != nil {
+				return fmt.Errorf("bad holder id %q", args[0])
+			}
+			holders = []int{id}
+		}
+		total := 0
+		for _, h := range holders {
+			infos := auth.CapsOf(h)
+			total += len(infos)
+			for _, in := range infos {
+				parent := "-"
+				if in.Parent != 0 {
+					parent = strconv.FormatUint(in.Parent, 10)
+				}
+				fmt.Printf("%4d  holder=%-3d %-6s rights=%-7s parent=%-4s %-24s %s\n",
+					in.Cap.ID, in.Cap.Holder, in.Cap.Kind, in.Cap.Rights,
+					parent, in.Scope.String(in.Cap.Kind), in.Label)
+			}
+		}
+		if total == 0 {
+			fmt.Println("(no live capabilities)")
+		}
+
+	case "revoke":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: revoke <capid>")
+		}
+		capID, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad capability id %q", args[0])
+		}
+		c, ok := sh.host.Pisces.Auth.Lookup(capID)
+		if !ok {
+			return fmt.Errorf("no live capability %d", capID)
+		}
+		before := len(sh.host.Pisces.Auth.CapsOf(c.Holder))
+		if err := sh.host.Master.RevokeCap(c); err != nil {
+			return err
+		}
+		after := len(sh.host.Pisces.Auth.CapsOf(c.Holder))
+		fmt.Printf("capability %d revoked (%s held by %d; holder's live keys %d -> %d)\n",
+			capID, c.Kind, c.Holder, before, after)
 
 	case "inject":
 		if len(args) < 2 {

@@ -85,7 +85,7 @@ func main() {
 	host, k := tb.Host, tb.Kitten()
 	seg, _ := host.HostAlloc(0, 4<<20)
 	_ = host.PlantCanary(seg, 0xFEED) // the host's new data lives here
-	if _, err := host.Master.Reg.Make(hashName("stale.seg"), 0, []hw.Extent{seg}); err != nil {
+	if _, err := host.Master.Reg.Make(hashName("stale.seg"), host.Pisces.RootMem, []hw.Extent{seg}); err != nil {
 		log.Fatal(err)
 	}
 	err := staleSegmentBug(host, k, seg, "stale.seg")
@@ -115,7 +115,7 @@ func main() {
 	host3, enc3, k3 := tb3.Host, tb3.Enc(), tb3.Kitten()
 	seg3, _ := host3.HostAlloc(0, 4<<20)
 	_ = host3.PlantCanary(seg3, 0xFEED)
-	if _, err := host3.Master.Reg.Make(hashName("stale.seg"), 0, []hw.Extent{seg3}); err != nil {
+	if _, err := host3.Master.Reg.Make(hashName("stale.seg"), host3.Pisces.RootMem, []hw.Extent{seg3}); err != nil {
 		log.Fatal(err)
 	}
 	err = staleSegmentBug(host3, k3, seg3, "stale.seg")

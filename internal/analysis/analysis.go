@@ -43,6 +43,10 @@
 //     //covirt:hot function must stay allocation-free and must not
 //     consult wall-clock time or global math/rand — the hotalloc and
 //     determinism invariants extended through the call graph.
+//   - cap-discipline: every call chain reaching a resource-mutating sink
+//     (EPT map/unmap, IPI/I-O grant tables, XEMEM registry, co-kernel
+//     memory map) must name an internal/authority capability somewhere,
+//     or carry a reviewed //covirt:ambient <reason> annotation.
 //
 // Vetted exceptions are annotated in the source with a directive comment
 // on (or immediately above) the offending line:
@@ -119,6 +123,7 @@ func Analyzers() []*Analyzer {
 		lockOrder,
 		atomicDiscipline,
 		transitiveHot,
+		capDiscipline,
 	}
 }
 
@@ -359,16 +364,17 @@ func isSimPackage(path string) bool {
 // Check name constants, shared between the Analyzer declarations and
 // their run functions (avoiding initialization cycles).
 const (
-	checkPhysmem     = "physmem-errcheck"
-	checkLock        = "lock-discipline"
-	checkDeterminism = "determinism"
-	checkCost        = "cost-accounting"
-	checkQueue       = "queue-protocol"
-	checkLedger      = "ledger-conservation"
-	checkTrace       = "trace-coverage"
-	checkGenInval    = "gen-invalidation"
-	checkHotalloc    = "hotalloc"
-	checkLockOrder   = "lock-order"
-	checkAtomic      = "atomic-discipline"
-	checkTransHot    = "transitive-hot"
+	checkPhysmem       = "physmem-errcheck"
+	checkLock          = "lock-discipline"
+	checkDeterminism   = "determinism"
+	checkCost          = "cost-accounting"
+	checkQueue         = "queue-protocol"
+	checkLedger        = "ledger-conservation"
+	checkTrace         = "trace-coverage"
+	checkGenInval      = "gen-invalidation"
+	checkHotalloc      = "hotalloc"
+	checkLockOrder     = "lock-order"
+	checkAtomic        = "atomic-discipline"
+	checkTransHot      = "transitive-hot"
+	checkCapDiscipline = "cap-discipline"
 )

@@ -132,6 +132,17 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			fixture: "capdiscipline",
+			checks:  []string{checkCapDiscipline},
+			want: []string{
+				"internal/covirt/ctrl.go:17", // bare mutation, no capability
+				"internal/covirt/ctrl.go:35", // bare chain Outer -> inner
+				// MapChecked names a Cap param; MapAmbient is annotated;
+				// MapVetted carries //covirt:allow; mech's only caller
+				// names a capability
+			},
+		},
+		{
 			fixture: "geninvalidation",
 			checks:  []string{checkGenInval},
 			want: []string{

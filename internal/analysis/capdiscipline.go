@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// capDiscipline proves the capability model has no back doors: every call
+// chain that reaches a resource-mutating sink (EPT map/unmap, IPI filter
+// edits, I/O port table edits, XEMEM registry mutations, the co-kernel's
+// memory map) must pass through a function that names a capability — a
+// parameter, result or local of an internal/authority type, a call into
+// the authority package, or an explicit //covirt:ambient <reason>
+// annotation on the declaration, reviewed as legitimately pre-authority
+// (boot identity mapping, post-revocation teardown).
+//
+// The check rides the module call graph (callgraph.go): for each call
+// site targeting a sink, if neither the sink itself nor the calling
+// function names a capability, the callers are walked backwards; finding
+// an externally reachable root (no module callers, address-taken, or
+// test-referenced) with no capability-naming function on the chain is a
+// reported leak, with the witness chain from the root to the sink.
+//
+// A //covirt:allow cap-discipline directive on a call-site line is a
+// traversal barrier, as for the other interprocedural checks.
+var capDiscipline = &Analyzer{
+	Name:      checkCapDiscipline,
+	Doc:       "resource-mutating call chains must name an authority capability or be annotated //covirt:ambient",
+	RunModule: runCapDiscipline,
+}
+
+// capSinkNames are the module-relative resource-mutating methods, as
+// (pointer-receiver type, method) pairs. Absent types (e.g. in fixture
+// modules) are simply not in the graph and are skipped.
+var capSinkNames = [][2]string{
+	{"internal/vmx.EPT", "MapRange"},
+	{"internal/vmx.EPT", "UnmapRange"},
+	{"internal/covirt.IPIFilter", "Grant"},
+	{"internal/covirt.IPIFilter", "Revoke"},
+	{"internal/covirt.IOTable", "Grant"},
+	{"internal/covirt.IOTable", "RevokeCap"},
+	{"internal/xemem.Registry", "Make"},
+	{"internal/xemem.Registry", "Attach"},
+	{"internal/xemem.Registry", "Remove"},
+	{"internal/xemem.Registry", "ForceDrop"},
+	{"internal/xemem.Registry", "DropAttachment"},
+	{"internal/kitten.MemMap", "Add"},
+	{"internal/kitten.MemMap", "Remove"},
+	{"internal/hobbes.Master", "GrantIPI"},
+	{"internal/hobbes.Master", "RevokeIPI"},
+}
+
+func runCapDiscipline(m *Module) []Finding {
+	g := m.CallGraph()
+	allow := buildAllowIndex(m)
+	authPath := m.Path + "/internal/authority"
+
+	sinks := make(map[string]bool, len(capSinkNames))
+	for _, s := range capSinkNames {
+		sinks[fmt.Sprintf("(*%s/%s).%s", m.Path, s[0], s[1])] = true
+	}
+
+	covered := make(map[string]bool)
+	isCovered := func(key string) bool {
+		if v, ok := covered[key]; ok {
+			return v
+		}
+		v := nodeNamesCapability(g.Nodes[key], authPath)
+		covered[key] = v
+		return v
+	}
+
+	// chain memoizes the backwards walk: for an uncovered function, the
+	// witness chain (root first) proving it is reachable with no
+	// capability in scope, or nil when every path passes a covered node.
+	chain := make(map[string][]string)
+	var uncoveredChain func(key string, visiting map[string]bool) []string
+	uncoveredChain = func(key string, visiting map[string]bool) []string {
+		if c, ok := chain[key]; ok {
+			return c
+		}
+		if visiting[key] {
+			return nil // cycle: no root on this path
+		}
+		visiting[key] = true
+		defer delete(visiting, key)
+		n := g.Nodes[key]
+		var result []string
+		if len(n.Callers) == 0 || n.AddrTaken || n.TestRef {
+			result = []string{n.Display(m)} // externally reachable root
+		} else {
+			for _, caller := range n.Callers {
+				if isCovered(caller) {
+					continue // authority established upstream on this path
+				}
+				if c := uncoveredChain(caller, visiting); c != nil {
+					result = append(append([]string(nil), c...), n.Display(m))
+					break
+				}
+			}
+		}
+		chain[key] = result
+		return result
+	}
+
+	var out []Finding
+	for _, key := range g.Keys() {
+		n := g.Nodes[key]
+		for _, site := range n.Sites {
+			for _, callee := range site.Callees {
+				if !sinks[callee] {
+					continue
+				}
+				if allow.barrier(m, site.Pos, checkCapDiscipline) {
+					continue
+				}
+				// A sink that itself names capabilities (the registry
+				// verifies its keys internally) discharges the obligation.
+				if isCovered(callee) {
+					continue
+				}
+				if isCovered(key) {
+					continue
+				}
+				c := uncoveredChain(key, map[string]bool{})
+				if c == nil {
+					continue
+				}
+				out = append(out, Finding{
+					Check: checkCapDiscipline,
+					Pos:   m.Fset.Position(site.Pos),
+					Msg: fmt.Sprintf("call to %s reachable from %s with no capability in scope (need a Cap parameter, an authority check, or //covirt:ambient)",
+						g.Nodes[callee].Display(m), c[0]),
+					Witness: renderCapChain(m, c, g.Nodes[callee].Display(m), site.Pos),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// renderCapChain renders the uncovered chain root → … → caller → sink.
+func renderCapChain(m *Module, chain []string, sink string, pos token.Pos) []string {
+	var out []string
+	for i := 0; i+1 < len(chain); i++ {
+		out = append(out, fmt.Sprintf("%s calls %s (no capability named)", chain[i], chain[i+1]))
+	}
+	p := m.Fset.Position(pos)
+	out = append(out, fmt.Sprintf("%s calls sink %s at %s:%d", chain[len(chain)-1], sink, relPath(m, p.Filename), p.Line))
+	return out
+}
+
+// nodeNamesCapability reports whether n establishes authority: a
+// //covirt:ambient annotation, an authority-typed parameter, result or
+// receiver, or any identifier in its body defined in — or typed by — the
+// authority package.
+func nodeNamesCapability(n *FuncNode, authPath string) bool {
+	if n == nil {
+		return false
+	}
+	if hasAmbient(n.Decl) {
+		return true
+	}
+	sig := n.Fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isAuthorityType(sig.Params().At(i).Type(), authPath) {
+			return true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isAuthorityType(sig.Results().At(i).Type(), authPath) {
+			return true
+		}
+	}
+	if r := sig.Recv(); r != nil && isAuthorityType(r.Type(), authPath) {
+		return true
+	}
+	found := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := n.Unit.Info.Uses[id]
+		if obj == nil {
+			obj = n.Unit.Info.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == authPath {
+			found = true
+			return false
+		}
+		if v, ok := obj.(*types.Var); ok && isAuthorityType(v.Type(), authPath) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isAuthorityType reports whether t (unwrapping pointers, slices, arrays
+// and maps) is a named type declared in the authority package.
+func isAuthorityType(t types.Type, authPath string) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			obj := u.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == authPath
+		default:
+			return false
+		}
+	}
+}
+
+// hasAmbient reports a //covirt:ambient <reason> directive in the
+// declaration's doc comment. A bare //covirt:ambient with no reason does
+// not count: the reason is the review record.
+func hasAmbient(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if rest, ok := cutDirective(c.Text, "covirt:ambient"); ok && len(rest) > 1 {
+			return true
+		}
+	}
+	return false
+}

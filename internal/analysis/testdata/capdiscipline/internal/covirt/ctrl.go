@@ -1,0 +1,48 @@
+package covirt
+
+import (
+	"covirt/internal/authority"
+	"covirt/internal/vmx"
+)
+
+// MapChecked names and verifies a capability before mutating: vetted.
+func MapChecked(t *authority.Table, c authority.Cap, e *vmx.EPT) {
+	if t.Verify(c) {
+		e.MapRange(0, 4096)
+	}
+}
+
+// MapBare mutates with no capability anywhere on the chain: reported.
+func MapBare(e *vmx.EPT) {
+	e.MapRange(0, 4096)
+}
+
+//covirt:ambient teardown path after a verified kill, reviewed
+func MapAmbient(e *vmx.EPT) {
+	e.UnmapRange(0, 4096)
+}
+
+// MapVetted carries a call-site suppression instead.
+func MapVetted(e *vmx.EPT) {
+	e.MapRange(0, 4096) //covirt:allow cap-discipline boot identity map
+}
+
+// Outer reaches the sink through a bare helper chain from an external
+// root: reported at the sink call inside inner.
+func Outer(e *vmx.EPT) { inner(e) }
+
+func inner(e *vmx.EPT) {
+	e.MapRange(4096, 4096)
+}
+
+// OuterCovered discharges the chain for its mechanism helper: the only
+// path to mech's sink call passes a capability-naming function.
+func OuterCovered(t *authority.Table, c authority.Cap, e *vmx.EPT) {
+	if t.Verify(c) {
+		mech(e)
+	}
+}
+
+func mech(e *vmx.EPT) {
+	e.UnmapRange(4096, 4096)
+}

@@ -1,0 +1,9 @@
+package vmx
+
+// EPT is the fixture's resource-mutating mechanism: MapRange/UnmapRange
+// are cap-discipline sinks and name no capability themselves.
+type EPT struct{ mapped uint64 }
+
+func (e *EPT) MapRange(gpa, size uint64) { e.mapped += size }
+
+func (e *EPT) UnmapRange(gpa, size uint64) { e.mapped -= size }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"covirt/internal/authority"
 	"covirt/internal/hw"
 )
 
@@ -243,7 +244,7 @@ func TestFeaturesString(t *testing.T) {
 }
 
 func TestIPIFilterSemantics(t *testing.T) {
-	f := NewIPIFilter([]int{3, 4})
+	f := NewIPIFilter([]int{3, 4}, nil)
 	// Own cores: any vector.
 	if !f.Permitted(3, 0x10) || !f.Permitted(4, 0xFE) {
 		t.Error("own-core IPI denied")
@@ -252,7 +253,7 @@ func TestIPIFilterSemantics(t *testing.T) {
 	if f.Permitted(7, 0x10) {
 		t.Error("foreign IPI permitted without grant")
 	}
-	f.Grant(7, 0x10)
+	f.Grant(7, 0x10, authority.Cap{})
 	if !f.Permitted(7, 0x10) {
 		t.Error("granted IPI denied")
 	}
@@ -268,6 +269,24 @@ func TestIPIFilterSemantics(t *testing.T) {
 	}
 	if f.Checked.Load() != 6 {
 		t.Errorf("checked = %d, want 6", f.Checked.Load())
+	}
+}
+
+// With an authority table attached, a grant stops working the instant its
+// backing key is revoked — no filter edit required.
+func TestIPIFilterCapLiveness(t *testing.T) {
+	tab := authority.NewTable()
+	f := NewIPIFilter([]int{0}, tab)
+	c := tab.Mint(1, authority.KindIPI, authority.RightSend, authority.IPIScope(7, 0x10), "test-ipi")
+	f.Grant(7, 0x10, c)
+	if !f.Permitted(7, 0x10) {
+		t.Fatal("granted IPI denied")
+	}
+	if _, err := tab.Revoke(c); err != nil {
+		t.Fatal(err)
+	}
+	if f.Permitted(7, 0x10) {
+		t.Error("IPI permitted through a revoked key")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"covirt/internal/authority"
 	"covirt/internal/hobbes"
 	"covirt/internal/hw"
 	"covirt/internal/pisces"
@@ -34,10 +35,13 @@ type SetFeaturesArgs struct {
 	Features  Features
 }
 
-// GrantIOArgs permits an enclave to access an I/O port.
+// GrantIOArgs permits an enclave to access an I/O port. Cap must be an
+// I/O capability held by the enclave whose scope covers the port
+// (delegated via Controller.DelegateIO or directly from the table).
 type GrantIOArgs struct {
 	EnclaveID int
 	Port      uint16
+	Cap       authority.Cap
 }
 
 // Status reports an enclave's Covirt runtime state.
@@ -63,7 +67,7 @@ type enclaveState struct {
 	msrBM  *vmx.MSRBitmap
 	ioBM   *vmx.IOBitmap
 	filter *IPIFilter
-	ports  map[uint16]bool
+	io     *IOTable
 
 	vmcs   map[int]*vmx.VMCS
 	hvs    map[int]*Hypervisor
@@ -86,6 +90,12 @@ type Controller struct {
 	mach   *hw.Machine
 	fw     *pisces.Framework
 	master *hobbes.Master
+
+	// auth is the node's capability table (shared with the framework);
+	// rootIO is the host's root I/O capability from which port grants are
+	// delegated.
+	auth   *authority.Table
+	rootIO authority.Cap
 
 	mu       sync.Mutex
 	defaults Features
@@ -125,10 +135,13 @@ func Attach(mach *hw.Machine, fw *pisces.Framework, master *hobbes.Master, defau
 		mach:     mach,
 		fw:       fw,
 		master:   master,
+		auth:     fw.Auth,
 		defaults: defaults,
 		pending:  make(map[int]Features),
 		states:   make(map[int]*enclaveState),
 	}
+	c.rootIO = c.auth.Mint(0, authority.KindIO, authority.RightsAll,
+		authority.WildScope(), "root-io")
 	fw.SetInterposer(c)
 	master.Bus.Subscribe(c.onEvent)
 	for cmd, h := range map[uint32]func(any) (any, error){
@@ -184,8 +197,21 @@ func (c *Controller) ioctlGrantIO(arg any) (any, error) {
 	if st == nil {
 		return nil, fmt.Errorf("covirt: enclave %d not under covirt", a.EnclaveID)
 	}
-	st.ports[a.Port] = true
+	if !c.auth.Covers(a.Cap, a.EnclaveID, authority.KindIO, authority.RightMap,
+		authority.IOScope(a.Port, a.Port)) {
+		return nil, fmt.Errorf("covirt: I/O grant for port %#x denied (cap %d)", a.Port, a.Cap.ID)
+	}
+	st.io.Grant(a.Cap, a.Port, a.Port)
 	return nil, nil
+}
+
+// DelegateIO mints an I/O capability for encID covering [lo, hi] from the
+// controller's root — the assembly-time path testbeds and tools use before
+// granting ports through IoctlGrantIO.
+func (c *Controller) DelegateIO(encID int, lo, hi uint16) (authority.Cap, error) {
+	return c.auth.Delegate(c.rootIO, encID,
+		authority.RightRead|authority.RightWrite|authority.RightMap,
+		authority.IOScope(lo, hi), fmt.Sprintf("io-e%d", encID))
 }
 
 // StatusFor returns runtime statistics for an enclave, or nil.
@@ -256,14 +282,42 @@ func (c *Controller) onEvent(ev *hobbes.Event) error {
 		return c.removeCPU(ev)
 	case hobbes.EvIPIGrant:
 		if st := c.stateFor(ev.Enclave); st != nil {
-			st.filter.Grant(ev.DestCore, ev.Vector)
+			st.filter.Grant(ev.DestCore, ev.Vector, ev.Cap)
 		}
 	case hobbes.EvIPIRevoke:
 		if st := c.stateFor(ev.Enclave); st != nil {
 			st.filter.Revoke(ev.DestCore, ev.Vector)
 		}
+	case hobbes.EvCapRevoked:
+		return c.capRevoked(ev)
 	case hobbes.EvEnclaveCrashed, hobbes.EvEnclaveDestroyed:
 		c.teardown(ev.Enclave)
+	}
+	return nil
+}
+
+// capRevoked propagates a capability kill into the holder's protection
+// context: withdrawn memory and segment frames leave the EPT with a full
+// command-queue TLB shootdown (the holder's next touch is a contained EPT
+// violation), IPI routes leave the filter, I/O ports close. The key itself
+// is already dead — the generation checks in the filter and I/O table make
+// this cleanup, not enforcement.
+//
+//covirt:ambient revocation withdraws authority; the key was verified when granted
+func (c *Controller) capRevoked(ev *hobbes.Event) error {
+	st := c.stateFor(ev.Enclave)
+	if st == nil {
+		return nil
+	}
+	switch ev.Cap.Kind {
+	case authority.KindMemory, authority.KindXemem:
+		if len(ev.Extents) > 0 {
+			return c.unmapAndFlush(ev)
+		}
+	case authority.KindIPI:
+		st.filter.Revoke(ev.DestCore, ev.Vector)
+	case authority.KindIO:
+		st.io.RevokeCap(ev.Cap)
 	}
 	return nil
 }
@@ -324,8 +378,8 @@ func (c *Controller) buildState(enc *pisces.Enclave) error {
 	st := &enclaveState{
 		enc:    enc,
 		feat:   feat,
-		filter: NewIPIFilter(enc.Cores),
-		ports:  make(map[uint16]bool),
+		filter: NewIPIFilter(enc.Cores, c.auth),
+		io:     NewIOTable(c.auth),
 		vmcs:   make(map[int]*vmx.VMCS),
 		hvs:    make(map[int]*Hypervisor),
 		queues: make(map[int]*cmdQueue),
@@ -335,7 +389,15 @@ func (c *Controller) buildState(enc *pisces.Enclave) error {
 		if feat.EPTMaxPage > 0 {
 			st.ept.SetMaxPageSize(feat.EPTMaxPage)
 		}
-		for _, ext := range enc.Mem() {
+		// The initial identity map covers exactly the extents the enclave
+		// holds keys for: each EPT range is established from a verified
+		// memory capability, never from the extent list alone.
+		caps := enc.MemCaps()
+		for i, ext := range enc.Mem() {
+			if i >= len(caps) || !c.auth.Covers(caps[i], enc.ID, authority.KindMemory,
+				authority.RightMap, authority.MemScope(ext.Start, ext.Size)) {
+				return fmt.Errorf("covirt: no memory capability for boot extent %v of enclave %d", ext, enc.ID)
+			}
 			if err := st.ept.MapRange(ext.Start, ext.Size, vmx.PermAll); err != nil {
 				return fmt.Errorf("covirt: initial EPT map %v: %w", ext, err)
 			}
@@ -489,7 +551,7 @@ func (c *Controller) InterposeBoot(enc *pisces.Enclave, cpu *hw.CPU, bpAddr uint
 		feat:   st.feat,
 		flt:    st.filter,
 		queue:  st.queues[cpu.ID],
-		ports:  st.ports,
+		io:     st.io,
 		tracer: tracer,
 		onFault: func(h *Hypervisor, reason string) {
 			c.fw.ReportCrash(enc, "covirt: "+reason)
@@ -510,6 +572,25 @@ func (c *Controller) mapExtents(ev *hobbes.Event) error {
 	st := c.stateFor(ev.Enclave)
 	if st == nil || st.ept == nil {
 		return nil
+	}
+	// Every mapping names its authorizing capability: a fresh memory grant
+	// presents a memory key covering the extent; a XEMEM attach presents
+	// the consumer's attach key. An absent or dead key aborts the
+	// operation before anything reaches the EPT.
+	switch ev.Kind {
+	case hobbes.EvMemAddPre:
+		for _, ext := range ev.Extents {
+			if !c.auth.Covers(ev.Cap, ev.Enclave.ID, authority.KindMemory,
+				authority.RightMap, authority.MemScope(ext.Start, ext.Size)) {
+				return fmt.Errorf("covirt: memory grant %v denied for enclave %d (cap %d)",
+					ext, ev.Enclave.ID, ev.Cap.ID)
+			}
+		}
+	case hobbes.EvXememAttachPre:
+		if !c.auth.Verify(ev.Cap, ev.Enclave.ID, authority.KindXemem, authority.RightAttach) {
+			return fmt.Errorf("covirt: xemem attach of seg %d denied for enclave %d (cap %d)",
+				ev.SegID, ev.Enclave.ID, ev.Cap.ID)
+		}
 	}
 	for _, ext := range ev.Extents {
 		before := st.ept.Stats().Pages()

@@ -512,8 +512,13 @@ func TestMSRProtection(t *testing.T) {
 func TestIOProtection(t *testing.T) {
 	r := newRig(t, covirt.Features{IO: true, Abort: true})
 	enc, k := r.boot(t, "lwk", 1, []int{0}, 128<<20)
-	// Grant the serial port via the Covirt ioctl ABI.
-	if _, err := r.h.Pisces.Ioctl(covirt.IoctlGrantIO, covirt.GrantIOArgs{EnclaveID: enc.ID, Port: hw.PortSerialCOM1}); err != nil {
+	// Grant the serial port via the Covirt ioctl ABI: the caller first
+	// obtains an I/O key for the enclave, then names it in the grant.
+	ioCap, err := r.ctrl.DelegateIO(enc.ID, hw.PortSerialCOM1, hw.PortSerialCOM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.h.Pisces.Ioctl(covirt.IoctlGrantIO, covirt.GrantIOArgs{EnclaveID: enc.ID, Port: hw.PortSerialCOM1, Cap: ioCap}); err != nil {
 		t.Fatal(err)
 	}
 	sink := &hw.SerialSink{}
@@ -533,7 +538,7 @@ func TestIOProtection(t *testing.T) {
 	t2, _ := k.Spawn("reset", 0, func(e *kitten.Env) error {
 		return e.CPU.IOOut(hw.PortReset, 0x6)
 	})
-	err := t2.Wait()
+	err = t2.Wait()
 	if !hw.IsFault(err, hw.FaultEnclaveKilled) {
 		t.Fatalf("reset port err = %v", err)
 	}

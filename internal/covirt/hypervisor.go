@@ -38,7 +38,7 @@ type Hypervisor struct {
 	feat  Features
 	flt   *IPIFilter
 	queue *cmdQueue
-	ports map[uint16]bool // granted I/O ports (shared, controller-edited)
+	io    *IOTable // granted I/O ports (shared, controller-edited, cap-checked)
 
 	// onFault is the termination callback into the controller (which in
 	// turn notifies the master control process).
@@ -129,7 +129,7 @@ func (h *Hypervisor) HandleExit(c *hw.CPU, info *vmx.ExitInfo) vmx.ExitAction {
 		if !h.feat.IO {
 			return vmx.ActionResume
 		}
-		if h.ports[info.Port] {
+		if h.io != nil && h.io.Allowed(info.Port) {
 			return vmx.ActionResume
 		}
 		h.terminate(fmt.Sprintf("forbidden I/O to port %#x", info.Port))

@@ -1,0 +1,75 @@
+package covirt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"covirt/internal/authority"
+)
+
+// IOTable is the per-enclave I/O port whitelist consulted by the
+// hypervisor on every trapped port access. Like the IPI filter, it is
+// shared between the controller (which installs grants from verified
+// capabilities) and the hypervisor instances (which read it at exit
+// time); each granted port remembers the capability that opened it and is
+// honored only while that key's generation is current, so revoking the
+// capability closes the port without touching the hypervisor.
+type IOTable struct {
+	mu    sync.RWMutex
+	ports map[uint16]authority.Cap
+	auth  *authority.Table
+
+	// Denied counts accesses to ports with no live grant.
+	Denied atomic.Uint64
+}
+
+// NewIOTable builds an empty whitelist verified against auth (nil
+// disables the liveness check, for self-contained tests).
+func NewIOTable(auth *authority.Table) *IOTable {
+	return &IOTable{ports: make(map[uint16]authority.Cap), auth: auth}
+}
+
+// Grant opens every port in the capability's range.
+func (t *IOTable) Grant(cap authority.Cap, lo, hi uint16) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for p := uint32(lo); p <= uint32(hi); p++ {
+		t.ports[uint16(p)] = cap
+	}
+}
+
+// RevokeCap closes every port opened by the given key.
+func (t *IOTable) RevokeCap(cap authority.Cap) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for p, c := range t.ports {
+		if c.ID == cap.ID {
+			delete(t.ports, p)
+		}
+	}
+}
+
+// Allowed reports whether an access to port may proceed: the port must
+// have a grant whose capability is still alive.
+func (t *IOTable) Allowed(port uint16) bool {
+	if t.lookup(port) {
+		return true
+	}
+	t.Denied.Add(1)
+	return false
+}
+
+// lookup resolves the port's grant and checks the key's generation.
+func (t *IOTable) lookup(port uint16) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cap, ok := t.ports[port]
+	return ok && (t.auth == nil || t.auth.Alive(cap))
+}
+
+// Count returns the number of open ports (live or not).
+func (t *IOTable) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.ports)
+}

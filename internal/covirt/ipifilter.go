@@ -3,6 +3,8 @@ package covirt
 import (
 	"sync"
 	"sync/atomic"
+
+	"covirt/internal/authority"
 )
 
 // ipiKey identifies one (destination core, vector) pair.
@@ -21,10 +23,16 @@ type ipiKey struct {
 // consulted on every trapped send and never cached by the guest CPU,
 // grants and revocations take effect without hypervisor synchronization —
 // one of the "many cases" where the controller updates state directly.
+//
+// Each grant stores the capability that authorized it, and every send
+// re-checks the key's generation against the table (one atomic load), so
+// revoking the capability kills the route even before the controller's
+// bookkeeping catches up.
 type IPIFilter struct {
 	mu       sync.RWMutex
 	ownCores map[int]bool
-	grants   map[ipiKey]bool
+	grants   map[ipiKey]authority.Cap
+	auth     *authority.Table
 
 	// Dropped counts filtered (errant) IPIs.
 	Dropped atomic.Uint64
@@ -32,9 +40,15 @@ type IPIFilter struct {
 	Checked atomic.Uint64
 }
 
-// NewIPIFilter builds a filter whitelisting the enclave's own cores.
-func NewIPIFilter(ownCores []int) *IPIFilter {
-	f := &IPIFilter{ownCores: make(map[int]bool), grants: make(map[ipiKey]bool)}
+// NewIPIFilter builds a filter whitelisting the enclave's own cores;
+// cross-enclave grants are verified against auth (nil disables the
+// liveness check, for self-contained tests).
+func NewIPIFilter(ownCores []int, auth *authority.Table) *IPIFilter {
+	f := &IPIFilter{
+		ownCores: make(map[int]bool),
+		grants:   make(map[ipiKey]authority.Cap),
+		auth:     auth,
+	}
 	for _, c := range ownCores {
 		f.ownCores[c] = true
 	}
@@ -55,11 +69,12 @@ func (f *IPIFilter) RemoveOwnCore(core int) {
 	delete(f.ownCores, core)
 }
 
-// Grant permits sending vector to machine core dest.
-func (f *IPIFilter) Grant(dest int, vector uint8) {
+// Grant permits sending vector to machine core dest, recording the
+// capability that authorized the route.
+func (f *IPIFilter) Grant(dest int, vector uint8, cap authority.Cap) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.grants[ipiKey{dest, vector}] = true
+	f.grants[ipiKey{dest, vector}] = cap
 }
 
 // Revoke withdraws a grant.
@@ -69,11 +84,19 @@ func (f *IPIFilter) Revoke(dest int, vector uint8) {
 	delete(f.grants, ipiKey{dest, vector})
 }
 
-// allowed consults the whitelist under the read lock.
+// allowed consults the whitelist under the read lock. A cross-enclave
+// route is honored only while its capability's generation is current.
 func (f *IPIFilter) allowed(dest int, vector uint8) bool {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return f.ownCores[dest] || f.grants[ipiKey{dest, vector}]
+	if f.ownCores[dest] {
+		return true
+	}
+	cap, ok := f.grants[ipiKey{dest, vector}]
+	if !ok {
+		return false
+	}
+	return f.auth == nil || f.auth.Alive(cap)
 }
 
 // Permitted reports whether an IPI to (dest, vector) may be delivered,

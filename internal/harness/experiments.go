@@ -231,7 +231,7 @@ func fig4Attach(j *Job, mb uint64) (*workloads.Result, error) {
 		return nil, err
 	}
 	name := fmt.Sprintf("fig4.%d.%d", mb, j.Rep)
-	if _, err := n.Host.Master.Reg.Make(hashName(name), 0, []hw.Extent{seg}); err != nil {
+	if _, err := n.Host.Master.Reg.Make(hashName(name), n.Host.Pisces.RootMem, []hw.Extent{seg}); err != nil {
 		return nil, err
 	}
 	var delay uint64

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 
+	"covirt/internal/authority"
 	"covirt/internal/hw"
 	"covirt/internal/pisces"
 	"covirt/internal/trace"
@@ -42,6 +43,11 @@ const (
 	EvEnclaveRestarting
 	EvEnclaveRecovered
 	EvEnclaveQuarantined
+	// EvCapRevoked announces that a capability died: Cap names the key,
+	// and for memory/XEMEM revocations Extents carries the withdrawn
+	// frames so protection layers can unmap the holder's context. The
+	// supervisor observes these to audit revocation storms.
+	EvCapRevoked
 )
 
 // String names the event kind.
@@ -54,6 +60,7 @@ func (k EventKind) String() string {
 		"ipi-grant", "ipi-revoke",
 		"enclave-hung", "enclave-restarting",
 		"enclave-recovered", "enclave-quarantined",
+		"cap-revoked",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -71,6 +78,9 @@ type Event struct {
 	Core     int   // CPU add/remove: machine core id
 	Vector   uint8 // IPI grant/revoke
 	Reason   string
+	// Cap names the capability authorizing (grant events) or killed by
+	// (EvCapRevoked) the crossing.
+	Cap authority.Cap
 	// Cost accumulates management-plane cycles spent by handlers; callers
 	// on synchronous paths (longcalls) charge it to the waiting guest.
 	Cost uint64
@@ -130,13 +140,18 @@ func (b *Bus) Emit(ev *Event) error {
 
 // Master is the Hobbes master control process.
 type Master struct {
-	FW  *pisces.Framework
-	Reg *xemem.Registry
-	Bus *Bus
+	FW   *pisces.Framework
+	Reg  *xemem.Registry
+	Bus  *Bus
+	Auth *authority.Table
+
+	// rootIPI is the host's root IPI capability; every vector grant is
+	// delegated from it.
+	rootIPI authority.Cap
 
 	//covirt:guards ipiGrant
 	mu       sync.Mutex
-	ipiGrant map[int]map[ipiKey]bool // enclave id -> granted (core,vector)
+	ipiGrant map[int]map[ipiKey]authority.Cap // enclave id -> granted (core,vector) -> key
 }
 
 type ipiKey struct {
@@ -149,10 +164,13 @@ type ipiKey struct {
 func NewMaster(fw *pisces.Framework) *Master {
 	m := &Master{
 		FW:       fw,
-		Reg:      xemem.NewRegistry(),
+		Reg:      xemem.NewRegistry(fw.Auth),
 		Bus:      &Bus{},
-		ipiGrant: make(map[int]map[ipiKey]bool),
+		Auth:     fw.Auth,
+		ipiGrant: make(map[int]map[ipiKey]authority.Cap),
 	}
+	m.rootIPI = m.Auth.Mint(0, authority.KindIPI, authority.RightsAll,
+		authority.WildScope(), "root-ipi")
 	fw.Subscribe(func(ev *pisces.Event) error { return m.onFrameworkEvent(ev) })
 	return m
 }
@@ -171,7 +189,7 @@ func (m *Master) onFrameworkEvent(ev *pisces.Event) error {
 		pisces.EvCrashed:       EvEnclaveCrashed,
 		pisces.EvDestroyed:     EvEnclaveDestroyed,
 	}
-	hev := &Event{Kind: kindMap[ev.Kind], Enclave: ev.Enclave, Core: ev.Core, Reason: ev.Reason}
+	hev := &Event{Kind: kindMap[ev.Kind], Enclave: ev.Enclave, Core: ev.Core, Reason: ev.Reason, Cap: ev.Cap}
 	if ev.Extent.Size > 0 {
 		hev.Extents = []hw.Extent{ev.Extent}
 	}
@@ -196,44 +214,128 @@ func (m *Master) dropGrants(encID int) {
 }
 
 // GrantIPI allows enclave enc to send vector to machine core dest —
-// Hobbes' globally-allocatable per-core IPI vector resource.
+// Hobbes' globally-allocatable per-core IPI vector resource. The grant is
+// a capability delegated from the host's root IPI key; the Covirt filter
+// stores it and re-checks its generation on every send.
 func (m *Master) GrantIPI(enc *pisces.Enclave, dest int, vector uint8) error {
-	m.addGrant(enc.ID, ipiKey{dest, vector})
-	return m.Bus.Emit(&Event{Kind: EvIPIGrant, Enclave: enc, DestCore: dest, Vector: vector})
+	cap, err := m.Auth.Delegate(m.rootIPI, enc.ID, authority.RightSend,
+		authority.IPIScope(dest, vector), fmt.Sprintf("%s/ipi", enc.Name))
+	if err != nil {
+		return err
+	}
+	m.addGrant(enc.ID, ipiKey{dest, vector}, cap)
+	return m.Bus.Emit(&Event{Kind: EvIPIGrant, Enclave: enc, DestCore: dest, Vector: vector, Cap: cap})
 }
 
 // addGrant records a grant in the per-enclave whitelist under the lock
 // (the bus emit must run outside it: handlers call back into the master).
-func (m *Master) addGrant(encID int, k ipiKey) {
+func (m *Master) addGrant(encID int, k ipiKey, cap authority.Cap) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	g := m.ipiGrant[encID]
 	if g == nil {
-		g = make(map[ipiKey]bool)
+		g = make(map[ipiKey]authority.Cap)
 		m.ipiGrant[encID] = g
 	}
-	g[k] = true
+	g[k] = cap
 }
 
-// RevokeIPI withdraws a grant.
+// RevokeIPI withdraws a grant, killing its key.
 func (m *Master) RevokeIPI(enc *pisces.Enclave, dest int, vector uint8) error {
-	m.removeGrant(enc.ID, ipiKey{dest, vector})
-	return m.Bus.Emit(&Event{Kind: EvIPIRevoke, Enclave: enc, DestCore: dest, Vector: vector})
-}
-
-// removeGrant deletes one grant under the lock.
-func (m *Master) removeGrant(encID int, k ipiKey) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if g := m.ipiGrant[encID]; g != nil {
-		delete(g, k)
+	cap, ok := m.removeGrant(enc.ID, ipiKey{dest, vector})
+	if ok && m.Auth.Alive(cap) {
+		_, _ = m.Auth.Revoke(cap)
 	}
+	return m.Bus.Emit(&Event{Kind: EvIPIRevoke, Enclave: enc, DestCore: dest, Vector: vector, Cap: cap})
 }
 
-// IPIGranted reports whether enc may send vector to dest.
-func (m *Master) IPIGranted(encID, dest int, vector uint8) bool {
+// removeGrant deletes one grant under the lock, returning its key.
+func (m *Master) removeGrant(encID int, k ipiKey) (authority.Cap, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	g := m.ipiGrant[encID]
-	return g != nil && g[ipiKey{dest, vector}]
+	if g == nil {
+		return authority.Cap{}, false
+	}
+	cap, ok := g[k]
+	delete(g, k)
+	return cap, ok
+}
+
+// IPIGranted reports whether enc may send vector to dest (and the grant's
+// key is still alive).
+func (m *Master) IPIGranted(encID, dest int, vector uint8) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cap, ok := m.ipiGrant[encID][ipiKey{dest, vector}]
+	return ok && m.Auth.Alive(cap)
+}
+
+// RevokeCap is the central revocation driver: it kills c — and,
+// recursively, everything delegated from it — then propagates each
+// withdrawal to the protection structures that honored the key:
+//
+//   - memory keys: an EvCapRevoked event carrying the withdrawn extent;
+//     the Covirt controller unmaps the holder's EPT range and runs the
+//     command-queue TLB shootdown, so the holder's very next touch of the
+//     withdrawn memory is a contained EPT violation.
+//   - XEMEM owner keys: the segment is force-dropped from the registry;
+//     the recursive revocation already killed every consumer's attach key,
+//     and each one propagates as its own EvCapRevoked unmap.
+//   - IPI keys: the grant leaves the master's whitelist; the filter's
+//     per-send generation check makes the key dead instantly either way.
+//   - I/O keys: EvCapRevoked; the controller drops the port range.
+//
+// Every kill emits EvCapRevoked on the bus so the supervisor can observe
+// the storm's blast radius.
+func (m *Master) RevokeCap(c authority.Cap) error {
+	scope, ok := m.Auth.ScopeOf(c)
+	if !ok {
+		return fmt.Errorf("hobbes: revoke of dead or forged cap %d", c.ID)
+	}
+	// For an XEMEM key, capture the segment's extents before the registry
+	// record disappears: the attach-key revocations below need the frame
+	// list to unmap each consumer's context.
+	var segExts []hw.Extent
+	if c.Kind == authority.KindXemem {
+		if seg, err := m.Reg.Lookup(scope.SegID); err == nil {
+			segExts = append([]hw.Extent(nil), seg.Extents...)
+			if seg.OwnerCap.ID == c.ID {
+				m.Reg.ForceDrop(scope.SegID)
+			} else {
+				m.Reg.DropAttachment(scope.SegID, c.Holder)
+			}
+		}
+	}
+	revoked, err := m.Auth.Revoke(c)
+	if err != nil {
+		return err
+	}
+	for _, rv := range revoked {
+		ev := &Event{
+			Kind:    EvCapRevoked,
+			Enclave: m.FW.Enclave(rv.Cap.Holder),
+			Cap:     rv.Cap,
+			Reason:  fmt.Sprintf("cap %d revoked", rv.Cap.ID),
+		}
+		switch rv.Cap.Kind {
+		case authority.KindMemory:
+			ev.Extents = []hw.Extent{{Start: rv.Scope.Start, Size: rv.Scope.Size}}
+		case authority.KindXemem:
+			ev.SegID = rv.Scope.SegID
+			// Attach keys (no remove right, unlike owner keys) withdraw
+			// the segment's frames from the consumer's context.
+			if rv.Cap.Rights&authority.RightRemove == 0 {
+				ev.Extents = segExts
+			}
+		case authority.KindIPI:
+			m.removeGrant(rv.Cap.Holder, ipiKey{rv.Scope.Dest, rv.Scope.Vector})
+			ev.DestCore = rv.Scope.Dest
+			ev.Vector = rv.Scope.Vector
+		}
+		if err := m.Bus.Emit(ev); err != nil {
+			return err
+		}
+	}
+	return nil
 }

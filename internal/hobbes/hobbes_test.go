@@ -130,7 +130,11 @@ func TestMasterCleansUpOnDestroy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Segment owned by the enclave plus a standing IPI grant.
-	if _, err := m.Reg.Make(123, enc.ID, []hw.Extent{{Start: enc.Base(), Size: 1 << 20}}); err != nil {
+	ownerMem, ok := enc.CapForAddr(enc.Base())
+	if !ok {
+		t.Fatal("enclave holds no memory capability for its base")
+	}
+	if _, err := m.Reg.Make(123, ownerMem, []hw.Extent{{Start: enc.Base(), Size: 1 << 20}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.GrantIPI(enc, 3, 0x66); err != nil {

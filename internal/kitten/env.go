@@ -333,6 +333,10 @@ func (e *Env) XemGet(name string) (uint64, error) {
 // longcall data buffer; Kitten walks the list, adds each extent to its
 // memory map, and charges per-extent mapping work — the operation whose
 // latency Fig. 4 of the paper measures.
+//
+//covirt:ambient guest side of the attach protocol: the host verified the
+// consumer's attach key and mapped the EPT before transmitting the frame
+// list, so the co-kernel only mirrors an already-authorized mapping.
 func (e *Env) XemAttach(segid uint64) ([]hw.Extent, error) {
 	_, count, err := e.Syscall(pisces.SysXemAttach, segid)
 	if err != nil {
@@ -358,6 +362,10 @@ func (e *Env) XemAttach(segid uint64) ([]hw.Extent, error) {
 // then is the detach completed on the host side — where the protection
 // layer unmaps the hardware context and flushes TLBs before the management
 // layer considers the memory released.
+//
+//covirt:ambient guest side of the detach protocol: dropping the enclave's
+// own mirror of a host-verified mapping withdraws access, it cannot grant
+// any; the authoritative unmap happens host-side at detach-done.
 func (e *Env) XemDetach(segid uint64) error {
 	_, count, err := e.Syscall(pisces.SysXemDetach, segid)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"covirt/internal/authority"
 	"covirt/internal/hw"
 	"covirt/internal/pisces"
 )
@@ -33,6 +34,7 @@ type Kernel struct {
 	mach *hw.Machine
 	enc  *pisces.Enclave
 	bp   *pisces.BootParams
+	auth *authority.Table
 
 	mm    *MemMap
 	alloc *pisces.Ledger
@@ -106,6 +108,38 @@ func New(cfg Config) *Kernel {
 	}
 }
 
+// verifyMemRef checks the i-th boot extent against its capability
+// reference from the boot parameters. A missing table (bare-metal test
+// boots outside a framework) skips verification.
+func (k *Kernel) verifyMemRef(i int, ext hw.Extent) bool {
+	if k.auth == nil {
+		return true
+	}
+	if i >= len(k.bp.MemCaps) {
+		return false
+	}
+	cap, ok := k.auth.Resolve(k.bp.MemCaps[i])
+	if !ok {
+		return false
+	}
+	return k.auth.Covers(cap, int(k.bp.EnclaveID), authority.KindMemory,
+		authority.RightMap, authority.MemScope(ext.Start, ext.Size))
+}
+
+// verifyWireCap checks a hot-add command's capability reference: the key
+// must resolve, belong to this enclave, and cover the granted extent.
+func (k *Kernel) verifyWireCap(ref authority.Ref, ext hw.Extent) bool {
+	if k.auth == nil {
+		return true
+	}
+	cap, ok := k.auth.Resolve(ref)
+	if !ok {
+		return false
+	}
+	return k.auth.Covers(cap, int(k.bp.EnclaveID), authority.KindMemory,
+		authority.RightMap, authority.MemScope(ext.Start, ext.Size))
+}
+
 // Boot implements pisces.Bootable.
 func (k *Kernel) Boot(bc *pisces.BootContext) error {
 	if k.booted.Load() {
@@ -114,11 +148,17 @@ func (k *Kernel) Boot(bc *pisces.BootContext) error {
 	k.mach = bc.Machine
 	k.enc = bc.Enclave
 	k.bp = bc.Params
+	k.auth = bc.Auth
 	k.hbAddr = bc.Params.Heartbeat
 
 	// Build the memory map from the boot parameters and hand the
-	// non-reserved portions to the physical allocator.
+	// non-reserved portions to the physical allocator. The co-kernel
+	// adopts only extents it holds a live memory capability for: a boot
+	// block naming frames without keys is treated as hostile.
 	for i, e := range k.bp.Mem {
+		if !k.verifyMemRef(i, e) {
+			return fmt.Errorf("kitten: no valid memory capability for boot extent %v", e)
+		}
 		k.mm.Add(e)
 		usable := e
 		if i == 0 {
@@ -482,9 +522,16 @@ func (k *Kernel) drainCtl(cpu *hw.CPU) {
 				Size:  get64(m.Payload[:], 8),
 				Node:  int(get64(m.Payload[:], 16)),
 			}
-			k.mm.Add(ext)
-			if err := k.alloc.DonateMemory(ext); err != nil {
+			ref := authority.Ref{ID: get64(m.Payload[:], 24), Gen: get64(m.Payload[:], 32)}
+			if !k.verifyWireCap(ref, ext) {
+				// Hot-added memory without a live key is rejected before it
+				// touches the memory map or the allocator.
 				resp.Type = pisces.AckErr
+			} else {
+				k.mm.Add(ext)
+				if err := k.alloc.DonateMemory(ext); err != nil {
+					resp.Type = pisces.AckErr
+				}
 			}
 		case pisces.CmdMemRemove:
 			ext := hw.Extent{Start: get64(m.Payload[:], 0), Size: get64(m.Payload[:], 8)}

@@ -75,7 +75,16 @@ func (h *Host) registerDefaultLongcalls() {
 			return 100
 		}
 		ext := hw.Extent{Start: start, Size: size, Node: h.M.Mem.NodeOf(start)}
-		seg, err := h.Master.Reg.Make(nameHash, enc.ID, []hw.Extent{ext})
+		// The guest names an address range; the host resolves the memory
+		// capability backing it. The registry re-verifies the key covers
+		// the exported frames, so a guest can never export memory it was
+		// not granted.
+		memCap, ok := enc.CapForAddr(start)
+		if !ok {
+			setResp(resp, pisces.LcErrInval, 0, 0)
+			return 100
+		}
+		seg, err := h.Master.Reg.Make(nameHash, memCap, []hw.Extent{ext})
 		if err != nil {
 			setResp(resp, pisces.LcErrInval, 0, 0)
 			return 100
@@ -96,14 +105,15 @@ func (h *Host) registerDefaultLongcalls() {
 
 	h.RegisterLongcall(pisces.SysXemAttach, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {
 		segid := get64(m.Payload[:], 0)
-		exts, err := h.Master.Reg.Attach(segid, enc.ID)
+		exts, attachCap, err := h.Master.Reg.Attach(segid, enc.ID)
 		if err != nil {
 			setResp(resp, pisces.LcErrNoEnt, 0, 0)
 			return 100
 		}
 		// Protection layers map the consumer's context BEFORE the frame
-		// list is transmitted (Covirt's map-before-notify ordering).
-		ev := &hobbes.Event{Kind: hobbes.EvXememAttachPre, Enclave: enc, Extents: exts, SegID: segid}
+		// list is transmitted (Covirt's map-before-notify ordering); the
+		// event names the consumer's freshly delegated attach key.
+		ev := &hobbes.Event{Kind: hobbes.EvXememAttachPre, Enclave: enc, Extents: exts, SegID: segid, Cap: attachCap}
 		if err := h.Master.Bus.Emit(ev); err != nil {
 			_, _ = h.Master.Reg.DetachDone(segid, enc.ID) // roll back
 			setResp(resp, pisces.LcErrFault, 0, 0)
@@ -152,7 +162,14 @@ func (h *Host) registerDefaultLongcalls() {
 
 	h.RegisterLongcall(pisces.SysXemRemove, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {
 		segid := get64(m.Payload[:], 0)
-		if err := h.Master.Reg.Remove(segid, enc.ID); err != nil {
+		// Resolve the segment's owner key for the caller; a non-owner (or
+		// an owner whose authority died) cannot name a valid key.
+		ownerCap, err := h.Master.Reg.OwnerCapOf(segid, enc.ID)
+		if err != nil {
+			setResp(resp, pisces.LcErrNoEnt, 0, 0)
+			return 100
+		}
+		if err := h.Master.Reg.Remove(segid, ownerCap); err != nil {
 			setResp(resp, pisces.LcErrNoEnt, 0, 0)
 			return 100
 		}

@@ -3,6 +3,7 @@ package pisces
 import (
 	"fmt"
 
+	"covirt/internal/authority"
 	"covirt/internal/hw"
 )
 
@@ -53,6 +54,10 @@ type BootParams struct {
 	EnclaveID uint64
 	Cores     []int
 	Mem       []hw.Extent
+	// MemCaps carries the capability reference for each extent in Mem
+	// (parallel slices). The co-kernel resolves and verifies each key
+	// against the node's table before adopting the extent.
+	MemCaps []authority.Ref
 
 	CtlReqRing  uint64
 	CtlRespRing uint64
@@ -70,8 +75,10 @@ type BootParams struct {
 	Heartbeat uint64
 }
 
-// bootParamsBytes is the serialized size (fits well inside one 4K page).
-const bootParamsBytes = 8 + 8 + 8 + MaxBootCores*8 + 8 + MaxBootExtents*24 + 6*8
+// bootParamsBytes is the serialized size (fits well inside one 4K page):
+// each extent record carries (start, size, node) plus its 16-byte
+// capability reference.
+const bootParamsBytes = 8 + 8 + 8 + MaxBootCores*8 + 8 + MaxBootExtents*(24+16) + 6*8
 
 // EncodeBootParams writes bp at addr via io.
 func EncodeBootParams(io MemIO, addr uint64, bp *BootParams) error {
@@ -96,6 +103,10 @@ func EncodeBootParams(io MemIO, addr uint64, bp *BootParams) error {
 	}
 	w(uint64(len(bp.Mem)))
 	for i := 0; i < MaxBootExtents; i++ {
+		var ref authority.Ref
+		if i < len(bp.MemCaps) {
+			ref = bp.MemCaps[i]
+		}
 		if i < len(bp.Mem) {
 			w(bp.Mem[i].Start)
 			w(bp.Mem[i].Size)
@@ -105,6 +116,8 @@ func EncodeBootParams(io MemIO, addr uint64, bp *BootParams) error {
 			w(0)
 			w(0)
 		}
+		w(ref.ID)
+		w(ref.Gen)
 	}
 	w(bp.CtlReqRing)
 	w(bp.CtlRespRing)
@@ -144,8 +157,10 @@ func DecodeBootParams(io MemIO, addr uint64) (*BootParams, error) {
 	}
 	for i := 0; i < MaxBootExtents; i++ {
 		s, sz, nd := r(), r(), r()
+		cid, cgen := r(), r()
 		if i < ne {
 			bp.Mem = append(bp.Mem, hw.Extent{Start: s, Size: sz, Node: int(nd)})
+			bp.MemCaps = append(bp.MemCaps, authority.Ref{ID: cid, Gen: cgen})
 		}
 	}
 	bp.CtlReqRing = r()

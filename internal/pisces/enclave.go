@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"covirt/internal/authority"
 	"covirt/internal/hw"
 )
 
@@ -44,6 +45,7 @@ type Enclave struct {
 
 	mu          sync.Mutex
 	mem         []hw.Extent
+	memCaps     []authority.Cap // parallel to mem: the key for each extent
 	state       State
 	crashReason string
 
@@ -154,11 +156,12 @@ func (e *Enclave) beginTeardown(final State, crashReason string) ([]hw.Extent, b
 	return append([]hw.Extent(nil), e.mem...), true
 }
 
-// appendMem records a hot-added memory extent.
-func (e *Enclave) appendMem(ext hw.Extent) {
+// appendMem records a hot-added memory extent with its capability.
+func (e *Enclave) appendMem(ext hw.Extent, cap authority.Cap) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.mem = append(e.mem, ext)
+	e.memCaps = append(e.memCaps, cap)
 }
 
 // memIndex locates a removable extent; extent 0 holds the reserved area
@@ -174,11 +177,15 @@ func (e *Enclave) memIndex(ext hw.Extent) int {
 	return -1
 }
 
-// dropMem removes the extent at index i.
-func (e *Enclave) dropMem(i int) {
+// dropMem removes the extent at index i, returning its capability so the
+// caller can revoke it after protection teardown.
+func (e *Enclave) dropMem(i int) authority.Cap {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	cap := e.memCaps[i]
 	e.mem = append(e.mem[:i], e.mem[i+1:]...)
+	e.memCaps = append(e.memCaps[:i], e.memCaps[i+1:]...)
+	return cap
 }
 
 // appendCore records a hot-added core.
@@ -219,6 +226,31 @@ func (e *Enclave) CPUs() []*hw.CPU {
 
 // BootCPU returns the enclave's boot core (first assigned core).
 func (e *Enclave) BootCPU() *hw.CPU { return e.fw.Machine.CPU(e.Cores[0]) }
+
+// MemCaps returns a snapshot of the enclave's memory capabilities,
+// parallel to Mem().
+func (e *Enclave) MemCaps() []authority.Cap {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]authority.Cap, len(e.memCaps))
+	copy(out, e.memCaps)
+	return out
+}
+
+// CapForAddr returns the memory capability covering addr, if any. Host
+// services use it to resolve a guest request's backing authority — the
+// guest names addresses, the host names keys — so a guest can never
+// exercise authority over memory it was not granted.
+func (e *Enclave) CapForAddr(addr uint64) (authority.Cap, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, x := range e.mem {
+		if x.Contains(addr) && i < len(e.memCaps) {
+			return e.memCaps[i], true
+		}
+	}
+	return authority.Cap{}, false
+}
 
 // OwnsAddr reports whether addr lies in the enclave's assigned memory.
 func (e *Enclave) OwnsAddr(addr uint64) bool {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"covirt/internal/authority"
 	"covirt/internal/hw"
 )
 
@@ -34,6 +35,9 @@ type Event struct {
 	Extent  hw.Extent
 	Core    int // CPU add/remove events
 	Reason  string
+	// Cap names the capability authorizing the resource crossing (memory
+	// add/remove events). Protection layers verify it before mapping.
+	Cap authority.Cap
 }
 
 // EventSink receives framework events synchronously. Returning an error
@@ -56,6 +60,9 @@ type BootContext struct {
 	Machine *hw.Machine
 	Enclave *Enclave
 	Params  *BootParams
+	// Auth is the node's capability table; the co-kernel verifies the
+	// memory capabilities in Params.MemCaps before adopting extents.
+	Auth *authority.Table
 }
 
 // Bootable is a co-kernel image the framework can launch in an enclave.
@@ -110,6 +117,12 @@ type Framework struct {
 	Machine *hw.Machine
 	Ledger  *Ledger
 
+	// Auth is the node's capability table. RootMem is the host's root
+	// memory capability; every extent handed to an enclave is delegated
+	// from it, so the delegation tree mirrors the resource handoff graph.
+	Auth    *authority.Table
+	RootMem authority.Cap
+
 	hostIO NativeMemIO
 
 	mu       sync.Mutex
@@ -125,14 +138,18 @@ type Framework struct {
 // NewFramework loads the Pisces framework on machine m with the given
 // resource ledger (populated by the host OS).
 func NewFramework(m *hw.Machine, ledger *Ledger) *Framework {
-	return &Framework{
+	fw := &Framework{
 		Machine:  m,
 		Ledger:   ledger,
+		Auth:     authority.NewTable(),
 		hostIO:   NativeMemIO{Mem: m.Mem},
 		enclaves: make(map[int]*Enclave),
 		nextID:   1,
 		ioctls:   make(map[uint32]func(any) (any, error)),
 	}
+	fw.RootMem = fw.Auth.Mint(0, authority.KindMemory, authority.RightsAll,
+		authority.WildScope(), "root-mem")
+	return fw
 }
 
 // HostIO returns the host-side (native) memory accessor.
@@ -258,11 +275,26 @@ func (fw *Framework) CreateEnclave(spec EnclaveSpec) (*Enclave, error) {
 
 	id := fw.allocID()
 
+	// Delegate one memory capability per extent from the host root: the
+	// enclave's authority over its own memory is explicit from birth, and
+	// dies (recursively, through anything it delegated onward) with it.
+	memCaps := make([]authority.Cap, len(mem))
+	for i, e := range mem {
+		c, err := fw.Auth.Delegate(fw.RootMem, id,
+			authority.RightRead|authority.RightWrite|authority.RightMap|authority.RightDelegate,
+			authority.MemScope(e.Start, e.Size), fmt.Sprintf("%s/mem%d", spec.Name, i))
+		if err != nil {
+			return nil, fmt.Errorf("pisces: mint memory cap: %w", err)
+		}
+		memCaps[i] = c
+	}
+
 	enc := &Enclave{
 		ID:        id,
 		Name:      spec.Name,
 		Cores:     cores,
 		mem:       mem,
+		memCaps:   memCaps,
 		state:     StateCreated,
 		done:      make(chan struct{}),
 		reclaimed: make(chan struct{}),
@@ -290,10 +322,15 @@ func (fw *Framework) CreateEnclave(spec EnclaveSpec) (*Enclave, error) {
 		}
 	}
 
+	memRefs := make([]authority.Ref, len(memCaps))
+	for i, c := range memCaps {
+		memRefs[i] = c.Ref()
+	}
 	bp := &BootParams{
 		EnclaveID:   uint64(id),
 		Cores:       cores,
 		Mem:         mem,
+		MemCaps:     memRefs,
 		CtlReqRing:  base + OffCtlReqRing,
 		CtlRespRing: base + OffCtlRespRing,
 		LcReqRing:   base + OffLcReqRing,
@@ -356,7 +393,7 @@ func (fw *Framework) Boot(enc *Enclave, kernel Bootable) error {
 		enc.setState(StateCreated)
 		return err
 	}
-	bc := &BootContext{Machine: fw.Machine, Enclave: enc, Params: params}
+	bc := &BootContext{Machine: fw.Machine, Enclave: enc, Params: params, Auth: fw.Auth}
 	if err := kernel.Boot(bc); err != nil {
 		enc.setState(StateCreated)
 		return fmt.Errorf("pisces: kernel boot: %w", err)
@@ -409,7 +446,15 @@ func (fw *Framework) AddMemory(enc *Enclave, node int, size uint64) (hw.Extent, 
 	if err != nil {
 		return hw.Extent{}, err
 	}
-	if err := fw.emit(&Event{Kind: EvMemAddPre, Enclave: enc, Extent: ext}); err != nil {
+	cap, err := fw.Auth.Delegate(fw.RootMem, enc.ID,
+		authority.RightRead|authority.RightWrite|authority.RightMap|authority.RightDelegate,
+		authority.MemScope(ext.Start, ext.Size), fmt.Sprintf("%s/mem-add", enc.Name))
+	if err != nil {
+		fw.Ledger.FreeMemory(ext)
+		return hw.Extent{}, err
+	}
+	if err := fw.emit(&Event{Kind: EvMemAddPre, Enclave: enc, Extent: ext, Cap: cap}); err != nil {
+		_, _ = fw.Auth.Revoke(cap)
 		fw.Ledger.FreeMemory(ext)
 		return hw.Extent{}, err
 	}
@@ -418,15 +463,20 @@ func (fw *Framework) AddMemory(enc *Enclave, node int, size uint64) (hw.Extent, 
 	put64(m.Payload[:], 0, ext.Start)
 	put64(m.Payload[:], 8, ext.Size)
 	put64(m.Payload[:], 16, uint64(ext.Node))
+	// The grant names its capability on the wire; the co-kernel verifies
+	// the reference against the shared table before adopting the extent.
+	put64(m.Payload[:], 24, cap.Ref().ID)
+	put64(m.Payload[:], 32, cap.Ref().Gen)
 	if _, err := fw.sendCtl(enc, &m); err != nil {
 		// The enclave rejected (or died before accepting) the grant: undo
 		// the protection-layer mapping before reclaiming, or the enclave
 		// would retain hardware access to memory it never accepted.
-		_ = fw.emit(&Event{Kind: EvMemRemovePost, Enclave: enc, Extent: ext})
+		_ = fw.emit(&Event{Kind: EvMemRemovePost, Enclave: enc, Extent: ext, Cap: cap})
+		_, _ = fw.Auth.Revoke(cap)
 		fw.Ledger.FreeMemory(ext)
 		return hw.Extent{}, err
 	}
-	enc.appendMem(ext)
+	enc.appendMem(ext, cap)
 	return ext, nil
 }
 
@@ -448,9 +498,14 @@ func (fw *Framework) RemoveMemory(enc *Enclave, ext hw.Extent) error {
 	if _, err := fw.sendCtl(enc, &m); err != nil {
 		return err
 	}
-	enc.dropMem(found)
-	if err := fw.emit(&Event{Kind: EvMemRemovePost, Enclave: enc, Extent: ext}); err != nil {
+	cap := enc.dropMem(found)
+	if err := fw.emit(&Event{Kind: EvMemRemovePost, Enclave: enc, Extent: ext, Cap: cap}); err != nil {
 		return err
+	}
+	// Protection teardown already ran through the event; the key itself
+	// (and anything the enclave delegated from it) dies here.
+	if !cap.Zero() {
+		_, _ = fw.Auth.Revoke(cap)
 	}
 	fw.Ledger.FreeMemory(ext)
 	return nil
@@ -546,6 +601,10 @@ func (fw *Framework) ReportCrash(enc *Enclave, reason string) {
 		kernel.Shutdown()
 	}
 	_ = fw.emit(&Event{Kind: EvCrashed, Enclave: enc, Reason: reason})
+	// A dead enclave holds no authority: every key it held — and every key
+	// delegated from those (shared segments, narrowed grants to peers) —
+	// dies with it, closing the stale-owner window.
+	fw.Auth.RevokeHolder(enc.ID)
 	for _, e := range mem {
 		fw.Ledger.FreeMemory(e)
 	}
@@ -588,6 +647,7 @@ func (fw *Framework) Destroy(enc *Enclave) error {
 		q.Quiesce()
 	}
 	err := fw.emit(&Event{Kind: EvDestroyed, Enclave: enc})
+	fw.Auth.RevokeHolder(enc.ID)
 	for _, e := range mem {
 		fw.Ledger.FreeMemory(e)
 	}

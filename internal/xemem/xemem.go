@@ -8,13 +8,23 @@
 // the consumer the frame list so it can map the memory into its own
 // context. The management-plane transitions around attach and detach are
 // the hook points the Covirt controller intercepts.
+//
+// Authority is capability-based: exporting requires a memory capability
+// covering the frames (proof the exporter was granted that memory), each
+// segment carries an owner capability, and every attachment is a
+// capability delegated from it — so revoking the owner key recursively
+// revokes every consumer's attach key, and a segment whose owner enclave
+// has died (generation bumped by RevokeHolder) can never be attached
+// again, even while its registry record lingers.
 package xemem
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
+	"covirt/internal/authority"
 	"covirt/internal/hw"
 )
 
@@ -23,7 +33,22 @@ var (
 	ErrNoSegment   = errors.New("xemem: no such segment")
 	ErrNameTaken   = errors.New("xemem: name already registered")
 	ErrNotAttached = errors.New("xemem: not attached")
+	// ErrStaleOwner rejects attaches to a segment whose owner enclave's
+	// authority has been revoked (crash, quarantine, manual revocation)
+	// but whose registry record has not yet been reaped.
+	ErrStaleOwner = errors.New("xemem: segment owner revoked")
+	// ErrDenied rejects an operation whose presented capability fails
+	// verification (forged, revoked, wrong holder, insufficient rights, or
+	// out-of-scope extents).
+	ErrDenied = errors.New("xemem: capability check failed")
 )
+
+// attachment is one consumer's hold on a segment: a reference count plus
+// the attach capability delegated from the segment owner key.
+type attachment struct {
+	count int
+	cap   authority.Cap
+}
 
 // Segment is one exported shared-memory region.
 type Segment struct {
@@ -32,28 +57,47 @@ type Segment struct {
 	Owner    int // exporting enclave id (0 = host OS)
 	Extents  []hw.Extent
 
-	attached map[int]int // consumer enclave id -> attach count
+	// OwnerCap is the segment's owner capability (kind xemem, scoped to
+	// ID). Remove must present it; attach keys are delegated from it.
+	OwnerCap authority.Cap
+
+	attached map[int]*attachment // consumer enclave id -> attachment
 	removed  bool
 }
 
 // Registry is the node-local XEMEM name service, hosted by the master
 // control process.
 type Registry struct {
+	auth   *authority.Table
 	mu     sync.Mutex
 	byID   map[uint64]*Segment
 	byName map[uint64]uint64
 	nextID uint64
 }
 
-// NewRegistry returns an empty name service.
-func NewRegistry() *Registry {
-	return &Registry{byID: make(map[uint64]*Segment), byName: make(map[uint64]uint64), nextID: 1}
+// NewRegistry returns an empty name service minting its keys from auth.
+func NewRegistry(auth *authority.Table) *Registry {
+	return &Registry{
+		auth:   auth,
+		byID:   make(map[uint64]*Segment),
+		byName: make(map[uint64]uint64),
+		nextID: 1,
+	}
 }
 
-// Make exports extents under nameHash on behalf of owner.
-func (r *Registry) Make(nameHash uint64, owner int, extents []hw.Extent) (*Segment, error) {
+// Make exports extents under nameHash. The caller must present a memory
+// capability covering every extent — proof the exporter actually holds the
+// frames it is sharing — and receives a segment owner capability (held by
+// the same enclave) in s.OwnerCap.
+func (r *Registry) Make(nameHash uint64, owner authority.Cap, extents []hw.Extent) (*Segment, error) {
 	if len(extents) == 0 {
 		return nil, fmt.Errorf("xemem: empty segment")
+	}
+	for _, x := range extents {
+		if !r.auth.Covers(owner, owner.Holder, authority.KindMemory, authority.RightMap,
+			authority.MemScope(x.Start, x.Size)) {
+			return nil, fmt.Errorf("%w: extent %v not covered by cap %d", ErrDenied, x, owner.ID)
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -63,10 +107,13 @@ func (r *Registry) Make(nameHash uint64, owner int, extents []hw.Extent) (*Segme
 	s := &Segment{
 		ID:       r.nextID,
 		NameHash: nameHash,
-		Owner:    owner,
+		Owner:    owner.Holder,
 		Extents:  append([]hw.Extent(nil), extents...),
-		attached: make(map[int]int),
+		attached: make(map[int]*attachment),
 	}
+	s.OwnerCap = r.auth.Mint(owner.Holder, authority.KindXemem,
+		authority.RightAttach|authority.RightRemove|authority.RightDelegate,
+		authority.XememScope(s.ID), fmt.Sprintf("seg%d-owner", s.ID))
 	r.nextID++
 	r.byID[s.ID] = s
 	r.byName[nameHash] = s.ID
@@ -95,17 +142,34 @@ func (r *Registry) Lookup(segid uint64) (*Segment, error) {
 	return s, nil
 }
 
-// Attach records consumer's attachment and returns the frame extents to
-// transmit.
-func (r *Registry) Attach(segid uint64, consumer int) ([]hw.Extent, error) {
+// Attach records consumer's attachment, returning the frame extents to
+// transmit and the consumer's attach capability (delegated from the
+// segment owner key, so an owner-key revocation storm reaches every
+// consumer). Attaches to a segment whose owner's authority has been
+// revoked — a crashed or quarantined exporter whose record still lingers —
+// fail with ErrStaleOwner.
+func (r *Registry) Attach(segid uint64, consumer int) ([]hw.Extent, authority.Cap, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.byID[segid]
 	if !ok || s.removed {
-		return nil, ErrNoSegment
+		return nil, authority.Cap{}, ErrNoSegment
 	}
-	s.attached[consumer]++
-	return append([]hw.Extent(nil), s.Extents...), nil
+	if !r.auth.Alive(s.OwnerCap) {
+		return nil, authority.Cap{}, ErrStaleOwner
+	}
+	a := s.attached[consumer]
+	if a == nil {
+		cap, err := r.auth.Delegate(s.OwnerCap, consumer, authority.RightAttach,
+			authority.XememScope(s.ID), fmt.Sprintf("seg%d-attach-e%d", s.ID, consumer))
+		if err != nil {
+			return nil, authority.Cap{}, fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+		a = &attachment{cap: cap}
+		s.attached[consumer] = a
+	}
+	a.count++
+	return append([]hw.Extent(nil), s.Extents...), a.cap, nil
 }
 
 // DetachStart begins a detach: it returns the extents the consumer must
@@ -118,14 +182,14 @@ func (r *Registry) DetachStart(segid uint64, consumer int) ([]hw.Extent, error) 
 	if !ok {
 		return nil, ErrNoSegment
 	}
-	if s.attached[consumer] == 0 {
+	if a := s.attached[consumer]; a == nil || a.count == 0 {
 		return nil, ErrNotAttached
 	}
 	return append([]hw.Extent(nil), s.Extents...), nil
 }
 
 // DetachDone completes a detach after the consumer has relinquished its
-// mappings.
+// mappings. The final detach revokes the consumer's attach capability.
 func (r *Registry) DetachDone(segid uint64, consumer int) ([]hw.Extent, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -133,39 +197,70 @@ func (r *Registry) DetachDone(segid uint64, consumer int) ([]hw.Extent, error) {
 	if !ok {
 		return nil, ErrNoSegment
 	}
-	if s.attached[consumer] == 0 {
+	a := s.attached[consumer]
+	if a == nil || a.count == 0 {
 		return nil, ErrNotAttached
 	}
-	s.attached[consumer]--
-	if s.attached[consumer] == 0 {
+	a.count--
+	if a.count == 0 {
+		if r.auth.Alive(a.cap) {
+			_, _ = r.auth.Revoke(a.cap)
+		}
 		delete(s.attached, consumer)
 	}
 	exts := append([]hw.Extent(nil), s.Extents...)
-	if s.removed && len(s.attached) == 0 {
-		delete(r.byID, s.ID)
-		delete(r.byName, s.NameHash)
-	}
+	r.reapLocked(s)
 	return exts, nil
 }
 
-// Remove unregisters a segment. If consumers remain attached the segment
-// lingers (invisible to Get) until the last detach.
-func (r *Registry) Remove(segid uint64, owner int) error {
+// reapLocked drops a removed segment once its last attachment is gone,
+// revoking the owner key with it.
+func (r *Registry) reapLocked(s *Segment) {
+	if s.removed && len(s.attached) == 0 {
+		if r.auth.Alive(s.OwnerCap) {
+			_, _ = r.auth.Revoke(s.OwnerCap)
+		}
+		delete(r.byID, s.ID)
+		delete(r.byName, s.NameHash)
+	}
+}
+
+// Remove unregisters a segment; the caller must present the segment's
+// owner capability. If consumers remain attached the segment lingers
+// (invisible to Get) until the last detach.
+func (r *Registry) Remove(segid uint64, owner authority.Cap) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.byID[segid]
 	if !ok {
 		return ErrNoSegment
 	}
-	if s.Owner != owner {
-		return fmt.Errorf("xemem: segment %d owned by %d, not %d", segid, s.Owner, owner)
+	if owner.ID != s.OwnerCap.ID ||
+		!r.auth.Verify(owner, owner.Holder, authority.KindXemem, authority.RightRemove) {
+		return fmt.Errorf("%w: segment %d not removable with cap %d", ErrDenied, segid, owner.ID)
 	}
 	s.removed = true
 	delete(r.byName, s.NameHash)
-	if len(s.attached) == 0 {
-		delete(r.byID, s.ID)
-	}
+	r.reapLocked(s)
 	return nil
+}
+
+// OwnerCapOf resolves the owner capability of the segment owned by holder,
+// for host services acting on a guest's behalf (the guest names a segid
+// over the wire; the host resolves the backing key and verifies the caller
+// is its holder).
+func (r *Registry) OwnerCapOf(segid uint64, holder int) (authority.Cap, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok {
+		return authority.Cap{}, ErrNoSegment
+	}
+	if s.Owner != holder {
+		return authority.Cap{}, fmt.Errorf("%w: segment %d owned by %d, not %d",
+			ErrDenied, segid, s.Owner, holder)
+	}
+	return s.OwnerCap, nil
 }
 
 // Attachments returns the consumers currently attached to segid.
@@ -180,13 +275,53 @@ func (r *Registry) Attachments(segid uint64) []int {
 	for c := range s.attached {
 		out = append(out, c)
 	}
+	sort.Ints(out)
 	return out
+}
+
+// ForceDrop removes a segment and all its attachments immediately — the
+// revocation-storm path, called by the master after the owner key (and,
+// recursively, every attach key) has been revoked. It returns the frame
+// extents and the consumers that were attached (ascending), so protection
+// layers can unmap each consumer's context.
+func (r *Registry) ForceDrop(segid uint64) (exts []hw.Extent, consumers []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok {
+		return nil, nil
+	}
+	for c := range s.attached {
+		consumers = append(consumers, c)
+	}
+	sort.Ints(consumers)
+	exts = append([]hw.Extent(nil), s.Extents...)
+	delete(r.byID, s.ID)
+	delete(r.byName, s.NameHash)
+	return exts, consumers
+}
+
+// DropAttachment removes one consumer's attachment record immediately —
+// the revocation path for a single attach key (its capability is revoked
+// by the caller; this only reconciles the registry's bookkeeping).
+func (r *Registry) DropAttachment(segid uint64, consumer int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[segid]
+	if !ok {
+		return
+	}
+	if s.attached[consumer] != nil {
+		delete(s.attached, consumer)
+		r.reapLocked(s)
+	}
 }
 
 // CleanupEnclave drops all state belonging to a crashed/destroyed enclave:
 // segments it owned and attachments it held. It returns the segments that
 // were owned by the enclave (so dependents can be notified) and the extent
 // lists of segments it was attached to (so protection layers can unmap).
+// The capability table's RevokeHolder handles the keys themselves.
 func (r *Registry) CleanupEnclave(enclave int) (owned []*Segment, attachedExts []hw.Extent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -197,13 +332,10 @@ func (r *Registry) CleanupEnclave(enclave int) (owned []*Segment, attachedExts [
 			delete(r.byName, s.NameHash)
 			continue
 		}
-		if s.attached[enclave] > 0 {
+		if a := s.attached[enclave]; a != nil && a.count > 0 {
 			attachedExts = append(attachedExts, s.Extents...)
 			delete(s.attached, enclave)
-			if s.removed && len(s.attached) == 0 {
-				delete(r.byID, id)
-				delete(r.byName, s.NameHash)
-			}
+			r.reapLocked(s)
 		}
 	}
 	return owned, attachedExts

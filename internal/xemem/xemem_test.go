@@ -1,9 +1,11 @@
 package xemem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
+	"covirt/internal/authority"
 	"covirt/internal/hw"
 )
 
@@ -11,9 +13,21 @@ func ext(start, size uint64) []hw.Extent {
 	return []hw.Extent{{Start: start, Size: size, Node: 0}}
 }
 
+func newTestReg() (*Registry, *authority.Table) {
+	tab := authority.NewTable()
+	return NewRegistry(tab), tab
+}
+
+// memCap mints a memory capability for holder over [start, start+size),
+// standing in for the per-extent keys pisces delegates at enclave creation.
+func memCap(tab *authority.Table, holder int, start, size uint64) authority.Cap {
+	return tab.Mint(holder, authority.KindMemory, authority.RightsAll,
+		authority.MemScope(start, size), "test-mem")
+}
+
 func TestMakeGetAttach(t *testing.T) {
-	r := NewRegistry()
-	seg, err := r.Make(111, 1, ext(0x100000, 1<<20))
+	r, tab := newTestReg()
+	seg, err := r.Make(111, memCap(tab, 1, 0x100000, 1<<20), ext(0x100000, 1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,9 +35,12 @@ func TestMakeGetAttach(t *testing.T) {
 	if err != nil || id != seg.ID {
 		t.Fatalf("Get = %d, %v", id, err)
 	}
-	exts, err := r.Attach(id, 2)
+	exts, cap2, err := r.Attach(id, 2)
 	if err != nil || len(exts) != 1 || exts[0].Start != 0x100000 {
 		t.Fatalf("Attach = %v, %v", exts, err)
+	}
+	if !tab.Verify(cap2, 2, authority.KindXemem, authority.RightAttach) {
+		t.Error("attach capability does not verify for the consumer")
 	}
 	if got := r.Attachments(id); len(got) != 1 || got[0] != 2 {
 		t.Errorf("attachments = %v", got)
@@ -31,24 +48,55 @@ func TestMakeGetAttach(t *testing.T) {
 }
 
 func TestMakeValidation(t *testing.T) {
-	r := NewRegistry()
-	if _, err := r.Make(1, 1, nil); err == nil {
+	r, tab := newTestReg()
+	if _, err := r.Make(1, memCap(tab, 1, 0, 1<<20), nil); err == nil {
 		t.Error("empty segment accepted")
 	}
-	if _, err := r.Make(5, 1, ext(0, 4096)); err != nil {
+	if _, err := r.Make(5, memCap(tab, 1, 0, 4096), ext(0, 4096)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Make(5, 2, ext(0x1000, 4096)); err != ErrNameTaken {
+	if _, err := r.Make(5, memCap(tab, 2, 0x1000, 4096), ext(0x1000, 4096)); err != ErrNameTaken {
 		t.Error("duplicate name accepted")
 	}
 }
 
+func TestMakeRequiresCoveringCap(t *testing.T) {
+	r, tab := newTestReg()
+	// Key covers only the first page; exporting two pages must be denied.
+	c := memCap(tab, 1, 0, 4096)
+	if _, err := r.Make(7, c, ext(0, 8192)); !errors.Is(err, ErrDenied) {
+		t.Fatalf("Make outside key scope = %v, want ErrDenied", err)
+	}
+	// A revoked key conveys nothing.
+	if _, err := tab.Revoke(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Make(7, c, ext(0, 4096)); !errors.Is(err, ErrDenied) {
+		t.Fatalf("Make with revoked key = %v, want ErrDenied", err)
+	}
+}
+
+// Regression: attaching to a segment whose owner enclave was quarantined or
+// removed (its keys revoked wholesale) must fail instead of handing out
+// mappings of reclaimed frames.
+func TestAttachStaleOwner(t *testing.T) {
+	r, tab := newTestReg()
+	seg, err := r.Make(1, memCap(tab, 1, 0, 1<<21), ext(0, 1<<21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.RevokeHolder(1) // owner enclave dies: every key it held is killed
+	if _, _, err := r.Attach(seg.ID, 2); err != ErrStaleOwner {
+		t.Fatalf("attach to stale-owner segment = %v, want ErrStaleOwner", err)
+	}
+}
+
 func TestLookupErrors(t *testing.T) {
-	r := NewRegistry()
+	r, _ := newTestReg()
 	if _, err := r.Get(42); err != ErrNoSegment {
 		t.Error("missing name lookup succeeded")
 	}
-	if _, err := r.Attach(9, 1); err != ErrNoSegment {
+	if _, _, err := r.Attach(9, 1); err != ErrNoSegment {
 		t.Error("attach to missing segment succeeded")
 	}
 	if _, err := r.DetachStart(9, 1); err != ErrNoSegment {
@@ -60,12 +108,12 @@ func TestLookupErrors(t *testing.T) {
 }
 
 func TestDetachProtocol(t *testing.T) {
-	r := NewRegistry()
-	seg, _ := r.Make(1, 1, ext(0, 1<<21))
+	r, tab := newTestReg()
+	seg, _ := r.Make(1, memCap(tab, 1, 0, 1<<21), ext(0, 1<<21))
 	if _, err := r.DetachStart(seg.ID, 2); err != ErrNotAttached {
 		t.Error("detach-start without attach succeeded")
 	}
-	_, _ = r.Attach(seg.ID, 2)
+	_, _, _ = r.Attach(seg.ID, 2)
 	if _, err := r.DetachStart(seg.ID, 2); err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +132,36 @@ func TestDetachProtocol(t *testing.T) {
 	}
 }
 
-func TestRemoveSemantics(t *testing.T) {
-	r := NewRegistry()
-	seg, _ := r.Make(1, 1, ext(0, 1<<21))
-	if err := r.Remove(seg.ID, 99); err == nil {
-		t.Error("remove by non-owner succeeded")
+func TestDetachRevokesAttachKey(t *testing.T) {
+	r, tab := newTestReg()
+	seg, _ := r.Make(1, memCap(tab, 1, 0, 1<<21), ext(0, 1<<21))
+	_, cap2, err := r.Attach(seg.ID, 2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	_, _ = r.Attach(seg.ID, 2)
-	if err := r.Remove(seg.ID, 1); err != nil {
+	if _, err := r.DetachDone(seg.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Alive(cap2) {
+		t.Error("attach key survived final detach")
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	r, tab := newTestReg()
+	seg, _ := r.Make(1, memCap(tab, 1, 0, 1<<21), ext(0, 1<<21))
+	if _, err := r.OwnerCapOf(seg.ID, 99); err == nil {
+		t.Error("non-owner resolved the owner key")
+	}
+	if err := r.Remove(seg.ID, authority.Cap{}); err == nil {
+		t.Error("remove without the owner key succeeded")
+	}
+	_, _, _ = r.Attach(seg.ID, 2)
+	oc, err := r.OwnerCapOf(seg.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(seg.ID, oc); err != nil {
 		t.Fatal(err)
 	}
 	// Removed-but-attached segments are invisible to Get but the consumer
@@ -109,16 +179,16 @@ func TestRemoveSemantics(t *testing.T) {
 		t.Errorf("count = %d after final detach", r.Count())
 	}
 	// The name becomes reusable.
-	if _, err := r.Make(1, 3, ext(0x4000, 4096)); err != nil {
+	if _, err := r.Make(1, memCap(tab, 3, 0x4000, 4096), ext(0x4000, 4096)); err != nil {
 		t.Errorf("name not reusable: %v", err)
 	}
 }
 
 func TestAttachCountNesting(t *testing.T) {
-	r := NewRegistry()
-	seg, _ := r.Make(1, 1, ext(0, 1<<21))
-	_, _ = r.Attach(seg.ID, 2)
-	_, _ = r.Attach(seg.ID, 2) // nested attach by same consumer
+	r, tab := newTestReg()
+	seg, _ := r.Make(1, memCap(tab, 1, 0, 1<<21), ext(0, 1<<21))
+	_, _, _ = r.Attach(seg.ID, 2)
+	_, _, _ = r.Attach(seg.ID, 2) // nested attach by same consumer
 	if _, err := r.DetachDone(seg.ID, 2); err != nil {
 		t.Fatal(err)
 	}
@@ -134,10 +204,10 @@ func TestAttachCountNesting(t *testing.T) {
 }
 
 func TestCleanupEnclave(t *testing.T) {
-	r := NewRegistry()
-	segA, _ := r.Make(1, 1, ext(0, 1<<21))     // owned by 1
-	segB, _ := r.Make(2, 2, ext(1<<21, 1<<21)) // owned by 2
-	_, _ = r.Attach(segB.ID, 1)                // 1 attached to B
+	r, tab := newTestReg()
+	segA, _ := r.Make(1, memCap(tab, 1, 0, 1<<21), ext(0, 1<<21))         // owned by 1
+	segB, _ := r.Make(2, memCap(tab, 2, 1<<21, 1<<21), ext(1<<21, 1<<21)) // owned by 2
+	_, _, _ = r.Attach(segB.ID, 1)                                        // 1 attached to B
 	owned, attached := r.CleanupEnclave(1)
 	if len(owned) != 1 || owned[0].ID != segA.ID {
 		t.Errorf("owned = %v", owned)
@@ -161,8 +231,8 @@ func TestCleanupEnclave(t *testing.T) {
 // completing all detaches leaves zero attachments.
 func TestAttachBalanceProperty(t *testing.T) {
 	f := func(ops []uint8) bool {
-		r := NewRegistry()
-		seg, err := r.Make(1, 1, ext(0, 1<<21))
+		r, tab := newTestReg()
+		seg, err := r.Make(1, memCap(tab, 1, 0, 1<<21), ext(0, 1<<21))
 		if err != nil {
 			return false
 		}
@@ -170,7 +240,7 @@ func TestAttachBalanceProperty(t *testing.T) {
 		for _, op := range ops {
 			consumer := int(op%4) + 10
 			if op%2 == 0 {
-				if _, err := r.Attach(seg.ID, consumer); err == nil {
+				if _, _, err := r.Attach(seg.ID, consumer); err == nil {
 					counts[consumer]++
 				}
 			} else if counts[consumer] > 0 {

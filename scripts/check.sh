@@ -45,6 +45,18 @@ begin "covirt-vet -checks hotalloc ./..."
 go run ./cmd/covirt-vet -checks hotalloc ./...
 end
 
+# The capability gate: the module must sweep clean under cap-discipline
+# (no resource-mutating mechanism reachable without a key-naming function
+# or a written //covirt:ambient justification), and the analyzer must
+# still have teeth — its fixture has to keep producing its known findings.
+begin "covirt-vet -checks cap-discipline ./..."
+go run ./cmd/covirt-vet -checks cap-discipline ./...
+if go run ./cmd/covirt-vet -q -checks cap-discipline ./internal/analysis/testdata/capdiscipline/ 2>/dev/null; then
+    echo "check.sh: cap-discipline fixture produced no findings" >&2
+    exit 1
+fi
+end
+
 begin "covirt-vet negative fixtures (must fail)"
 for fixture in internal/analysis/testdata/*/; do
     if go run ./cmd/covirt-vet -q "./$fixture" 2>/dev/null; then
