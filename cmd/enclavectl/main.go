@@ -18,6 +18,15 @@
 //	inject 1 df
 //	scan 3
 //	status 2
+//
+// Fleet operations run against a separate simulated multi-node cluster
+// (see internal/cluster): boot one with "fleet", then place gang apps
+// and drain nodes through it:
+//
+//	fleet 8
+//	place web 3 1 32
+//	nodes
+//	drain 2
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 
+	"covirt/internal/cluster"
 	"covirt/internal/covirt"
 	"covirt/internal/hw"
 	"covirt/internal/kitten"
@@ -52,6 +62,10 @@ type shell struct {
 	// doubles as the node-wide flight recorder from that point on.
 	sup *supervisor.Supervisor
 	buf *trace.Buffer
+
+	// fleet is a separate simulated multi-node cluster, booted on demand
+	// by the "fleet" verb; nodes/place/drain operate on it.
+	fleet *cluster.Cluster
 }
 
 func newShell() (*shell, error) {
@@ -117,6 +131,11 @@ const helpText = `commands:
   supervise <id> [maxRestarts]            put the enclave under watchdog supervision
   scan [n]                                run n watchdog scans (default 1) and report
   destroy <id>                            tear an enclave down
+  fleet <n> [seed]                        boot a simulated n-node fleet (cluster verbs below)
+  nodes                                   fleet node table: state, version, free cores/mem
+  place <app> <members> <cores> <MB>      gang-place an app across the fleet
+  drain <node>                            migrate a fleet node's members away and cordon it
+  undrain <node>                          re-admit a drained fleet node
   help                                    this text
   quit                                    exit`
 
@@ -515,6 +534,110 @@ func (sh *shell) exec(line string) error {
 		delete(sh.encs, enc.ID)
 		delete(sh.specs, enc.ID)
 		fmt.Printf("enclave %d destroyed, resources reclaimed\n", enc.ID)
+
+	case "fleet":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: fleet <n> [seed]")
+		}
+		if sh.fleet != nil {
+			return fmt.Errorf("fleet already booted (%d nodes)", len(sh.fleet.Nodes))
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		var seed uint64 = 1
+		if len(args) > 1 {
+			if seed, err = strconv.ParseUint(args[1], 10, 64); err != nil {
+				return err
+			}
+		}
+		fl, err := cluster.New(cluster.Options{Nodes: n, Seed: seed})
+		if err != nil {
+			return err
+		}
+		sh.fleet = fl
+		fmt.Printf("fleet booted: %d nodes, %d registry shards, fabric seed %d\n",
+			len(fl.Nodes), fl.Opt.Shards, seed)
+
+	case "nodes":
+		if sh.fleet == nil {
+			return fmt.Errorf("no fleet booted yet (try fleet <n>)")
+		}
+		for _, st := range sh.fleet.Status() {
+			encs := "-"
+			if len(st.Enclaves) > 0 {
+				encs = strings.Join(st.Enclaves, ",")
+			}
+			fmt.Printf("%4d  %-8s v%-2d cores=%d mem=%dMB  %s\n",
+				st.ID, st.State, st.Version, st.FreeCores, st.FreeMem>>20, encs)
+		}
+
+	case "place":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: place <app> <members> <cores> <MB>")
+		}
+		if sh.fleet == nil {
+			return fmt.Errorf("no fleet booted yet (try fleet <n>)")
+		}
+		members, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		ncores, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		mb, err := strconv.Atoi(args[3])
+		if err != nil {
+			return err
+		}
+		app := cluster.App{Name: args[0]}
+		for i := 0; i < members; i++ {
+			app.Members = append(app.Members, cluster.Member{
+				Name: fmt.Sprintf("m%d", i), Cores: ncores, MemBytes: uint64(mb) << 20,
+			})
+		}
+		pl, err := sh.fleet.Place(app)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("placed %s (placement %d, app key %d):\n", app.Name, pl.ID, pl.AppKey.ID)
+		for _, m := range pl.Members {
+			fmt.Printf("  %-20s node=%-3d enclave=%-3d key=%d\n",
+				m.Member.Name, m.Node, m.Enc.Enc.ID, m.Key.ID)
+		}
+
+	case "drain":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: drain <node>")
+		}
+		if sh.fleet == nil {
+			return fmt.Errorf("no fleet booted yet (try fleet <n>)")
+		}
+		node, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		moved, err := sh.fleet.Drain(node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d drained: %d member(s) migrated\n", node, moved)
+
+	case "undrain":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: undrain <node>")
+		}
+		if sh.fleet == nil {
+			return fmt.Errorf("no fleet booted yet (try fleet <n>)")
+		}
+		node, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		sh.fleet.Undrain(node)
+		fmt.Printf("node %d re-admitted\n", node)
 
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)

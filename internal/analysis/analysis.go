@@ -347,6 +347,7 @@ var simPackages = []string{
 	"internal/pisces",
 	"internal/kitten",
 	"internal/xemem",
+	"internal/cluster",
 }
 
 // isSimPackage reports whether the unit belongs to the simulation core

@@ -69,6 +69,17 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			fixture: "fabric",
+			checks:  []string{checkLedger, checkDeterminism},
+			want: []string{
+				"internal/cluster/fabric.go:14", // time.Now in a sim package
+				"use/use.go:7",                  // fabric charge discarded entirely
+				"use/use.go:9",                  // charge blank-assigned
+				"use/use.go:11",                 // unobservable under go
+				// use/use.go:15 is suppressed by //covirt:allow
+			},
+		},
+		{
 			fixture: "tracecov",
 			checks:  []string{checkTrace},
 			want: []string{

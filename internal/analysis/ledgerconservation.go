@@ -15,15 +15,46 @@ import (
 // the ledger without anyone holding the resource: memory or cores leak
 // from the accounting silently and later boots fail with spurious
 // exhaustion.
+//
+// The same conservation law applies to the fleet fabric's cost model:
+// cluster.Fabric.Latency/Transfer price cross-node work in cycles, and a
+// priced charge that nobody binds is work the fleet performed for free —
+// MTTR tables and attach surcharges silently undercount. Fabric pricing
+// calls are therefore held to the identical must-bind rule.
 var ledgerConservation = &Analyzer{
 	Name: checkLedger,
-	Doc:  "every Ledger.AllocMemory/AllocCores result must be bound, not discarded",
+	Doc:  "every Ledger.AllocMemory/AllocCores result and Fabric.Latency/Transfer charge must be bound, not discarded",
 	Run:  runLedgerConservation,
 }
 
 // ledgerAllocCall reports whether call resolves to an allocating method of
 // the pisces Ledger, returning the callee for diagnostics.
 func ledgerAllocCall(p *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	fn, ok := methodCallee(p, call)
+	if !ok {
+		return nil, false
+	}
+	if fn.Name() != "AllocMemory" && fn.Name() != "AllocCores" {
+		return nil, false
+	}
+	return fn, recvIsNamed(fn, "Ledger", "internal/pisces")
+}
+
+// fabricCostCall reports whether call resolves to a pricing method of the
+// cluster Fabric, whose returned cycles must reach an accounting sink.
+func fabricCostCall(p *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	fn, ok := methodCallee(p, call)
+	if !ok {
+		return nil, false
+	}
+	if fn.Name() != "Latency" && fn.Name() != "Transfer" {
+		return nil, false
+	}
+	return fn, recvIsNamed(fn, "Fabric", "internal/cluster")
+}
+
+// methodCallee resolves call to a method (a *types.Func with a receiver).
+func methodCallee(p *Pass, call *ast.CallExpr) (*types.Func, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return nil, false
@@ -32,19 +63,17 @@ func ledgerAllocCall(p *Pass, call *ast.CallExpr) (*types.Func, bool) {
 	if !ok || fn.Pkg() == nil {
 		return nil, false
 	}
-	if fn.Name() != "AllocMemory" && fn.Name() != "AllocCores" {
-		return nil, false
-	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return nil, false
 	}
-	return fn, recvIsLedger(sig.Recv().Type())
+	return fn, true
 }
 
-// recvIsLedger reports whether t is pisces.Ledger (possibly behind a
-// pointer).
-func recvIsLedger(t types.Type) bool {
+// recvIsNamed reports whether fn's receiver (possibly behind a pointer) is
+// the named type name declared in a package whose path ends in pkgSuffix.
+func recvIsNamed(fn *types.Func, name, pkgSuffix string) bool {
+	t := fn.Type().(*types.Signature).Recv().Type()
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
@@ -52,7 +81,7 @@ func recvIsLedger(t types.Type) bool {
 	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
-	return named.Obj().Name() == "Ledger" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/pisces")
+	return named.Obj().Name() == name && strings.HasSuffix(named.Obj().Pkg().Path(), pkgSuffix)
 }
 
 func runLedgerConservation(p *Pass) []Finding {
@@ -66,8 +95,13 @@ func runLedgerConservation(p *Pass) []Finding {
 			if !ok {
 				return
 			}
+			kind := ""
 			fn, ok := ledgerAllocCall(p, call)
-			if !ok {
+			if ok {
+				kind = "allocation"
+			} else if fn, ok = fabricCostCall(p, call); ok {
+				kind = "fabric charge"
+			} else {
 				return
 			}
 			parent := ast.Node(nil)
@@ -76,12 +110,12 @@ func runLedgerConservation(p *Pass) []Finding {
 			}
 			switch st := parent.(type) {
 			case *ast.ExprStmt:
-				p.report(&out, checkLedger, call, "allocation from %s discarded: the ledger is charged but nothing owns the resource", fn.Name())
+				p.report(&out, checkLedger, call, "%s from %s discarded: the cost is priced but nothing holds it", kind, fn.Name())
 			case *ast.GoStmt, *ast.DeferStmt:
-				p.report(&out, checkLedger, call, "allocation from %s unobservable under go/defer", fn.Name())
+				p.report(&out, checkLedger, call, "%s from %s unobservable under go/defer", kind, fn.Name())
 			case *ast.AssignStmt:
 				if blankDiscardsAlloc(st, call) {
-					p.report(&out, checkLedger, call, "allocation from %s blank-assigned: charge it to an owner or don't allocate", fn.Name())
+					p.report(&out, checkLedger, call, "%s from %s blank-assigned: charge it to an owner or don't price it", kind, fn.Name())
 				}
 			}
 		})

@@ -1,0 +1,3 @@
+module covirt
+
+go 1.24

@@ -1,0 +1,14 @@
+// Package cluster is a fixture stub of the fleet fabric cost surface.
+package cluster
+
+import "time"
+
+// Fabric mimics the fleet interconnect cost model.
+type Fabric struct{}
+
+func (f *Fabric) Latency(src, dst int) uint64 { return 0 }
+
+func (f *Fabric) Transfer(src, dst int, bytes uint64) uint64 { return 0 }
+
+// Jitter breaks cycle determinism: wall-clock time in a sim package.
+func Jitter() uint64 { return uint64(time.Now().UnixNano()) }

@@ -1,0 +1,19 @@
+// Package use exercises fabric-charge conservation.
+package use
+
+import "covirt/internal/cluster"
+
+func bad(f *cluster.Fabric) uint64 {
+	f.Latency(0, 1) // want: charge discarded entirely
+
+	_ = f.Transfer(0, 1, 4096) // want: charge blank-assigned
+
+	go f.Latency(1, 2) // want: unobservable under go
+
+	//covirt:allow ledger-conservation fixture: vetted exception
+	f.Latency(2, 3) // suppressed
+
+	cycles := f.Latency(0, 2)         // ok: bound and returned
+	cycles += f.Transfer(0, 2, 1<<20) // ok: folded into the total
+	return cycles
+}

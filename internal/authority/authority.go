@@ -26,12 +26,13 @@ import (
 // Kind classifies the resource a capability governs.
 type Kind uint8
 
-// The four resource classes of the Covirt protection model.
+// The resource classes of the Covirt protection model.
 const (
 	KindMemory Kind = iota // a physical memory range
 	KindIPI                // an (destination core, vector) IPI route
 	KindIO                 // an I/O port range
 	KindXemem              // a XEMEM segment
+	KindPlace              // a fleet placement (gang of enclaves across nodes)
 )
 
 // String names the kind.
@@ -45,6 +46,8 @@ func (k Kind) String() string {
 		return "io"
 	case KindXemem:
 		return "xemem"
+	case KindPlace:
+		return "place"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -101,6 +104,8 @@ type Scope struct {
 	PortLo, PortHi uint16
 	// KindXemem: the segment id.
 	SegID uint64
+	// KindPlace: the fleet placement (app) id.
+	App uint64
 	// Wild marks a root scope covering every resource of its kind.
 	Wild bool
 }
@@ -116,6 +121,9 @@ func IOScope(lo, hi uint16) Scope { return Scope{PortLo: lo, PortHi: hi} }
 
 // XememScope bounds one segment.
 func XememScope(segid uint64) Scope { return Scope{SegID: segid} }
+
+// PlaceScope bounds one fleet placement.
+func PlaceScope(app uint64) Scope { return Scope{App: app} }
 
 // WildScope covers every resource of a kind; only roots carry it.
 func WildScope() Scope { return Scope{Wild: true} }
@@ -139,6 +147,8 @@ func (s Scope) Contains(kind Kind, inner Scope) bool {
 		return inner.PortLo >= s.PortLo && inner.PortHi <= s.PortHi
 	case KindXemem:
 		return inner.SegID == s.SegID
+	case KindPlace:
+		return inner.App == s.App
 	}
 	return false
 }
@@ -157,6 +167,8 @@ func (s Scope) String(kind Kind) string {
 		return fmt.Sprintf("ports[%#x,%#x]", s.PortLo, s.PortHi)
 	case KindXemem:
 		return fmt.Sprintf("seg%d", s.SegID)
+	case KindPlace:
+		return fmt.Sprintf("app%d", s.App)
 	}
 	return "?"
 }
@@ -198,7 +210,7 @@ type entry struct {
 	scope  Scope
 	parent uint64
 	label  string
-	gen atomic.Uint64
+	gen    atomic.Uint64
 	// children is guarded by Table.mu (cross-struct; the mutex lives on
 	// the table so entries stay flat and cheap to publish).
 	children []uint64

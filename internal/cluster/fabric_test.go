@@ -1,0 +1,84 @@
+package cluster
+
+import "testing"
+
+func TestFabricLocalFree(t *testing.T) {
+	f := NewFabric(16, 1, FabricCosts{})
+	for _, n := range []int{0, 5, 15} {
+		if c := f.Latency(n, n); c != 0 {
+			t.Errorf("Latency(%d,%d) = %d, want 0", n, n, c)
+		}
+		if c := f.Transfer(n, n, 1<<20); c != 0 {
+			t.Errorf("Transfer(%d,%d) = %d, want 0", n, n, c)
+		}
+	}
+}
+
+func TestFabricHops(t *testing.T) {
+	f := NewFabric(9, 1, FabricCosts{}) // 3x3 mesh
+	cases := []struct {
+		src, dst int
+		want     uint64
+	}{
+		{0, 1, 1}, {0, 3, 1}, {0, 4, 2}, {0, 8, 4}, {2, 6, 4}, {4, 4, 0},
+	}
+	for _, c := range cases {
+		if got := f.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+// TestFabricDeterministicAndSymmetric pins the property the fleet's
+// byte-identical parallel output rests on: link costs are a pure function
+// of (seed, endpoints), independent of query order, and symmetric.
+func TestFabricDeterministicAndSymmetric(t *testing.T) {
+	const nodes = 16
+	a := NewFabric(nodes, 42, FabricCosts{})
+	b := NewFabric(nodes, 42, FabricCosts{})
+	amp := a.Costs.BaseLatency * a.Costs.SkewPct / 100
+	for src := 0; src < nodes; src++ {
+		for dst := 0; dst < nodes; dst++ {
+			la := a.Latency(src, dst)
+			if lb := b.Latency(dst, src); la != lb {
+				t.Fatalf("Latency(%d,%d)=%d but mirrored rebuild gives %d", src, dst, la, lb)
+			}
+			if src == dst {
+				continue
+			}
+			base := a.Costs.BaseLatency + a.Costs.PerHop*a.Hops(src, dst)
+			if la < base || la > base+amp {
+				t.Fatalf("Latency(%d,%d)=%d outside [%d, %d]", src, dst, la, base, base+amp)
+			}
+		}
+	}
+}
+
+func TestFabricSeedChangesSkew(t *testing.T) {
+	a := NewFabric(16, 1, FabricCosts{})
+	b := NewFabric(16, 2, FabricCosts{})
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			if a.Latency(src, dst) != b.Latency(src, dst) {
+				return
+			}
+		}
+	}
+	t.Error("seeds 1 and 2 produced identical link-cost matrices")
+}
+
+func TestFabricTransfer(t *testing.T) {
+	costs := FabricCosts{BaseLatency: 1000, PerHop: 100, BytesPerCycle: 8, SkewPct: 0}
+	f := NewFabric(4, 7, costs) // 2x2 mesh
+	lat := f.Latency(0, 3)
+	if want := uint64(1000 + 2*100); lat != want {
+		t.Fatalf("Latency(0,3) = %d, want %d", lat, want)
+	}
+	// Bandwidth term rounds up to whole cycles.
+	if got, want := f.Transfer(0, 3, 17), lat+3; got != want {
+		t.Errorf("Transfer(0,3,17) = %d, want %d", got, want)
+	}
+	if got, want := f.Transfer(0, 3, 16), lat+2; got != want {
+		t.Errorf("Transfer(0,3,16) = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Record locates one fleet-visible resource — an enclave or an exported
+// XEMEM segment — by the FNV-1a hash of its name.
+type Record struct {
+	Name string
+	Hash uint64
+	// Node is the home node hosting the resource.
+	Node int
+	// Enclave is the enclave id on the home node (0 for host exports).
+	Enclave int
+	// SegID names the home node's XEMEM segment for segment records
+	// (0 for plain enclave records).
+	SegID uint64
+	// Bytes is the segment size for segment records.
+	Bytes uint64
+}
+
+// shard is one partition of the federated registry. Mutations rebuild the
+// record map copy-on-write under the shard mutex; resolves take no lock at
+// all — one atomic pointer load plus a read of the immutable map, the
+// authority.Table publication discipline.
+type shard struct {
+	mu   sync.Mutex // serializes publishers (copy-on-write of recs)
+	recs atomic.Pointer[map[uint64]Record]
+}
+
+// FedRegistry is the fleet's sharded, federated name service. Names hash
+// onto power-of-two shards, and each shard has a home node (shard index
+// mod fleet size) that conceptually hosts it — resolving through a remote
+// shard costs a fabric round trip, which Cluster.ResolveFrom prices.
+// There is no global lock anywhere on the resolve path: a resolve touches
+// exactly one shard, and only its atomically published snapshot.
+type FedRegistry struct {
+	shards []shard
+	mask   uint64
+	nodes  int
+}
+
+// NewFedRegistry builds a registry with at least the requested shard
+// count (rounded up to a power of two) federated across nodes.
+func NewFedRegistry(shards, nodes int) *FedRegistry {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &FedRegistry{shards: make([]shard, n), mask: uint64(n - 1), nodes: nodes}
+	for i := range r.shards {
+		m := make(map[uint64]Record)
+		r.shards[i].recs.Store(&m)
+	}
+	return r
+}
+
+// ShardOf returns the shard index a hash routes to.
+func (r *FedRegistry) ShardOf(hash uint64) int { return int(hash & r.mask) }
+
+// HomeNode returns the node hosting the hash's shard.
+func (r *FedRegistry) HomeNode(hash uint64) int { return r.ShardOf(hash) % r.nodes }
+
+// Publish inserts or updates rec. Republishing the same name (e.g. after
+// a re-placement moves an enclave) is allowed; two different names
+// colliding on one hash is not.
+func (r *FedRegistry) Publish(rec Record) error {
+	s := &r.shards[r.ShardOf(rec.Hash)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.recs.Load()
+	if existing, taken := old[rec.Hash]; taken && existing.Name != rec.Name {
+		return fmt.Errorf("cluster: hash collision: %q vs %q", existing.Name, rec.Name)
+	}
+	next := make(map[uint64]Record, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[rec.Hash] = rec
+	s.recs.Store(&next)
+	return nil
+}
+
+// Drop removes the record for hash, if present.
+func (r *FedRegistry) Drop(hash uint64) {
+	s := &r.shards[r.ShardOf(hash)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.recs.Load()
+	if _, ok := old[hash]; !ok {
+		return
+	}
+	next := make(map[uint64]Record, len(old))
+	for k, v := range old {
+		if k != hash {
+			next[k] = v
+		}
+	}
+	s.recs.Store(&next)
+}
+
+// Resolve looks a hash up lock-free: one atomic load of the owning
+// shard's snapshot. Any node (any goroutine) can resolve concurrently
+// with publishers on the same shard.
+func (r *FedRegistry) Resolve(hash uint64) (Record, bool) {
+	recs := *r.shards[r.ShardOf(hash)].recs.Load()
+	rec, ok := recs[hash]
+	return rec, ok
+}
+
+// Len counts the records across all shards.
+func (r *FedRegistry) Len() int {
+	n := 0
+	for i := range r.shards {
+		n += len(*r.shards[i].recs.Load())
+	}
+	return n
+}

@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"covirt/internal/cluster"
+	"covirt/internal/workloads"
+)
+
+func init() {
+	All = append(All,
+		Experiment{
+			ID:    "fleet-mttr",
+			Title: "Extension: fleet-wide MTTR — correlated node failures and re-placement across a federated fleet",
+			Run:   RunFleetMTTR,
+		},
+		Experiment{
+			ID:    "fleet-upgrade",
+			Title: "Extension: rolling co-kernel upgrade — per-wave reboot windows across the fleet",
+			Run:   RunFleetUpgrade,
+		},
+	)
+}
+
+// fleetSizes returns the fleet sizes under test. The acceptance-scale
+// 256-node fleet is always in the base tier; full runs add 1024.
+func fleetSizes(opt Options) []int {
+	sizes := []int{64, 256}
+	if opt.Full {
+		sizes = append(sizes, 1024)
+	}
+	return sizes
+}
+
+// buildFleet stands a fleet up and gang-places two-member apps on a
+// quarter of the nodes, so failures and upgrades always displace real
+// placements.
+func buildFleet(nodes int, seed uint64) (*cluster.Cluster, int, error) {
+	c, err := cluster.New(cluster.Options{Nodes: nodes, Seed: seed, Shards: nodes})
+	if err != nil {
+		return nil, 0, err
+	}
+	apps := nodes / 4
+	for i := 0; i < apps; i++ {
+		app := cluster.App{Name: fmt.Sprintf("app%d", i), Members: []cluster.Member{
+			{Name: "a", Cores: 1, MemBytes: 32 << 20},
+			{Name: "b", Cores: 1, MemBytes: 32 << 20},
+		}}
+		if _, err := c.Place(app); err != nil {
+			c.Close()
+			return nil, 0, err
+		}
+	}
+	return c, apps, nil
+}
+
+// RunFleetMTTR is the correlated-failure campaign: every 16th node of the
+// fleet loses power at once, and one watchdog scan re-places every
+// displaced member onto the survivors. MTTR is read off the fleet's
+// virtual clock — detection scan plus the fabric control round trips and
+// replacement boots — so the table is byte-identical at any engine
+// parallelism. The resolve column prices a federated name lookup from the
+// fleet's far corner (a lock-free shard read plus the fabric round trip).
+func RunFleetMTTR(opt Options, w io.Writer) error {
+	reps := opt.reps()
+	sizes := fleetSizes(opt)
+	var jobs []*Job
+	for _, nodes := range sizes {
+		for rep := 0; rep < reps; rep++ {
+			nodes := nodes
+			jobs = append(jobs, &Job{
+				Experiment: fmt.Sprintf("fleet-mttr/%d", nodes),
+				Config:     CfgNative, Layout: SingleCore, Rep: rep,
+				Run: func(j *Job) (*workloads.Result, error) {
+					return runFleetMTTRJob(j, nodes)
+				},
+			})
+		}
+	}
+	results := opt.engine().Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "nodes\tapps\tfailed\tdisplaced\treplaced\tMTTR (ms)\tMTTR max (ms)\tresolve (us)")
+	i := 0
+	for _, nodes := range sizes {
+		var mttr, mttrMax, resolve []float64
+		var apps, failed, displaced, replaced float64
+		for rep := 0; rep < reps; rep++ {
+			r := results[i].Res
+			i++
+			apps = r.Metric("apps")
+			failed = r.Metric("failed")
+			displaced = r.Metric("displaced")
+			replaced = r.Metric("replaced")
+			mttr = append(mttr, r.Metric("mttr_ms"))
+			mttrMax = append(mttrMax, r.Metric("mttr_max_ms"))
+			resolve = append(resolve, r.Metric("resolve_us"))
+		}
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\n",
+			nodes, apps, failed, displaced, replaced,
+			Summarize(mttr).Mean, Summarize(mttrMax).Max, Summarize(resolve).Mean)
+	}
+	return tw.Flush()
+}
+
+// runFleetMTTRJob executes one correlated-failure repetition end to end.
+func runFleetMTTRJob(j *Job, nodes int) (*workloads.Result, error) {
+	c, apps, err := buildFleet(nodes, j.Seed())
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// Price the federated resolve path from the far corner of the mesh.
+	if _, _, err := c.ExportHost(0, "fleet/config", 1<<20); err != nil {
+		return nil, err
+	}
+	_, resolveCycles, err := c.ResolveFrom(nodes-1, "fleet/config")
+	if err != nil {
+		return nil, err
+	}
+
+	failed := 0
+	for n := 0; n < nodes; n += 16 {
+		c.Nodes[n].TB.M.Crash("fleet-mttr: injected rack fault")
+		failed++
+	}
+	rep := c.Recover()
+	if len(rep.Failed) != failed || rep.Stranded != 0 || rep.Replaced != rep.Displaced {
+		return nil, fmt.Errorf("fleet-mttr: recovery incomplete: %+v", rep)
+	}
+	quiet := c.Recover()
+	if len(quiet.Failed) != 0 || quiet.Displaced != 0 {
+		return nil, fmt.Errorf("fleet-mttr: fleet not quiesced: %+v", quiet)
+	}
+
+	var sum, max uint64
+	for _, m := range rep.MTTR {
+		sum += m
+		if m > max {
+			max = m
+		}
+	}
+	mean := float64(0)
+	if len(rep.MTTR) > 0 {
+		mean = float64(sum) / float64(len(rep.MTTR))
+	}
+	return &workloads.Result{
+		Name: "fleet-mttr", Threads: 1, Cycles: rep.At,
+		Metrics: map[string]float64{
+			"apps":        float64(apps),
+			"failed":      float64(failed),
+			"displaced":   float64(rep.Displaced),
+			"replaced":    float64(rep.Replaced),
+			"mttr_ms":     mean / workloads.CyclesPerSecond * 1e3,
+			"mttr_max_ms": float64(max) / workloads.CyclesPerSecond * 1e3,
+			"resolve_us":  float64(resolveCycles) / workloads.CyclesPerSecond * 1e6,
+		},
+	}, nil
+}
+
+// RunFleetUpgrade is the rolling co-kernel upgrade campaign: the fleet is
+// upgraded in waves of eight nodes, each wave rebooting every member
+// enclave on its nodes in place. The makespan accumulates the widest
+// reboot window per wave (waves run their nodes concurrently; successive
+// waves serialize), and availability is the fraction of node-time the
+// fleet kept serving during the roll.
+func RunFleetUpgrade(opt Options, w io.Writer) error {
+	reps := opt.reps()
+	sizes := fleetSizes(opt)
+	var jobs []*Job
+	for _, nodes := range sizes {
+		for rep := 0; rep < reps; rep++ {
+			nodes := nodes
+			jobs = append(jobs, &Job{
+				Experiment: fmt.Sprintf("fleet-upgrade/%d", nodes),
+				Config:     CfgNative, Layout: SingleCore, Rep: rep,
+				Run: func(j *Job) (*workloads.Result, error) {
+					return runFleetUpgradeJob(j, nodes)
+				},
+			})
+		}
+	}
+	results := opt.engine().Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "nodes\twaves\tmembers rolled\tmakespan (ms)\tmax window (ms)\tavailability (%)")
+	i := 0
+	for _, nodes := range sizes {
+		var makespan, window, avail []float64
+		var waves, rolled float64
+		for rep := 0; rep < reps; rep++ {
+			r := results[i].Res
+			i++
+			waves = r.Metric("waves")
+			rolled = r.Metric("members_rolled")
+			makespan = append(makespan, r.Metric("makespan_ms"))
+			window = append(window, r.Metric("max_window_ms"))
+			avail = append(avail, r.Metric("availability_pct"))
+		}
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.2f\t%.2f\t%.3f\n",
+			nodes, waves, rolled,
+			Summarize(makespan).Mean, Summarize(window).Max, Summarize(avail).Mean)
+	}
+	return tw.Flush()
+}
+
+// upgradeWave is the number of nodes rebooted concurrently per wave.
+const upgradeWave = 8
+
+// runFleetUpgradeJob rolls one fleet through an upgrade, wave by wave.
+func runFleetUpgradeJob(j *Job, nodes int) (*workloads.Result, error) {
+	c, _, err := buildFleet(nodes, j.Seed())
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	rolled := 0
+	for _, pl := range c.Placements() {
+		rolled += len(pl.Members)
+	}
+
+	waves := 0
+	var makespan, maxWindow uint64
+	for start := 0; start < nodes; start += upgradeWave {
+		var window uint64
+		for n := start; n < start+upgradeWave && n < nodes; n++ {
+			boot, err := c.UpgradeNode(n)
+			if err != nil {
+				return nil, fmt.Errorf("fleet-upgrade: node %d: %w", n, err)
+			}
+			if boot > window {
+				window = boot
+			}
+		}
+		waves++
+		makespan += window
+		if window > maxWindow {
+			maxWindow = window
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		if v := c.Version(n); v != 2 {
+			return nil, fmt.Errorf("fleet-upgrade: node %d at version %d after the roll", n, v)
+		}
+	}
+	// During each wave the other nodes keep serving; availability is the
+	// served fraction of node-time across the roll.
+	avail := 100.0
+	if makespan > 0 {
+		avail = 100 * float64(nodes-upgradeWave) / float64(nodes)
+	}
+	return &workloads.Result{
+		Name: "fleet-upgrade", Threads: 1, Cycles: makespan,
+		Metrics: map[string]float64{
+			"waves":            float64(waves),
+			"members_rolled":   float64(rolled),
+			"makespan_ms":      float64(makespan) / workloads.CyclesPerSecond * 1e3,
+			"max_window_ms":    float64(maxWindow) / workloads.CyclesPerSecond * 1e3,
+			"availability_pct": avail,
+		},
+	}, nil
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFleetMTTROutput runs the correlated-failure campaign end to end at
+// both acceptance sizes and sanity-checks the rendered table.
+func TestFleetMTTROutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFleetMTTR(Options{Reps: 1, Parallel: 1}, &buf); err != nil {
+		t.Fatalf("fleet-mttr: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"nodes", "MTTR (ms)", "resolve (us)", "64", "256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet-mttr output missing %q:\n%s", want, out)
+		}
+	}
+	// Every fleet size must report a non-zero repair count: 64 nodes lose
+	// 4, 256 lose 16, and each loss displaces placed members.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("fleet-mttr rendered %d lines:\n%s", len(lines), out)
+	}
+	for _, line := range lines[1:] {
+		if strings.Contains(line, "\t0\t0\t") {
+			t.Errorf("fleet row recovered nothing: %s", line)
+		}
+	}
+}
+
+func TestFleetUpgradeOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFleetUpgrade(Options{Reps: 1, Parallel: 1}, &buf); err != nil {
+		t.Fatalf("fleet-upgrade: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"waves", "makespan (ms)", "availability"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet-upgrade output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetOutputParallelInvariance is the fleet determinism gate: both
+// fleet experiments must render byte-identical tables with one engine
+// worker and with eight. Every fabric charge, placement decision, and
+// MTTR figure is a pure function of (experiment, size, rep), so worker
+// scheduling must not be observable.
+func TestFleetOutputParallelInvariance(t *testing.T) {
+	for _, e := range []Experiment{*ByID("fleet-mttr"), *ByID("fleet-upgrade")} {
+		var serial, parallel bytes.Buffer
+		if err := e.Run(Options{Reps: 2, Parallel: 1}, &serial); err != nil {
+			t.Fatalf("%s (parallel 1): %v", e.ID, err)
+		}
+		if err := e.Run(Options{Reps: 2, Parallel: 8}, &parallel); err != nil {
+			t.Fatalf("%s (parallel 8): %v", e.ID, err)
+		}
+		if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+			t.Errorf("%s output depends on engine parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				e.ID, serial.String(), parallel.String())
+		}
+	}
+}

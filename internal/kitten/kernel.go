@@ -84,6 +84,12 @@ type Task struct {
 	fn   func(*Env) error
 	err  error
 	done chan struct{}
+	// released is closed by Spawn once the reschedule doorbell has been
+	// routed. The core loop can dequeue a task before the spawner reaches
+	// RouteIPI; without the handshake the doorbell's interrupt cost would
+	// then land at a scheduler-dependent point in the task body instead of
+	// deterministically before it (the multi-rank cycle jitter flake).
+	released chan struct{}
 }
 
 // Wait blocks until the task finishes and returns its error.
@@ -336,6 +342,11 @@ func (k *Kernel) coreLoop(cc *coreCtx) {
 // runTask executes one task on the core, converting guest panics raised by
 // Env helpers into task errors.
 func (k *Kernel) runTask(cc *coreCtx, t *Task) {
+	// Don't start until the spawner has raised the doorbell IPI: by the
+	// time fn runs, the doorbell is either already serviced (the idle loop
+	// polled it) or pending for the task's first poll, so its cost is
+	// charged at the same point in the cycle stream on every run.
+	<-t.released
 	cc.busy.Store(true)
 	defer cc.busy.Store(false)
 	env := &Env{K: k, CPU: cc.cpu, Core: cc.local, Task: t}
@@ -361,14 +372,17 @@ func (k *Kernel) Spawn(name string, core int, fn func(*Env) error) (*Task, error
 	if cc == nil {
 		return nil, fmt.Errorf("kitten: no local core %d", core)
 	}
-	t := &Task{Name: name, fn: fn, done: make(chan struct{})}
+	t := &Task{Name: name, fn: fn, done: make(chan struct{}), released: make(chan struct{})}
 	select {
 	case cc.tasks <- t:
 	case <-k.done:
 		return nil, fmt.Errorf("kitten: kernel is down")
 	}
-	// Reschedule doorbell so an idle core picks the task up.
+	// Reschedule doorbell so an idle core picks the task up, released only
+	// after the doorbell is raised so the task cannot observe a half-spawned
+	// state (see Task.released).
 	k.mach.RouteIPI(-1, cc.cpu.ID, VectorResched)
+	close(t.released)
 	return t, nil
 }
 

@@ -173,6 +173,67 @@ func TestTasksRunToCompletionInOrder(t *testing.T) {
 	}
 }
 
+// TestSpawnDoorbellChargedBeforeTaskBody pins the spawn handshake: a task
+// body never starts until the spawner's reschedule doorbell has been
+// raised, so a leading drain poll (Compute(0)) consumes the doorbell's
+// interrupt cost — or the idle loop already did — and the cycles charged
+// after the drain are identical on every spawn. Before the handshake the
+// core loop could dequeue a task ahead of Spawn's RouteIPI, and the
+// doorbell then landed at a host-scheduler-dependent point inside the
+// measured region (the multi-rank cycle jitter flake).
+func TestSpawnDoorbellChargedBeforeTaskBody(t *testing.T) {
+	_, _, _, k := testStack(t, 1, []int{0}, 128<<20)
+	const repeats = 64
+	deltas := make([]uint64, repeats)
+	for i := 0; i < repeats; i++ {
+		i := i
+		task, err := k.Spawn("window", 0, func(e *Env) error {
+			e.Compute(0) // drain: the doorbell is pending or already serviced
+			start := e.CPU.TSC
+			e.Compute(10_000)
+			deltas[i] = e.CPU.TSC - start
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := task.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < repeats; i++ {
+		if deltas[i] != deltas[0] {
+			t.Fatalf("measured window drifted at spawn %d: %d cycles vs %d — an interrupt landed inside the drained region", i, deltas[i], deltas[0])
+		}
+	}
+}
+
+// TestSpawnFromTask guards the handshake against a release/queue ordering
+// regression: a task spawning onto its own core must not deadlock on the
+// new task's released channel (Spawn closes it unconditionally after the
+// doorbell, never from the core loop).
+func TestSpawnFromTask(t *testing.T) {
+	_, _, _, k := testStack(t, 1, []int{0}, 128<<20)
+	var inner *Task
+	outer, err := k.Spawn("outer", 0, func(e *Env) error {
+		t2, err := k.Spawn("inner", 0, func(e *Env) error {
+			e.Compute(10)
+			return nil
+		})
+		inner = t2
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEnvAllocFree(t *testing.T) {
 	_, _, _, k := testStack(t, 1, []int{0}, 128<<20)
 	task, _ := k.Spawn("alloc", 0, func(e *Env) error {

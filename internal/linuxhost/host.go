@@ -40,12 +40,13 @@ type Host struct {
 
 	io pisces.NativeMemIO
 
-	mu        sync.Mutex
-	consoles  map[int]*bytes.Buffer
-	handlers  map[uint32]LongcallHandler
-	hostCores map[int]bool
-	fs        *memFS
-	services  map[int]chan struct{} // enclave id -> longcall service exited
+	mu         sync.Mutex
+	consoles   map[int]*bytes.Buffer
+	handlers   map[uint32]LongcallHandler
+	hostCores  map[int]bool
+	fs         *memFS
+	services   map[int]chan struct{} // enclave id -> longcall service exited
+	surcharges map[uint64]uint64     // segid -> extra attach cycles (fabric pulls)
 }
 
 // New boots the host OS on machine m: the host initially owns every core
@@ -61,6 +62,7 @@ func New(m *hw.Machine) (*Host, error) {
 		hostCores:     make(map[int]bool),
 		fs:            newMemFS(),
 		services:      make(map[int]chan struct{}),
+		surcharges:    make(map[uint64]uint64),
 	}
 	for _, n := range m.Topo.Nodes {
 		start := hw.AlignUp(n.MemBase, hw.PageSize2M)
@@ -186,6 +188,29 @@ func (h *Host) appendConsole(encID int, buf []byte) {
 		h.consoles[encID] = b
 	}
 	b.Write(buf)
+}
+
+// SetAttachSurcharge attaches extra host-side cycles to every XEMEM
+// attach of segid. The cluster fabric uses this hook to charge a
+// cross-node window pull (latency + bytes/bandwidth) through the same
+// longcall cost path every local attach already rides, so remote attach
+// latency lands on the attaching guest's TSC like any other host work.
+// A zero value clears the surcharge.
+func (h *Host) SetAttachSurcharge(segid, cycles uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cycles == 0 {
+		delete(h.surcharges, segid)
+		return
+	}
+	h.surcharges[segid] = cycles
+}
+
+// attachSurcharge returns the extra attach cycles registered for segid.
+func (h *Host) attachSurcharge(segid uint64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.surcharges[segid]
 }
 
 // RegisterLongcall installs (or overrides) a longcall handler.

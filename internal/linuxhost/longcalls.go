@@ -124,7 +124,8 @@ func (h *Host) registerDefaultLongcalls() {
 			return 200
 		}
 		setResp(resp, pisces.LcOK, segid, uint64(len(exts)))
-		return uint64(len(exts))*lcPerExtent + pagesOf(exts)*lcPerPage4K + ev.Cost
+		return uint64(len(exts))*lcPerExtent + pagesOf(exts)*lcPerPage4K + ev.Cost +
+			h.attachSurcharge(segid)
 	})
 
 	h.RegisterLongcall(pisces.SysXemDetach, func(h *Host, enc *pisces.Enclave, m, resp *pisces.Msg) uint64 {

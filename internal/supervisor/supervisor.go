@@ -126,6 +126,11 @@ type Options struct {
 	// Tracer, when non-nil, receives sup:* records for every supervision
 	// action (detect, restart, recovered, quarantined).
 	Tracer *trace.Buffer
+	// OnQuarantine, when non-nil, runs after an enclave's hardware has
+	// been withdrawn to the host — the escalation point where a fleet
+	// controller re-places the lost member on a surviving node. Called
+	// without supervisor locks held, from the Scan goroutine.
+	OnQuarantine func(guestName string)
 }
 
 // watch is the supervisor's per-enclave record.
@@ -167,6 +172,7 @@ type Supervisor struct {
 	io           pisces.NativeMemIO
 	scanInterval uint64
 	rng          hw.Rand
+	onQuarantine func(guestName string)
 
 	mu      sync.Mutex //covirt:guards watches,byEnc
 	watches []*watch
@@ -181,6 +187,7 @@ func New(n *testbed.Node, opt Options) *Supervisor {
 		io:           pisces.NativeMemIO{Mem: n.M.Mem},
 		scanInterval: opt.ScanInterval,
 		rng:          hw.NewRand(opt.Seed),
+		onQuarantine: opt.OnQuarantine,
 		byEnc:        make(map[int]*watch),
 	}
 	if s.scanInterval == 0 {
@@ -431,9 +438,15 @@ func (s *Supervisor) quarantine(w *watch, now uint64) error {
 	s.setQuarantined(w)
 	s.record(now, "sup:quarantined", "enclave %d %s after %d failures: %s",
 		enc.ID, w.be.Guest.Name, w.failures, w.lastReason)
-	return s.node.Host.Master.Bus.Emit(&hobbes.Event{
+	if err := s.node.Host.Master.Bus.Emit(&hobbes.Event{
 		Kind: hobbes.EvEnclaveQuarantined, Enclave: enc, Reason: w.lastReason,
-	})
+	}); err != nil {
+		return err
+	}
+	if s.onQuarantine != nil {
+		s.onQuarantine(w.be.Guest.Name)
+	}
+	return nil
 }
 
 // setQuarantined marks w terminal under the lock.

@@ -1,6 +1,8 @@
 package workloads_test
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -40,6 +42,43 @@ func TestRankOrderRounds(t *testing.T) {
 	for r := 0; r < n; r++ {
 		<-done
 	}
+	if len(seq) != n*rounds {
+		t.Fatalf("got %d sections, want %d", len(seq), n*rounds)
+	}
+	for i, rank := range seq {
+		if rank != i%n {
+			t.Fatalf("section %d ran on rank %d, want %d (seq %v)", i, rank, i%n, seq)
+		}
+	}
+}
+
+// TestRankOrderLapping covers the free-running interleaving: no gates, no
+// pacing, and per-rank work so unequal that fast ranks race back to the
+// collective for round R+1 while slow ranks have not yet taken their
+// round-R turns. The monotonic turn counter must hold a lapping rank at
+// the door until every rank of the current round has run — sections stay
+// strictly rank-major no matter how far ahead a rank's goroutine gets.
+func TestRankOrderLapping(t *testing.T) {
+	const n, rounds = 4, 16
+	ord := workloads.NewRankOrder(n)
+	var seq []int // appended under the collective's own serialization
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				ord.Do(rank, func() { seq = append(seq, rank) })
+				// Rank 0 sprints straight back to the collective; higher
+				// ranks burn rank-proportional time between sections so
+				// rank 0 is perpetually trying to lap them.
+				for spin := 0; spin < rank*200; spin++ {
+					runtime.Gosched()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
 	if len(seq) != n*rounds {
 		t.Fatalf("got %d sections, want %d", len(seq), n*rounds)
 	}

@@ -1,12 +1,19 @@
 #!/bin/sh
 # check.sh — the repository's CI gate. Run it locally before pushing:
 #
-#   ./scripts/check.sh
+#   ./scripts/check.sh                # full gate (static + smoke + race)
+#   ./scripts/check.sh static        # build/vet/analyzers + -short smoke only
+#   ./scripts/check.sh race <group>  # one race shard: harness | workloads | rest
 #
 # It must pass with zero findings; vetted exceptions are annotated in the
 # source with //covirt:allow (see DESIGN.md "Static analysis & invariants").
 # Each stage reports its wall-clock seconds so CI regressions are visible
 # per gate, not just in the job total.
+#
+# The race tier is sharded into package groups so its long pole (the
+# harness experiment matrix) no longer serializes behind everything else:
+# locally the groups run as parallel jobs, and in CI they fan out as a
+# matrix. The -short smoke tier always runs first for fast signal.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,6 +25,34 @@ begin() {
 end() {
     echo "    ($(( $(date +%s) - stage_start ))s)"
 }
+
+# race_group_pkgs maps a shard name to its package list. The harness
+# matrix is the measured long pole and gets a shard to itself; workloads
+# carries the solver suites (and the fleet, which exercises them); rest is
+# everything else.
+race_group_pkgs() {
+    case "$1" in
+    harness)   echo "covirt/internal/harness" ;;
+    workloads) echo "covirt/internal/workloads covirt/internal/cluster" ;;
+    rest)      go list ./... | grep -v -E 'internal/(harness|workloads|cluster)$' | tr '\n' ' ' ;;
+    *)
+        echo "check.sh: unknown race group '$1' (want harness|workloads|rest)" >&2
+        exit 2
+        ;;
+    esac
+}
+
+mode="${1:-all}"
+
+if [ "$mode" = race ]; then
+    group="${2:?usage: check.sh race <harness|workloads|rest>}"
+    begin "go test -race (group: $group)"
+    # shellcheck disable=SC2046
+    go test -race $(race_group_pkgs "$group")
+    end
+    echo "check.sh: race group $group passed"
+    exit 0
+fi
 
 begin "go build ./..."
 go build ./...
@@ -66,8 +101,37 @@ for fixture in internal/analysis/testdata/*/; do
 done
 end
 
-begin "go test -race ./..."
-go test -race ./...
+begin "go test -short ./... (smoke tier)"
+go test -short ./...
+end
+
+if [ "$mode" = static ]; then
+    echo "check.sh: static gates passed"
+    exit 0
+fi
+
+begin "go test -race (parallel shards: harness | workloads+cluster | rest)"
+race_logs=$(mktemp -d)
+race_fail=0
+for group in harness workloads rest; do
+    (
+        # shellcheck disable=SC2046
+        go test -race $(race_group_pkgs "$group")
+    ) > "$race_logs/$group.log" 2>&1 &
+    eval "race_pid_$group=$!"
+done
+for group in harness workloads rest; do
+    eval "pid=\$race_pid_$group"
+    if wait "$pid"; then
+        echo "    race shard $group: ok"
+    else
+        echo "check.sh: race shard $group failed:" >&2
+        cat "$race_logs/$group.log" >&2
+        race_fail=1
+    fi
+done
+rm -rf "$race_logs"
+[ "$race_fail" -eq 0 ]
 end
 
 echo "check.sh: all gates passed"
