@@ -102,6 +102,31 @@ func BenchmarkGUPSOverhead(b *testing.B) {
 	}
 }
 
+// benchCtlSat runs one control-plane saturation leg and reports its
+// simulated throughput and tail latency as benchmark metrics — the two
+// numbers the batched-ingest acceptance bar compares across legs.
+func benchCtlSat(b *testing.B, batch int) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.CtlSatLeg(batch, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eps := r.Metric("events") / (r.Metric("ctl_cycles") / workloads.CyclesPerSecond)
+		b.ReportMetric(eps, "sim-events/sec")
+		b.ReportMetric(r.Metric("p99_us"), "p99-apply-us")
+		b.ReportMetric(r.Metric("flush_saved"), "flush-saved")
+	}
+}
+
+// BenchmarkCtlSatPerEvent is the per-event control-plane baseline: every
+// grant/revoke applies and shoots down individually.
+func BenchmarkCtlSatPerEvent(b *testing.B) { benchCtlSat(b, 1) }
+
+// BenchmarkCtlSatBatched drives the same event stream through batched
+// submission with epoch-coalesced shootdowns (one merged flush per core
+// per batch).
+func BenchmarkCtlSatBatched(b *testing.B) { benchCtlSat(b, 32) }
+
 // BenchmarkEPTAblationPageSizes quantifies the design choice DESIGN.md
 // calls out: large-page coalescing in the EPT. It compares GUPS overhead
 // with coalesced (2M/1G) mappings against an EPT restricted to 4K pages.

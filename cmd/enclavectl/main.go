@@ -119,6 +119,7 @@ const helpText = `commands:
   boot <id> [none|mem|mem+ipi|all]        boot Kitten under covirt features
   list                                    list enclaves
   status <id>                             covirt status (exits, EPT, IPIs) + supervision
+  qstats <id>                             command-queue/ingest stats (depth, epochs, QoS)
   ping <id>                               control-channel liveness check
   addmem <id> <node> <MB>                 hot-add memory
   addcpu <id> <node>                      hot-add a core
@@ -272,6 +273,35 @@ func (sh *shell) exec(line string) error {
 		}
 		if err != nil && !supervised {
 			return err
+		}
+
+	case "qstats":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: qstats <id>")
+		}
+		enc, err := sh.enclave(args[0])
+		if err != nil {
+			return err
+		}
+		qsAny, err := sh.host.Pisces.Ioctl(covirt.IoctlQueueStats, enc.ID)
+		if err != nil {
+			return err
+		}
+		qs := qsAny.(*covirt.QueueStats)
+		in := qs.Ingest
+		fmt.Printf("ring: %d slots/core; events=%d epochs=%d (issued %d)\n",
+			qs.Slots, in.Events, in.Epochs, qs.EpochIssued)
+		fmt.Printf("flush cmds: %d issued, %d coalesced away; push stalls: %d cycles\n",
+			in.FlushCmds, in.FlushCmdsSaved, in.StallCycles)
+		fmt.Printf("admission: tokens=%d waits=%d (%d cycles)\n",
+			qs.Tokens, in.AdmissionWaits, in.AdmissionWaitCycles)
+		cores := make([]int, 0, len(qs.Depth))
+		for c := range qs.Depth {
+			cores = append(cores, c)
+		}
+		sort.Ints(cores)
+		for _, c := range cores {
+			fmt.Printf("  core %-3d depth=%-4d epoch applied=%d\n", c, qs.Depth[c], qs.EpochApplied[c])
 		}
 
 	case "ping":

@@ -4,9 +4,12 @@ package covirt
 import "covirt/internal/hw"
 
 const (
-	cmdqHdrSize = 24
+	cmdqHdrSize  = 32
+	cmdqSlotSize = 32
 	// OffCovirtCmdQ marks queue-layout address arithmetic.
-	OffCovirtCmdQ = 0x6000
+	OffCovirtCmdQ = 0x10000
+	cmdqOffHead   = 0
+	cmdqOffEpoch  = 24
 )
 
 type cmdQueue struct {
@@ -16,4 +19,47 @@ type cmdQueue struct {
 
 func (q *cmdQueue) completed() (uint64, error) {
 	return q.mem.Read64(q.base + 16) // ok: owner file
+}
+
+// pushGood writes the slot body first and releases it with the head store.
+func (q *cmdQueue) pushGood(rec uint64) error {
+	head, err := q.mem.Read64(q.base + cmdqOffHead)
+	if err != nil {
+		return err
+	}
+	if err := q.mem.Write64(q.base+cmdqHdrSize+head*cmdqSlotSize, rec); err != nil {
+		return err
+	}
+	return q.mem.Write64(q.base+cmdqOffHead, head+1)
+}
+
+// pushBroken publishes the head before the slot contents exist: the
+// drainer's acquire load can observe the new head and fetch a stale slot.
+func (q *cmdQueue) pushBroken(rec uint64) error {
+	head, err := q.mem.Read64(q.base + cmdqOffHead)
+	if err != nil {
+		return err
+	}
+	if err := q.mem.Write64(q.base+cmdqOffHead, head+1); err != nil {
+		return err
+	}
+	return q.mem.Write64(q.base+cmdqHdrSize+head*cmdqSlotSize, rec) // want: slot write after head publish
+}
+
+// publishGood raises the applied epoch only monotonically.
+func (q *cmdQueue) publishGood(epoch uint64) error {
+	cur, err := q.mem.Read64(q.base + cmdqOffEpoch)
+	if err != nil {
+		return err
+	}
+	if epoch > cur {
+		return q.mem.Write64(q.base+cmdqOffEpoch, epoch)
+	}
+	return nil
+}
+
+// publishBroken stores the epoch unconditionally: a stale marker moves the
+// counter backwards and releases waiters early.
+func (q *cmdQueue) publishBroken(epoch uint64) error {
+	return q.mem.Write64(q.base+cmdqOffEpoch, epoch) // want: unguarded epoch publish
 }

@@ -18,12 +18,13 @@ type BootParams struct {
 	NumCPUs        uint64
 	CmdQueueBase   uint64 // base of the per-CPU command queue array
 	CmdQueueStride uint64
+	CmdQueueSlots  uint64 // ring capacity of each per-CPU queue
 	PiscesParams   uint64 // address of the untouched Pisces boot parameters
 }
 
 // encodeBootParams writes bp at addr (host/native access).
 func encodeBootParams(mem *hw.PhysMem, addr uint64, bp *BootParams) error {
-	vals := []uint64{BootParamsMagic, bp.NumCPUs, bp.CmdQueueBase, bp.CmdQueueStride, bp.PiscesParams}
+	vals := []uint64{BootParamsMagic, bp.NumCPUs, bp.CmdQueueBase, bp.CmdQueueStride, bp.CmdQueueSlots, bp.PiscesParams}
 	for i, v := range vals {
 		if err := mem.Write64(addr+uint64(i)*8, v); err != nil {
 			return err
@@ -34,7 +35,7 @@ func encodeBootParams(mem *hw.PhysMem, addr uint64, bp *BootParams) error {
 
 // decodeBootParams reads a block written by encodeBootParams.
 func decodeBootParams(mem *hw.PhysMem, addr uint64) (*BootParams, error) {
-	var vals [5]uint64
+	var vals [6]uint64
 	for i := range vals {
 		v, err := mem.Read64(addr + uint64(i)*8)
 		if err != nil {
@@ -49,6 +50,7 @@ func decodeBootParams(mem *hw.PhysMem, addr uint64) (*BootParams, error) {
 		NumCPUs:        vals[1],
 		CmdQueueBase:   vals[2],
 		CmdQueueStride: vals[3],
-		PiscesParams:   vals[4],
+		CmdQueueSlots:  vals[4],
+		PiscesParams:   vals[5],
 	}, nil
 }

@@ -18,7 +18,7 @@ func queueFixture(t *testing.T) (*hw.Machine, *cmdQueue, *hw.CPU) {
 		t.Fatal(err)
 	}
 	base := hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K)
-	q, err := newCmdQueue(m.Mem, base)
+	q, err := newCmdQueue(m.Mem, base, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,15 +72,71 @@ func TestCmdQueueFlushAll(t *testing.T) {
 	}
 }
 
-func TestCmdQueueFullRejected(t *testing.T) {
-	_, q, _ := queueFixture(t)
-	for i := 0; i < cmdqSlots; i++ {
+// Regression for the old hard-failure semantics: overflowing the
+// pre-batching 8-slot geometry must apply backpressure (publish what fits,
+// ring the doorbell, park until the drainer frees slots) rather than fail.
+// The doorbell here runs the drain synchronously, exactly as the NMI
+// handler does on a parked idle core.
+func TestCmdQueueFullBackpressure(t *testing.T) {
+	m, _, _ := queueFixture(t)
+	base := hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K)
+	q, err := newCmdQueue(m.Mem, base+CmdQueueStride, 8) // old geometry
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := m.CPU(0)
+	for i := 0; i < 8; i++ {
 		if _, err := q.push(CmdPing, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := q.push(CmdPing, 0, 0); err == nil {
-		t.Error("push into full queue accepted")
+	// The ring is now full: a 16-record batch cannot fit even an empty
+	// ring, so the push must stall at least once and still deliver all
+	// records.
+	recs := make([]cmdRec, 16)
+	for i := range recs {
+		recs[i] = cmdRec{CmdPing, 0, 0}
+	}
+	var doorbells int
+	seq, wait, err := q.pushBatch(recs, func() { doorbells++; q.drain(cpu) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doorbells == 0 {
+		t.Error("overflowing push never rang the doorbell")
+	}
+	if wait == 0 {
+		t.Error("overflowing push charged no stall cycles")
+	}
+	if seq != 8+16 {
+		t.Errorf("last seq = %d, want %d", seq, 8+16)
+	}
+	q.drain(cpu)
+	if q.completed() != seq {
+		t.Errorf("completed = %d, want %d", q.completed(), seq)
+	}
+	if q.depth() != 0 {
+		t.Errorf("depth = %d after full drain", q.depth())
+	}
+}
+
+// A pushBatch stalled on a full ring must abort when the enclave dies
+// instead of parking forever.
+func TestCmdQueueBackpressureAbortsOnDeath(t *testing.T) {
+	m, _, _ := queueFixture(t)
+	base := hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K)
+	q, err := newCmdQueue(m.Mem, base+CmdQueueStride, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	close(done) // enclave already dead; no drainer will ever run
+	recs := make([]cmdRec, 9) // one more than the ring holds
+	for i := range recs {
+		recs[i] = cmdRec{CmdPing, 0, 0}
+	}
+	if _, _, err := q.pushBatch(recs, func() {}, done); err == nil {
+		t.Error("overflow push on dead enclave returned nil")
 	}
 }
 
@@ -121,9 +177,9 @@ func TestCmdQueueWaitAbortsOnDeath(t *testing.T) {
 	}
 }
 
-// Regression: concurrent pushers (some hitting the full-queue rejection),
-// a drainer, and waiters must be race-free, and a mid-flight enclave death
-// must release every waiter. Run under -race (scripts/check.sh does).
+// Regression: concurrent pushers (some parking on a full ring), a drainer,
+// and waiters must be race-free, and a mid-flight enclave death must
+// release every waiter. Run under -race (scripts/check.sh does).
 func TestCmdQueueConcurrentPushDrainWake(t *testing.T) {
 	m, q, _ := queueFixture(t)
 	// The drainer runs on its own core, as the real hypervisor NMI
@@ -151,12 +207,13 @@ func TestCmdQueueConcurrentPushDrainWake(t *testing.T) {
 	const perPusher = 64
 	for p := 0; p < pushers; p++ {
 		wg.Add(1)
-		go func() { // controller threads: push, tolerate full-queue rejections
+		go func() { // controller threads: push (parking when full), then wait
 			defer wg.Done()
 			for i := 0; i < perPusher; i++ {
 				seq, err := q.push(CmdPing, 0, 0)
 				if err != nil {
-					continue // full queue: rejected, never corrupted
+					t.Errorf("push: %v", err)
+					return
 				}
 				if err := q.waitCompleted(seq, done); err != nil {
 					t.Errorf("waitCompleted(%d): %v", seq, err)
@@ -193,7 +250,7 @@ func TestCmdQueueFlushProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		q, err := newCmdQueue(m.Mem, hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K))
+		q, err := newCmdQueue(m.Mem, hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K), 0)
 		if err != nil {
 			return false
 		}
@@ -298,7 +355,7 @@ func TestCovirtBootParamsRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := hw.AlignUp(m.Topo.Nodes[0].MemBase, hw.PageSize4K)
-	in := &BootParams{NumCPUs: 4, CmdQueueBase: 0x6000, CmdQueueStride: CmdQueueStride, PiscesParams: 0x1000}
+	in := &BootParams{NumCPUs: 4, CmdQueueBase: 0x10000, CmdQueueStride: CmdQueueStride, CmdQueueSlots: cmdqDefaultSlots, PiscesParams: 0x1000}
 	if err := encodeBootParams(m.Mem, addr, in); err != nil {
 		t.Fatal(err)
 	}

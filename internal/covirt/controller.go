@@ -2,7 +2,9 @@ package covirt
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"covirt/internal/authority"
 	"covirt/internal/hobbes"
@@ -21,12 +23,96 @@ const (
 	costCmdIssue     = 250 // queue write + NMI doorbell
 )
 
+// flushAllThreshold is the merged-range count past which an epoch's
+// shootdown collapses into one CmdFlushAll: invalidating everything is
+// cheaper than walking a long range list on every core.
+const flushAllThreshold = 8
+
+// coalesceDefault is the package-wide default for epoch-based shootdown
+// coalescing, consulted when a Controller attaches. The equivalence suite
+// flips it to prove the coalesced and per-extent paths invalidate
+// identically; per-controller SetCoalescing overrides it afterwards.
+var coalesceDefault atomic.Bool
+
+func init() { coalesceDefault.Store(true) }
+
+// SetCoalescingDefault sets the package-wide coalescing default for
+// controllers attached afterwards. Returns the previous value.
+func SetCoalescingDefault(on bool) bool { return coalesceDefault.Swap(on) }
+
+// QoS is a per-enclave token-bucket admission policy on the controller's
+// ingest path. Refill is deterministic integer arithmetic on the
+// controller's virtual clock: tokens accrue at one per CyclesPerToken
+// cycles, capped at Burst. An enclave whose bucket is empty waits out the
+// remainder of the current refill interval — the wait advances the virtual
+// clock (the stall itself is the passage of time) and is charged to the
+// event's cost, so a grant-storming enclave self-paces at the refill rate
+// while its neighbors' buckets are untouched. The zero value disables
+// admission control.
+type QoS struct {
+	Burst          uint64 // bucket capacity in tokens (0 disables)
+	CyclesPerToken uint64 // virtual cycles per accrued token
+}
+
+// enabled reports whether this policy actually admits.
+func (q QoS) enabled() bool { return q.Burst > 0 && q.CyclesPerToken > 0 }
+
+// qosDefault is the package-wide admission default, consulted at Attach
+// time (same pattern as coalesceDefault; the QoS-off/on equivalence suite
+// flips it around experiment runs).
+var qosDefault atomic.Value // QoS
+
+// SetQoSDefault sets the package-wide admission default for controllers
+// attached afterwards. Returns the previous value.
+func SetQoSDefault(q QoS) QoS {
+	prev, _ := qosDefault.Swap(q).(QoS)
+	return prev
+}
+
+// IngestStats counts one enclave's traffic through the controller's
+// ingest path (resource-assignment events, admission decisions, epochs,
+// and flush-command economics).
+type IngestStats struct {
+	// Events is the number of admitted resource-assignment events.
+	Events uint64
+	// AdmissionWaits / AdmissionWaitCycles count token-bucket stalls.
+	AdmissionWaits      uint64
+	AdmissionWaitCycles uint64
+	// Epochs is the number of shootdown epochs closed.
+	Epochs uint64
+	// FlushCmds is the number of flush commands pushed (all cores).
+	FlushCmds uint64
+	// FlushCmdsSaved is how many per-extent flush commands coalescing
+	// avoided pushing (all cores).
+	FlushCmdsSaved uint64
+	// StallCycles counts cycles spent in ring backpressure (all cores).
+	StallCycles uint64
+}
+
+// QueueStats is the per-enclave command-queue / admission snapshot behind
+// the enclavectl qstats verb.
+type QueueStats struct {
+	EnclaveID int
+	Slots     uint64 // ring capacity per core
+	// Depth maps machine core id -> pushed-but-undrained records.
+	Depth map[int]uint64
+	// EpochIssued is the last shootdown epoch the controller opened;
+	// EpochApplied maps core id -> last epoch that core has applied.
+	EpochIssued  uint64
+	EpochApplied map[int]uint64
+	// Tokens is the enclave's current admission-bucket fill (only
+	// meaningful when QoS is configured).
+	Tokens uint64
+	Ingest IngestStats
+}
+
 // Ioctl numbers the controller registers with the Pisces framework's
 // control ABI (the paper's "new set of ioctl commands").
 const (
 	IoctlSetFeatures uint32 = 0xC0560001 // arg: SetFeaturesArgs (pre-boot)
 	IoctlStatus      uint32 = 0xC0560002 // arg: enclave id (int) -> *Status
 	IoctlGrantIO     uint32 = 0xC0560003 // arg: GrantIOArgs
+	IoctlQueueStats  uint32 = 0xC0560004 // arg: enclave id (int) -> *QueueStats
 )
 
 // SetFeaturesArgs selects an enclave's protection features (before boot).
@@ -76,10 +162,32 @@ type enclaveState struct {
 	// nextSlot indexes the per-CPU command-queue array for hot-added
 	// cores (the reserved area holds pisces.MaxBootCores slots).
 	nextSlot int
+	// slots is the enclave's per-CPU ring capacity (Features.CmdQSlots
+	// or the default).
+	slots uint64
 
 	mapOps    uint64
 	unmapOps  uint64
 	flushCmds uint64
+
+	// ingestMu serializes the enclave's ingest path: the shootdown-epoch
+	// accumulator and the admission bucket below. Events for one enclave
+	// are normally sequential (one longcall service goroutine), but
+	// host-side revocations can overlap a guest-driven detach.
+	ingestMu sync.Mutex
+	// epoch is the last shootdown epoch the controller opened; dirty
+	// accumulates the open epoch's unmapped ranges (batched events defer
+	// the flush to the batch's final event).
+	epoch       uint64
+	dirty       []hw.Extent
+	dirtyEvents int
+	// Admission token bucket (QoS): current fill and the virtual-clock
+	// stamp the last refill was computed against.
+	qosInit   bool
+	qosTokens uint64
+	qosStamp  uint64
+
+	ingest IngestStats
 }
 
 // Controller is the Covirt controller module: it integrates with the
@@ -102,9 +210,55 @@ type Controller struct {
 	pending  map[int]Features // pre-boot per-enclave overrides
 	states   map[int]*enclaveState
 
+	// coalesce enables epoch-based shootdown coalescing (merge the open
+	// epoch's dirty ranges into one flush per core); qos is the admission
+	// policy applied to every enclave; clock is the controller's virtual
+	// ingest timeline (advanced by admission stalls — the stall is the
+	// passage of time). All are initialized from the package defaults at
+	// Attach and overridable per controller.
+	coalesce bool
+	qos      QoS
+	clock    hw.Clock
+
 	// tracer is the optional flight recorder shared with all hypervisor
 	// instances (nil-safe; see EnableTracing).
 	tracer *trace.Buffer
+}
+
+// SetCoalescing enables or disables epoch-based shootdown coalescing on
+// this controller (the per-extent path pushes one flush per dirty range;
+// both paths share the epoch completion protocol, so invalidation
+// semantics are identical — the equivalence suite proves it).
+func (c *Controller) SetCoalescing(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.coalesce = on
+}
+
+// SetQoS installs the admission policy for this controller's enclaves
+// (zero disables).
+func (c *Controller) SetQoS(q QoS) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.qos = q
+}
+
+// IngestClock exposes the controller's virtual ingest timeline. Tests and
+// management tooling advance it to model elapsed time between bursts
+// (admission buckets refill against it).
+func (c *Controller) IngestClock() *hw.Clock { return &c.clock }
+
+// coalesceOn / qosPolicy read the switches under the lock.
+func (c *Controller) coalesceOn() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesce
+}
+
+func (c *Controller) qosPolicy() QoS {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.qos
 }
 
 // EnableTracing attaches a flight recorder capturing every VM exit and
@@ -139,6 +293,10 @@ func Attach(mach *hw.Machine, fw *pisces.Framework, master *hobbes.Master, defau
 		defaults: defaults,
 		pending:  make(map[int]Features),
 		states:   make(map[int]*enclaveState),
+		coalesce: coalesceDefault.Load(),
+	}
+	if q, ok := qosDefault.Load().(QoS); ok {
+		c.qos = q
 	}
 	c.rootIO = c.auth.Mint(0, authority.KindIO, authority.RightsAll,
 		authority.WildScope(), "root-io")
@@ -148,6 +306,7 @@ func Attach(mach *hw.Machine, fw *pisces.Framework, master *hobbes.Master, defau
 		IoctlSetFeatures: c.ioctlSetFeatures,
 		IoctlStatus:      c.ioctlStatus,
 		IoctlGrantIO:     c.ioctlGrantIO,
+		IoctlQueueStats:  c.ioctlQueueStats,
 	} {
 		if err := fw.RegisterIoctl(cmd, h); err != nil {
 			return nil, err
@@ -186,6 +345,44 @@ func (c *Controller) ioctlStatus(arg any) (any, error) {
 		return nil, fmt.Errorf("covirt: enclave %d not under covirt", id)
 	}
 	return st, nil
+}
+
+func (c *Controller) ioctlQueueStats(arg any) (any, error) {
+	id, ok := arg.(int)
+	if !ok {
+		return nil, fmt.Errorf("covirt: IoctlQueueStats wants an enclave id")
+	}
+	qs := c.QueueStatsFor(id)
+	if qs == nil {
+		return nil, fmt.Errorf("covirt: enclave %d not under covirt", id)
+	}
+	return qs, nil
+}
+
+// QueueStatsFor snapshots an enclave's per-core command-queue depths,
+// epoch progress, and admission counters (the qstats operator view), or
+// nil when the enclave is not under Covirt.
+func (c *Controller) QueueStatsFor(encID int) *QueueStats {
+	st := c.stateByID(encID)
+	if st == nil {
+		return nil
+	}
+	st.ingestMu.Lock()
+	defer st.ingestMu.Unlock()
+	out := &QueueStats{
+		EnclaveID:    encID,
+		Slots:        st.slots,
+		Depth:        make(map[int]uint64, len(st.queues)),
+		EpochIssued:  st.epoch,
+		EpochApplied: make(map[int]uint64, len(st.queues)),
+		Tokens:       st.qosTokens,
+		Ingest:       st.ingest,
+	}
+	for coreID, q := range st.queues {
+		out.Depth[coreID] = q.depth()
+		out.EpochApplied[coreID] = q.epochApplied()
+	}
+	return out
 }
 
 func (c *Controller) ioctlGrantIO(arg any) (any, error) {
@@ -276,6 +473,8 @@ func (c *Controller) onEvent(ev *hobbes.Event) error {
 		return c.mapExtents(ev)
 	case hobbes.EvMemRemovePost, hobbes.EvXememDetachPost:
 		return c.unmapAndFlush(ev)
+	case hobbes.EvIngestFlush:
+		return c.flushIngest(ev)
 	case hobbes.EvCPUAddPre:
 		return c.addCPU(ev)
 	case hobbes.EvCPURemovePost:
@@ -375,6 +574,10 @@ func (c *Controller) takeState(encID int) *enclaveState {
 func (c *Controller) buildState(enc *pisces.Enclave) error {
 	feat := c.takeFeatures(enc.ID)
 
+	slots := feat.CmdQSlots
+	if slots == 0 {
+		slots = cmdqDefaultSlots
+	}
 	st := &enclaveState{
 		enc:    enc,
 		feat:   feat,
@@ -383,6 +586,7 @@ func (c *Controller) buildState(enc *pisces.Enclave) error {
 		vmcs:   make(map[int]*vmx.VMCS),
 		hvs:    make(map[int]*Hypervisor),
 		queues: make(map[int]*cmdQueue),
+		slots:  slots,
 	}
 	if feat.Memory {
 		st.ept = vmx.NewEPT()
@@ -425,6 +629,7 @@ func (c *Controller) buildState(enc *pisces.Enclave) error {
 		NumCPUs:        uint64(len(enc.Cores)),
 		CmdQueueBase:   base + pisces.OffCovirtCmdQ,
 		CmdQueueStride: CmdQueueStride,
+		CmdQueueSlots:  st.slots,
 		PiscesParams:   base + pisces.OffBootParams,
 	}
 	if err := encodeBootParams(c.mach.Mem, base+pisces.OffCovirtParams, cbp); err != nil {
@@ -452,7 +657,7 @@ func (c *Controller) buildCPU(st *enclaveState, enc *pisces.Enclave, coreID int)
 		return fmt.Errorf("covirt: enclave %d exhausted its %d command-queue slots", enc.ID, pisces.MaxBootCores)
 	}
 	base := enc.Base()
-	q, err := newCmdQueue(c.mach.Mem, base+pisces.OffCovirtCmdQ+uint64(st.nextSlot)*CmdQueueStride)
+	q, err := newCmdQueue(c.mach.Mem, base+pisces.OffCovirtCmdQ+uint64(st.nextSlot)*CmdQueueStride, st.slots)
 	if err != nil {
 		return err
 	}
@@ -573,6 +778,7 @@ func (c *Controller) mapExtents(ev *hobbes.Event) error {
 	if st == nil || st.ept == nil {
 		return nil
 	}
+	ev.Cost += c.admit(st, ev)
 	// Every mapping names its authorizing capability: a fresh memory grant
 	// presents a memory key covering the extent; a XEMEM attach presents
 	// the consumer's attach key. An absent or dead key aborts the
@@ -604,54 +810,197 @@ func (c *Controller) mapExtents(ev *hobbes.Event) error {
 	return nil
 }
 
+// admit applies the controller's admission policy to one ingest event of
+// st's enclave and returns the stall cycles the caller charges to the
+// event (outside the ingest lock, like every other event-cost charge). A
+// stalled admission advances the controller's virtual clock by the stall
+// (the wait IS the passage of time — deterministic for sequentially driven
+// event streams), so a storming enclave self-paces without touching its
+// neighbors' buckets.
+func (c *Controller) admit(st *enclaveState, ev *hobbes.Event) uint64 {
+	st.ingestMu.Lock()
+	defer st.ingestMu.Unlock()
+	st.ingest.Events++
+	q := c.qosPolicy()
+	if !q.enabled() {
+		return 0
+	}
+	now := c.clock.Now()
+	if !st.qosInit {
+		st.qosInit = true
+		st.qosTokens = q.Burst
+		st.qosStamp = now
+	}
+	if refill := (now - st.qosStamp) / q.CyclesPerToken; refill > 0 {
+		st.qosTokens += refill
+		if st.qosTokens > q.Burst {
+			st.qosTokens = q.Burst
+		}
+		st.qosStamp += refill * q.CyclesPerToken
+	}
+	var wait uint64
+	if st.qosTokens == 0 {
+		// Wait out the remainder of the current refill interval; the
+		// token that accrues at its end is the one this event consumes.
+		wait = q.CyclesPerToken - (now - st.qosStamp)
+		c.clock.Advance(wait)
+		st.qosStamp += q.CyclesPerToken
+		st.qosTokens = 1
+		st.ingest.AdmissionWaits++
+		st.ingest.AdmissionWaitCycles += wait
+	}
+	st.qosTokens--
+	return wait
+}
+
+// mergeExtents sorts ranges by start address and merges overlapping or
+// adjacent ones in place, returning the shortened slice.
+func mergeExtents(exts []hw.Extent) []hw.Extent {
+	if len(exts) < 2 {
+		return exts
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i].Start < exts[j].Start })
+	out := exts[:1]
+	for _, e := range exts[1:] {
+		last := &out[len(out)-1]
+		if e.Start <= last.Start+last.Size {
+			if end := e.Start + e.Size; end > last.Start+last.Size {
+				last.Size = end - last.Start
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
 // unmapAndFlush handles unmap-after-release events: the extents leave the
-// EPT, then every enclave CPU is told (command queue + NMI) to flush its
-// TLB, and the operation completes only after all CPUs have done so.
+// EPT immediately and join the enclave's open shootdown epoch. For a
+// standalone event the epoch closes right here — one merged flush per
+// core, then wait until every core applies the epoch. An event marked
+// MoreInBatch leaves the epoch open: the batch's final event (or the
+// emitter's ingest-flush sweep) closes it, so N grants coalesce into one
+// invalidation per core instead of N.
 func (c *Controller) unmapAndFlush(ev *hobbes.Event) error {
 	st := c.stateFor(ev.Enclave)
 	if st == nil || st.ept == nil {
 		return nil
 	}
+	ev.Cost += c.admit(st, ev)
+	cost, err := c.unmapExtents(st, ev)
+	ev.Cost += cost
+	if err != nil {
+		// Flush what already left the EPT before reporting: the failed
+		// extent is still mapped, but the unmapped ones must not linger
+		// in any TLB while the caller unwinds.
+		fcost, _ := c.closeEpoch(st, ev.Enclave)
+		ev.Cost += fcost
+		return err
+	}
+	if ev.MoreInBatch {
+		return nil
+	}
+	fcost, err := c.closeEpoch(st, ev.Enclave)
+	ev.Cost += fcost
+	return err
+}
+
+// unmapExtents removes the event's extents from the EPT and adds them to
+// the enclave's open shootdown epoch, returning the unmap cycles charged
+// to the event.
+func (c *Controller) unmapExtents(st *enclaveState, ev *hobbes.Event) (uint64, error) {
+	st.ingestMu.Lock()
+	defer st.ingestMu.Unlock()
+	var cost uint64
 	for _, ext := range ev.Extents {
 		if err := st.ept.UnmapRange(ext.Start, ext.Size); err != nil {
-			return fmt.Errorf("covirt: EPT unmap %v: %w", ext, err)
+			return cost, fmt.Errorf("covirt: EPT unmap %v: %w", ext, err)
 		}
 		st.unmapOps++
-		ev.Cost += (ext.Size / hw.PageSize2M) * costPerUnmapLeaf
+		cost += (ext.Size / hw.PageSize2M) * costPerUnmapLeaf
+		st.dirty = append(st.dirty, ext)
 		c.Trace().Record(-1, 0, "ctl:unmap", "enclave %d %v (%s)", ev.Enclave.ID, ext, ev.Kind)
 	}
-	// Synchronize: stale translations may be cached on any enclave core.
-	type pendingWait struct {
-		q   *cmdQueue
-		seq uint64
+	st.dirtyEvents++
+	return cost, nil
+}
+
+// flushIngest closes an enclave's open shootdown epoch without unmapping
+// anything — the defensive sweep batched emitters run so an aborted batch
+// can never leave dirty ranges waiting on a closing event that will not
+// come.
+func (c *Controller) flushIngest(ev *hobbes.Event) error {
+	st := c.stateFor(ev.Enclave)
+	if st == nil || st.ept == nil {
+		return nil
 	}
-	var waits []pendingWait
+	cost, err := c.closeEpoch(st, ev.Enclave)
+	ev.Cost += cost
+	return err
+}
+
+// closeEpoch seals the open shootdown epoch: the accumulated dirty ranges
+// become one batched command push per core — merged (and collapsed to a
+// CmdFlushAll past flushAllThreshold) when coalescing is on, verbatim
+// per-extent when off — terminated by a CmdEpoch marker. Every core gets
+// one doorbell, and the operation completes only when every core reports
+// the epoch applied. Returns the issue and stall cycles charged to the
+// triggering event.
+func (c *Controller) closeEpoch(st *enclaveState, enc *pisces.Enclave) (uint64, error) {
+	st.ingestMu.Lock()
+	defer st.ingestMu.Unlock()
+	if st.dirtyEvents == 0 && len(st.dirty) == 0 {
+		return 0, nil
+	}
+	ranges := st.dirty
+	st.dirty = nil
+	st.dirtyEvents = 0
+	raw := uint64(len(ranges))
+	flushAll := false
+	if c.coalesceOn() {
+		ranges = mergeExtents(ranges)
+		flushAll = len(ranges) > flushAllThreshold
+	}
+	st.epoch++
+	epoch := st.epoch
+	st.ingest.Epochs++
+
+	recs := make([]cmdRec, 0, len(ranges)+1)
+	if flushAll {
+		recs = append(recs, cmdRec{Typ: CmdFlushAll})
+	} else {
+		for _, r := range ranges {
+			recs = append(recs, cmdRec{Typ: CmdFlushRange, Arg0: r.Start, Arg1: r.Size})
+		}
+	}
+	flushRecs := uint64(len(recs))
+	recs = append(recs, cmdRec{Typ: CmdEpoch, Arg0: epoch})
+
+	var cost uint64
+	var queues []*cmdQueue
 	for coreID, q := range st.queues {
-		var firstErr error
-		var lastSeq uint64
-		for _, ext := range ev.Extents {
-			seq, err := q.push(CmdFlushRange, ext.Start, ext.Size)
-			if err != nil {
-				firstErr = err
-				break
-			}
-			lastSeq = seq
+		cpu := c.mach.CPU(coreID)
+		_, stall, err := q.pushBatch(recs, cpu.APIC.RaiseNMI, enc.Done())
+		if err != nil {
+			// The enclave died under backpressure; nothing left to
+			// synchronize.
+			return cost, nil
 		}
-		if firstErr != nil {
-			return firstErr
-		}
-		c.mach.CPU(coreID).APIC.RaiseNMI()
-		st.flushCmds++
-		ev.Cost += costCmdIssue
-		waits = append(waits, pendingWait{q, lastSeq})
+		cpu.APIC.RaiseNMI()
+		st.flushCmds += flushRecs
+		st.ingest.FlushCmds += flushRecs
+		st.ingest.FlushCmdsSaved += raw - flushRecs
+		st.ingest.StallCycles += stall
+		cost += costCmdIssue + stall
+		queues = append(queues, q)
 	}
-	for _, w := range waits {
-		if err := w.q.waitCompleted(w.seq, ev.Enclave.Done()); err != nil {
+	for _, q := range queues {
+		if err := q.waitEpoch(epoch, enc.Done()); err != nil {
 			// The enclave died mid-flush; nothing left to synchronize.
-			return nil
+			return cost, nil
 		}
 	}
-	return nil
+	return cost, nil
 }
 
 // teardown drops controller state for a dead enclave and releases any

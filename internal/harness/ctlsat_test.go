@@ -1,0 +1,63 @@
+package harness
+
+import "testing"
+
+// TestCtlSaturationSpeedup is the smoke check of the issue's acceptance
+// bar: on the same saturation workload the batched leg must deliver at
+// least 10x the control-plane events/sec of the per-event baseline at
+// equal-or-better p99 apply latency, and the epoch coalescer must have
+// merged flushes away.
+func TestCtlSaturationSpeedup(t *testing.T) {
+	pairs := 64
+	if testing.Short() {
+		pairs = 32
+	}
+	base, err := runCtlSatJob(1, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := runCtlSatJob(ctlSatBatch, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eps := func(r interface{ Metric(string) float64 }) float64 {
+		return r.Metric("events") / r.Metric("ctl_cycles")
+	}
+	speedup := eps(batched) / eps(base)
+	if speedup < 10 {
+		t.Errorf("batched ingest = %.1fx events/sec over per-event, want >= 10x", speedup)
+	}
+	if bp, pp := batched.Metric("p99_us"), base.Metric("p99_us"); bp > pp*1.01 {
+		t.Errorf("batched p99 apply = %.3f us, worse than per-event %.3f us", bp, pp)
+	}
+	if batched.Metric("flush_saved") == 0 {
+		t.Error("batched leg coalesced no flush commands away")
+	}
+	if base.Metric("flush_saved") != 0 {
+		t.Errorf("per-event baseline reports %v saved flushes; legs are not comparable",
+			base.Metric("flush_saved"))
+	}
+}
+
+// TestCtlSaturationDeterministic: identical jobs must produce identical
+// metric maps — the experiment's byte-identical-at-any-parallel guarantee
+// reduces to this per-job determinism plus the engine's ordered collection.
+func TestCtlSaturationDeterministic(t *testing.T) {
+	a, err := runCtlSatJob(ctlSatBatch, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCtlSatJob(ctlSatBatch, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Metrics) != len(b.Metrics) {
+		t.Fatalf("metric sets differ: %v vs %v", a.Metrics, b.Metrics)
+	}
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Errorf("metric %s = %v then %v across identical runs", k, v, b.Metrics[k])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"covirt/internal/covirt"
 	"covirt/internal/harness"
 	"covirt/internal/vmx"
 )
@@ -43,6 +44,65 @@ func TestTransCacheOutputEquivalence(t *testing.T) {
 		if !bytes.Equal(off.Bytes(), on.Bytes()) {
 			t.Errorf("%s output diverges with translation cache disabled vs enabled:\n--- off ---\n%s\n--- on ---\n%s",
 				id, off.String(), on.String())
+		}
+	}
+}
+
+// TestIngestTogglesOutputEquivalence is the semantic gate on the new
+// control-plane machinery: workload experiments must produce byte-identical
+// output with epoch coalescing forced off and with QoS admission switched
+// on, at -parallel 1 and 8. The workload goldens never saturate a token
+// bucket or depend on flush-merge pricing, so any divergence means the
+// coalescer merged away an invalidation it owed (stale TLB entry changes a
+// fault path) or admission charged cycles it shouldn't have. ctl-saturation
+// itself is deliberately absent: coalescing is the effect it measures, so
+// its priced output legitimately changes — its own determinism is covered
+// by TestCtlSaturationDeterministic.
+func TestIngestTogglesOutputEquivalence(t *testing.T) {
+	ids := []string{"fig5a", "mttr"}
+	legs := []struct {
+		name    string
+		set     func()
+		restore func()
+	}{
+		{
+			name:    "coalesce-off",
+			set:     func() { covirt.SetCoalescingDefault(false) },
+			restore: func() { covirt.SetCoalescingDefault(true) },
+		},
+		{
+			// A bucket deep and fast enough that no golden workload ever
+			// waits: equivalence proves the admission path itself is free
+			// when tokens are available.
+			name:    "qos-on",
+			set:     func() { covirt.SetQoSDefault(covirt.QoS{Burst: 4096, CyclesPerToken: 2000}) },
+			restore: func() { covirt.SetQoSDefault(covirt.QoS{}) },
+		},
+	}
+	for _, id := range ids {
+		e := harness.ByID(id)
+		if e == nil {
+			t.Fatalf("no experiment %q", id)
+		}
+		for _, par := range []int{1, 8} {
+			opt := harness.Options{Reps: 1, Parallel: par}
+			var baseline bytes.Buffer
+			if err := e.Run(opt, &baseline); err != nil {
+				t.Fatalf("%s (defaults, parallel %d): %v", id, par, err)
+			}
+			for _, leg := range legs {
+				var got bytes.Buffer
+				leg.set()
+				err := e.Run(opt, &got)
+				leg.restore()
+				if err != nil {
+					t.Fatalf("%s (%s, parallel %d): %v", id, leg.name, par, err)
+				}
+				if !bytes.Equal(baseline.Bytes(), got.Bytes()) {
+					t.Errorf("%s output diverges under %s at parallel %d:\n--- defaults ---\n%s\n--- %s ---\n%s",
+						id, leg.name, par, baseline.String(), leg.name, got.String())
+				}
+			}
 		}
 	}
 }

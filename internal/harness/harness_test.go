@@ -122,7 +122,7 @@ func TestRunWorkloadRepetitions(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	wantIDs := []string{"table1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8",
-		"fleet-mttr", "fleet-upgrade", "ipc", "mttr", "revocation"}
+		"ctl-saturation", "fleet-mttr", "fleet-upgrade", "ipc", "mttr", "revocation"}
 	if len(All) != len(wantIDs) {
 		t.Fatalf("experiments = %d", len(All))
 	}

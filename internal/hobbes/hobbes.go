@@ -48,6 +48,13 @@ const (
 	// frames so protection layers can unmap the holder's context. The
 	// supervisor observes these to audit revocation storms.
 	EvCapRevoked
+	// EvIngestFlush closes any shootdown epoch a protection layer left
+	// open while coalescing a batch of resource events: it carries no
+	// resource of its own, only the instruction "flush everything you have
+	// deferred for this enclave now". EmitBatch sends one automatically
+	// when a batch ends early, so a mid-batch error can never strand
+	// unmapped-but-unflushed translations.
+	EvIngestFlush
 )
 
 // String names the event kind.
@@ -60,7 +67,7 @@ func (k EventKind) String() string {
 		"ipi-grant", "ipi-revoke",
 		"enclave-hung", "enclave-restarting",
 		"enclave-recovered", "enclave-quarantined",
-		"cap-revoked",
+		"cap-revoked", "ingest-flush",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -84,6 +91,11 @@ type Event struct {
 	// Cost accumulates management-plane cycles spent by handlers; callers
 	// on synchronous paths (longcalls) charge it to the waiting guest.
 	Cost uint64
+	// MoreInBatch marks an event as a non-final member of a batch: more
+	// events for the same operation follow immediately, so protection
+	// layers may defer their TLB shootdown and coalesce it into the
+	// batch's final event.
+	MoreInBatch bool
 }
 
 // Handler processes an event. An error from a Pre handler aborts the
@@ -138,6 +150,42 @@ func (b *Bus) Emit(ev *Event) error {
 	return nil
 }
 
+// EmitBatch delivers evs as one batch: every event except the last is
+// marked MoreInBatch so subscribers may defer per-event TLB shootdowns and
+// coalesce them into the final event's epoch. The batch invariant is that
+// every enclave that saw a deferred event sees a closing one: if the batch
+// stops early (handler error), or if an enclave's last deferred event is
+// not the batch's final event, EmitBatch emits an EvIngestFlush for that
+// enclave so no unmapped-but-unflushed translation survives the call.
+// Returns the first handler error, after the flush sweep.
+func (b *Bus) EmitBatch(evs []*Event) error {
+	open := make(map[*pisces.Enclave]bool)
+	var firstErr error
+	for i, ev := range evs {
+		ev.MoreInBatch = i < len(evs)-1
+		if err := b.Emit(ev); err != nil {
+			if ev.MoreInBatch && ev.Enclave != nil {
+				open[ev.Enclave] = true
+			}
+			firstErr = err
+			break
+		}
+		if ev.Enclave != nil {
+			if ev.MoreInBatch {
+				open[ev.Enclave] = true
+			} else {
+				delete(open, ev.Enclave)
+			}
+		}
+	}
+	for enc := range open {
+		if err := b.Emit(&Event{Kind: EvIngestFlush, Enclave: enc}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Master is the Hobbes master control process.
 type Master struct {
 	FW   *pisces.Framework
@@ -189,7 +237,7 @@ func (m *Master) onFrameworkEvent(ev *pisces.Event) error {
 		pisces.EvCrashed:       EvEnclaveCrashed,
 		pisces.EvDestroyed:     EvEnclaveDestroyed,
 	}
-	hev := &Event{Kind: kindMap[ev.Kind], Enclave: ev.Enclave, Core: ev.Core, Reason: ev.Reason, Cap: ev.Cap}
+	hev := &Event{Kind: kindMap[ev.Kind], Enclave: ev.Enclave, Core: ev.Core, Reason: ev.Reason, Cap: ev.Cap, MoreInBatch: ev.MoreInBatch}
 	if ev.Extent.Size > 0 {
 		hev.Extents = []hw.Extent{ev.Extent}
 	}
@@ -311,6 +359,7 @@ func (m *Master) RevokeCap(c authority.Cap) error {
 	if err != nil {
 		return err
 	}
+	evs := make([]*Event, 0, len(revoked))
 	for _, rv := range revoked {
 		ev := &Event{
 			Kind:    EvCapRevoked,
@@ -333,9 +382,10 @@ func (m *Master) RevokeCap(c authority.Cap) error {
 			ev.DestCore = rv.Scope.Dest
 			ev.Vector = rv.Scope.Vector
 		}
-		if err := m.Bus.Emit(ev); err != nil {
-			return err
-		}
+		evs = append(evs, ev)
 	}
-	return nil
+	// A recursive revocation is one administrative act: deliver it as a
+	// batch so each affected holder eats one coalesced shootdown instead of
+	// one per revoked key.
+	return m.Bus.EmitBatch(evs)
 }

@@ -25,9 +25,14 @@ const (
 	OffLcReqRing    = 0x3000
 	OffLcRespRing   = 0x4000
 	OffCovirtParams = 0x5000 // Covirt boot-parameter block (hypervisor-owned)
-	OffCovirtCmdQ   = 0x6000 // Covirt controller->hypervisor command queue
 	OffHeartbeat    = 0x7000 // liveness heartbeat page (supervisor-watched)
-	ReservedBytes   = 0x10000
+	// OffCovirtCmdQ is the Covirt controller->hypervisor command-queue
+	// array: one 4 KiB ring per core, MaxBootCores rings. It sits above
+	// the longcall data window so a full 16-core enclave's queues cannot
+	// collide with the heartbeat page or the data window (the old 0x6000
+	// placement left room for only 8 cores before running into 0x7000).
+	OffCovirtCmdQ = 0x10000
+	ReservedBytes = 0x20000
 )
 
 // Heartbeat page layout: two 64-bit words the supervised co-kernel writes

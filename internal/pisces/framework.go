@@ -38,6 +38,12 @@ type Event struct {
 	// Cap names the capability authorizing the resource crossing (memory
 	// add/remove events). Protection layers verify it before mapping.
 	Cap authority.Cap
+	// MoreInBatch marks an event as part of a batch whose final member
+	// carries false: protection layers may defer expensive
+	// synchronization (TLB shootdowns) to the batch's last event. Set by
+	// the batch emit paths (RemoveMemoryBatch), never by single-event
+	// operations.
+	MoreInBatch bool
 }
 
 // EventSink receives framework events synchronously. Returning an error
@@ -509,6 +515,73 @@ func (fw *Framework) RemoveMemory(enc *Enclave, ext hw.Extent) error {
 	}
 	fw.Ledger.FreeMemory(ext)
 	return nil
+}
+
+// RemoveMemoryBatch shrinks the enclave by several extents as one batched
+// operation. Each extent is relinquished and evented exactly as in
+// RemoveMemory, but the events are marked as a batch so protection layers
+// can coalesce their TLB shootdowns into one invalidation per core at the
+// batch's final event. Reclaim (key revocation and ledger free) happens
+// only after the whole batch has been flushed, so the
+// unmap-flush-before-reclaim ordering holds at batch granularity: no frame
+// returns to the allocator while any enclave core could still hold a
+// translation to it. On a mid-batch failure the already-relinquished
+// extents are flushed (via a closing zero-extent event) and reclaimed
+// before the error is reported; the failing extent and its successors stay
+// with the enclave.
+func (fw *Framework) RemoveMemoryBatch(enc *Enclave, exts []hw.Extent) error {
+	if len(exts) == 0 {
+		return nil
+	}
+	if enc.State() != StateRunning {
+		return fmt.Errorf("pisces: enclave %d not running", enc.ID)
+	}
+	for _, ext := range exts {
+		if enc.memIndex(ext) < 0 {
+			return fmt.Errorf("pisces: extent %v not removable from enclave %d", ext, enc.ID)
+		}
+	}
+	type relinquished struct {
+		ext hw.Extent
+		cap authority.Cap
+	}
+	var flushed []relinquished
+	var firstErr error
+	for i, ext := range exts {
+		idx := enc.memIndex(ext)
+		if idx < 0 {
+			firstErr = fmt.Errorf("pisces: extent %v vanished from enclave %d mid-batch", ext, enc.ID)
+			break
+		}
+		var m Msg
+		m.Type = CmdMemRemove
+		put64(m.Payload[:], 0, ext.Start)
+		put64(m.Payload[:], 8, ext.Size)
+		if _, err := fw.sendCtl(enc, &m); err != nil {
+			firstErr = err
+			break
+		}
+		cap := enc.dropMem(idx)
+		flushed = append(flushed, relinquished{ext, cap})
+		ev := &Event{Kind: EvMemRemovePost, Enclave: enc, Extent: ext, Cap: cap, MoreInBatch: i < len(exts)-1}
+		if err := fw.emit(ev); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		// The batch aborted with its closing event unsent: emit a
+		// zero-extent closer so deferred shootdowns run before anything
+		// is reclaimed.
+		_ = fw.emit(&Event{Kind: EvMemRemovePost, Enclave: enc})
+	}
+	for _, r := range flushed {
+		if !r.cap.Zero() {
+			_, _ = fw.Auth.Revoke(r.cap)
+		}
+		fw.Ledger.FreeMemory(r.ext)
+	}
+	return firstErr
 }
 
 // AddCPU hot-adds an offline core from node to a running enclave. The

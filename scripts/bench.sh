@@ -1,28 +1,29 @@
 #!/bin/sh
 # bench.sh — run the repository's benchmark suite and snapshot the results
-# as a committed JSON artifact (BENCH_7.json by default):
+# as a committed JSON artifact (BENCH_10.json by default):
 #
 #   ./scripts/bench.sh [output.json]
 #   ./scripts/bench.sh --compare OLD.json [NEW.json]
 #
-# Two tiers run back to back: the hot-path microbenchmarks (TLB lookup,
-# EPT walks, PhysMem accessors, STREAM triad) and the paper-figure
-# benchmarks in the root package (fig5a/fig5b/fig7/GUPS, one full
-# experiment pass each). Both run under -benchmem, so the snapshots carry
-# B/op and allocs/op alongside ns/op — the allocation columns are the
-# regression teeth on the zero-alloc workload discipline. The figure
-# benchmarks dominate wall clock, so a full run takes a couple of minutes
-# on an idle machine; benchmark on an otherwise-quiet host or the numbers
-# are meaningless.
+# Three tiers run back to back: the hot-path microbenchmarks (TLB lookup,
+# EPT walks, PhysMem accessors, STREAM triad), the control-plane tier
+# (both ctl-saturation legs: per-event baseline and batched ingest with
+# epoch-coalesced shootdowns), and the paper-figure benchmarks in the root
+# package (fig5a/fig5b/fig7/GUPS, one full experiment pass each). All run
+# under -benchmem, so the snapshots carry B/op and allocs/op alongside
+# ns/op — the allocation columns are the regression teeth on the
+# zero-alloc workload discipline. The figure benchmarks dominate wall
+# clock, so a full run takes a couple of minutes on an idle machine;
+# benchmark on an otherwise-quiet host or the numbers are meaningless.
 #
 # --compare prints per-benchmark deltas between two snapshots (e.g.
-# BENCH_6.json vs BENCH_7.json) without running anything.
+# BENCH_7.json vs BENCH_10.json) without running anything.
 set -eu
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "--compare" ]; then
     old="${2:?usage: bench.sh --compare OLD.json [NEW.json]}"
-    new="${3:-BENCH_7.json}"
+    new="${3:-BENCH_10.json}"
     awk '
     function field(line, key,   s) {
         s = line
@@ -63,7 +64,7 @@ if [ "${1:-}" = "--compare" ]; then
     exit 0
 fi
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_10.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -71,8 +72,11 @@ echo "==> microbenchmarks (internal/hw, internal/vmx, internal/workloads)"
 go test -run '^$' -bench 'EPTWalk|PhysMemReadWrite|TLBLookup|StreamTriad|FillGatherAddrs' -benchmem \
     ./internal/hw ./internal/vmx ./internal/workloads | tee -a "$tmp"
 
+echo "==> control-plane tier (ctl-saturation legs: per-event vs batched)"
+go test -run '^$' -bench 'CtlSat' -benchtime 1x -benchmem . | tee -a "$tmp"
+
 echo "==> figure benchmarks (root package, one pass each)"
-go test -run '^$' -bench . -benchtime 1x -benchmem . | tee -a "$tmp"
+go test -run '^$' -bench 'Table1|Fig|IPC|GUPS|EPTAblation' -benchtime 1x -benchmem . | tee -a "$tmp"
 
 # Fold the `go test -bench` text into a JSON array: one object per
 # benchmark line carrying the package, iteration count, and every
